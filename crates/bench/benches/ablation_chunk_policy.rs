@@ -1,0 +1,43 @@
+//! Chunk-size and spare-chunk-policy ablation (§5.1 configuration, §A.8
+//! flags): the paper runs most benchmarks with 1 MiB chunks and one spare
+//! chunk, omnetpp with 128 KiB chunks, and omnetpp/xalanc with chunks
+//! always reused. This harness sweeps both knobs on health and reports
+//! misses and fragmentation.
+
+fn main() {
+    halo_bench::banner("Ablation: chunk size × spare-chunk policy (health)");
+    println!(
+        "{:>10} {:>8} {:>14} {:>10} {:>10} {:>12}",
+        "chunk", "spare", "L1D misses", "vs base", "frag %", "wasted"
+    );
+    let workloads = halo_workloads::all();
+    let w = workloads.iter().find(|w| w.name == "health").expect("health exists");
+    for chunk_size in [64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+        for (label, spare) in [("0", 0usize), ("1", 1), ("inf", usize::MAX)] {
+            let mut config = halo_bench::paper_config(w);
+            config.halo.alloc.chunk_size = chunk_size;
+            config.halo.alloc.slab_size = (chunk_size * 64).max(1 << 22);
+            config.halo.alloc.max_spare_chunks = spare;
+            let halo = halo_core::Halo::new(config.halo);
+            let opt = halo
+                .optimise_with_arg(&w.program, w.train.seed, w.train.arg)
+                .expect("pipeline runs");
+            let mut base_alloc = halo_mem::SizeClassAllocator::new();
+            let base = halo_core::measure(&w.program, &mut base_alloc, &config.measure)
+                .expect("base runs");
+            let mut alloc = halo.make_allocator(&opt);
+            let m = halo_core::measure(&opt.program, &mut alloc, &config.measure)
+                .expect("halo runs");
+            let frag = alloc.frag_report();
+            println!(
+                "{:>10} {:>8} {:>14} {:>10} {:>9.2}% {:>12}",
+                halo_bench::human_bytes(chunk_size),
+                label,
+                m.stats.l1_misses,
+                halo_bench::pct(m.miss_reduction_vs(&base)),
+                frag.frag_fraction() * 100.0,
+                halo_bench::human_bytes(frag.wasted_bytes()),
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Future-work ablation (§6): bump allocation vs. mimalloc-style free-list
+//! sharding inside group chunks. The paper names fragmentation as its
+//! prototype's main weakness and suggests exactly this replacement; the
+//! interesting trade-off is fragmentation (Table 1's metric) against the
+//! contiguity that bump allocation guarantees (misses).
+
+use halo_core::{measure, Halo};
+use halo_mem::ReusePolicy;
+
+fn main() {
+    halo_bench::banner("Ablation: in-chunk reuse policy (bump vs sharded free lists)");
+    println!(
+        "{:<10} {:<10} {:>14} {:>10} {:>10} {:>12}",
+        "benchmark", "policy", "L1D misses", "vs base", "frag %", "wasted"
+    );
+    let workloads = halo_workloads::all();
+    for name in ["leela", "health", "omnetpp", "povray"] {
+        let w = workloads.iter().find(|w| w.name == name).expect("known");
+        for (label, policy) in
+            [("bump", ReusePolicy::Bump), ("sharded", ReusePolicy::ShardedFreeLists)]
+        {
+            let mut config = halo_bench::paper_config(w);
+            config.halo.alloc.reuse_policy = policy;
+            let halo = Halo::new(config.halo);
+            let opt = halo
+                .optimise_with_arg(&w.program, w.train.seed, w.train.arg)
+                .expect("pipeline runs");
+            let mut base_alloc = halo_mem::SizeClassAllocator::new();
+            let base =
+                measure(&w.program, &mut base_alloc, &config.measure).expect("base runs");
+            let mut alloc = halo.make_allocator(&opt);
+            let m = measure(&opt.program, &mut alloc, &config.measure).expect("halo runs");
+            let frag = alloc.frag_report();
+            println!(
+                "{:<10} {:<10} {:>14} {:>10} {:>9.2}% {:>12}",
+                name,
+                label,
+                m.stats.l1_misses,
+                halo_bench::pct(m.miss_reduction_vs(&base)),
+                frag.frag_fraction() * 100.0,
+                halo_bench::human_bytes(frag.wasted_bytes()),
+            );
+        }
+    }
+}

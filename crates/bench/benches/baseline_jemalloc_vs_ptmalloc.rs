@@ -1,0 +1,26 @@
+//! §5.1 baseline comparison: "Initial experiments show that [jemalloc]
+//! universally outperforms ptmalloc2 from glibc 2.27, reducing L1
+//! data-cache misses by as much as 32%, and thus provides a more
+//! aggressive baseline against which to measure."
+
+use halo_mem::BoundaryTagAllocator;
+
+fn main() {
+    halo_bench::banner("§5.1: jemalloc-style vs ptmalloc2-style baseline");
+    println!(
+        "{:<10} {:>16} {:>16} {:>22}",
+        "benchmark", "jemalloc misses", "ptmalloc misses", "jemalloc advantage"
+    );
+    for w in halo_workloads::all() {
+        let mut ptmalloc = BoundaryTagAllocator::new();
+        let (je, pt) = halo_bench::run_allocator_pair(&w, &mut ptmalloc);
+        let advantage = 1.0 - je.stats.l1_misses as f64 / pt.stats.l1_misses.max(1) as f64;
+        println!(
+            "{:<10} {:>16} {:>16} {:>22}",
+            w.name,
+            je.stats.l1_misses,
+            pt.stats.l1_misses,
+            halo_bench::pct(advantage),
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 12: time taken by omnetpp at various affinity distances
+//! (A ∈ {2³ … 2¹⁷}), against the median baseline time as a reference line.
+//!
+//! The paper uses this sweep to select A = 128 for the evaluation. Our
+//! omnetpp model responds only weakly to layout optimisation (see
+//! EXPERIMENTS.md), so the harness also prints the same sweep for health,
+//! where the characteristic shape — good at moderate distances, degrading
+//! at the extremes — is clearly visible.
+
+fn main() {
+    halo_bench::banner("Figure 12: simulated time vs affinity distance");
+    let workloads = halo_workloads::all();
+    for name in ["omnetpp", "health"] {
+        let w = workloads.iter().find(|w| w.name == name).expect("known benchmark");
+        let config = halo_bench::paper_config(w);
+        // Baseline reference (the dashed line in the paper's figure).
+        let mut base_alloc = halo_mem::SizeClassAllocator::new();
+        let base = halo_core::measure(&w.program, &mut base_alloc, &config.measure)
+            .expect("baseline runs");
+        println!("\n--- {name}: baseline {:.2} Mcycles ---", base.cycles / 1e6);
+        println!(
+            "{:>10} {:>14} {:>10} {:>8} {:>16}",
+            "A (bytes)", "halo Mcycles", "vs base", "groups", "profile Mqueue-ops"
+        );
+        for exp in 3..=17u32 {
+            let a = 1u64 << exp;
+            let mut cfg = config;
+            cfg.halo.profile.affinity_distance = a;
+            let (_, halo, optimised) = halo_bench::run_halo_only(w, &cfg);
+            println!(
+                "{:>10} {:>14.2} {:>10} {:>8} {:>16.2}",
+                a,
+                halo.cycles / 1e6,
+                halo_bench::pct(halo.speedup_vs(&base)),
+                optimised.groups.len(),
+                optimised.profile.queue_work as f64 / 1e6,
+            );
+        }
+    }
+}

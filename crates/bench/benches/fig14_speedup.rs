@@ -1,0 +1,22 @@
+//! Figure 14: execution-time improvement of hot-data-streams co-allocation
+//! and HALO over the jemalloc-style baseline, across the 11 benchmarks.
+
+fn main() {
+    halo_bench::banner("Figure 14: speedup vs jemalloc baseline (simulated cycles)");
+    println!(
+        "{:<10} {:>14} {:>14}   {:>16} {:>14}",
+        "benchmark", "Chilimbi et al.", "HALO", "base Mcycles", "halo Mcycles"
+    );
+    for w in halo_workloads::all() {
+        let r = halo_bench::run_workload(&w, false, false);
+        let (hds, halo) = r.speedup_row();
+        println!(
+            "{:<10} {:>14} {:>14}   {:>16.2} {:>14.2}",
+            r.name,
+            halo_bench::pct(hds),
+            halo_bench::pct(halo),
+            r.baseline.measurement.cycles / 1e6,
+            r.halo.measurement.cycles / 1e6,
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks of the pipeline's algorithmic components:
+//! affinity-queue throughput, grouping, SEQUITUR, selector evaluation, and
+//! allocator hot paths. These are performance regressions guards for the
+//! library itself (the figures/tables live in the `harness = false`
+//! targets).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use halo_graph::{group, AffinityGraph, GroupingParams};
+use halo_hds::Grammar;
+use halo_mem::{
+    GroupAllocConfig, GroupSelector, HaloGroupAllocator, SelectorTable, SizeClassAllocator,
+};
+use halo_profile::{AffinityQueue, QueueEntry};
+use halo_vm::{CallSite, FuncId, GroupState, Memory, SplitMix64, VmAllocator};
+
+fn synthetic_graph(nodes: u32, seed: u64) -> AffinityGraph {
+    let mut g = AffinityGraph::new();
+    let mut rng = SplitMix64::new(seed);
+    let ids: Vec<_> = (0..nodes).map(|_| g.add_node(rng.next_below(10_000) + 1)).collect();
+    // Clustered edges: dense within blocks of 8, sparse across.
+    for (i, &u) in ids.iter().enumerate() {
+        for (j, &v) in ids.iter().enumerate().skip(i + 1) {
+            let same_block = i / 8 == j / 8;
+            let p = if same_block { 2 } else { 64 };
+            if rng.next_below(p) == 0 {
+                g.add_edge_weight(u, v, rng.next_below(1000) + 1);
+            }
+        }
+    }
+    g
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let graph = synthetic_graph(160, 42);
+    let params = GroupingParams { min_weight: 1, ..Default::default() };
+    c.bench_function("grouping/density_160_nodes", |b| {
+        b.iter(|| group(std::hint::black_box(&graph), &params))
+    });
+}
+
+fn bench_affinity_queue(c: &mut Criterion) {
+    c.bench_function("profile/affinity_queue_100k", |b| {
+        b.iter_batched(
+            || AffinityQueue::new(128),
+            |mut q| {
+                let mut rng = SplitMix64::new(7);
+                for i in 0..100_000u64 {
+                    let obj = rng.next_below(64);
+                    q.record(QueueEntry {
+                        obj,
+                        ctx: halo_graph::NodeId((obj % 8) as u32),
+                        alloc_seq: i,
+                        size: 8,
+                    });
+                }
+                q.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sequitur(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let input: Vec<u32> = (0..50_000).map(|_| rng.next_below(32) as u32).collect();
+    c.bench_function("hds/sequitur_50k_symbols", |b| {
+        b.iter(|| Grammar::build(std::hint::black_box(&input)).num_rules())
+    });
+}
+
+fn bench_selector_classify(c: &mut Criterion) {
+    let selectors = (0..16)
+        .map(|g| GroupSelector {
+            group: g,
+            conjunctions: vec![vec![g as u16 * 2, g as u16 * 2 + 1]],
+        })
+        .collect();
+    let table = SelectorTable::new(selectors, 32);
+    let mut gs = GroupState::new(32);
+    gs.set(30);
+    gs.set(31);
+    c.bench_function("mem/selector_classify_miss_16_groups", |b| {
+        b.iter(|| table.classify(std::hint::black_box(&gs)))
+    });
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let site = CallSite::new(FuncId(0), 0);
+    c.bench_function("mem/size_class_malloc_free_1k", |b| {
+        b.iter_batched(
+            || (SizeClassAllocator::new(), GroupState::default(), Memory::new()),
+            |(mut a, gs, mut mem)| {
+                let mut ptrs = Vec::with_capacity(1000);
+                for i in 0..1000u64 {
+                    ptrs.push(a.malloc(8 + (i % 8) * 16, site, &gs, &mut mem));
+                }
+                for p in ptrs {
+                    a.free(p, &mut mem);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mem/group_alloc_malloc_free_1k", |b| {
+        let table = SelectorTable::new(
+            vec![GroupSelector { group: 0, conjunctions: vec![vec![0]] }],
+            1,
+        );
+        b.iter_batched(
+            || {
+                let a = HaloGroupAllocator::new(GroupAllocConfig::default(), table.clone());
+                let mut gs = GroupState::new(1);
+                gs.set(0);
+                (a, gs, Memory::new())
+            },
+            |(mut a, gs, mut mem)| {
+                let mut ptrs = Vec::with_capacity(1000);
+                for i in 0..1000u64 {
+                    ptrs.push(a.malloc(8 + (i % 8) * 16, site, &gs, &mut mem));
+                }
+                for p in ptrs {
+                    a.free(p, &mut mem);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_grouping, bench_affinity_queue, bench_sequitur,
+              bench_selector_classify, bench_allocators
+}
+criterion_main!(benches);

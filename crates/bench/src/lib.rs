@@ -1,0 +1,173 @@
+//! Shared machinery for the benchmark harnesses that regenerate every
+//! table and figure of the paper's evaluation (see DESIGN.md §5 for the
+//! index).
+//!
+//! Each figure/table lives in `benches/` as a `harness = false` target, so
+//! `cargo bench --workspace` reproduces the full evaluation; the Criterion
+//! micro-benchmarks of pipeline components live in `benches/micro_*`.
+
+use halo_core::{evaluate_with_arg, EvalConfig, EvalResult, HaloConfig, MeasureConfig};
+use halo_graph::GroupingParams;
+use halo_hds::HdsConfig;
+use halo_mem::GroupAllocConfig;
+use halo_profile::ProfileConfig;
+use halo_vm::EngineLimits;
+use halo_workloads::Workload;
+
+/// Engine limits generous enough for every ref-scale run.
+pub fn bench_limits() -> EngineLimits {
+    EngineLimits { max_instructions: 2_000_000_000, max_call_depth: 256 }
+}
+
+/// The per-workload configuration used throughout the evaluation,
+/// reproducing §5.1 plus the artefact appendix's per-benchmark flags
+/// (§A.8): omnetpp runs with `--chunk-size 131072 --max-spare-chunks 0`,
+/// xalanc with `--max-spare-chunks 0`, and roms with `--max-groups 4`.
+/// omnetpp and xalanc "have group chunks always reused due to a limitation
+/// of [the] current implementation", which `max_spare_chunks = usize::MAX`
+/// models.
+pub fn paper_config(workload: &Workload) -> EvalConfig {
+    let mut grouping = GroupingParams {
+        min_weight: 32,
+        merge_tolerance: 0.05,
+        group_threshold: 0.0005,
+        ..GroupingParams::default()
+    };
+    let mut alloc = GroupAllocConfig {
+        chunk_size: 1 << 20,
+        max_spare_chunks: 1,
+        max_grouped_size: 4096,
+        ..GroupAllocConfig::default()
+    };
+    match workload.name {
+        "omnetpp" => {
+            alloc.chunk_size = 131_072;
+            alloc.slab_size = 131_072 * 64;
+            alloc.max_spare_chunks = usize::MAX;
+        }
+        "xalanc" => {
+            alloc.max_spare_chunks = usize::MAX;
+        }
+        "roms" => {
+            grouping.max_groups = Some(4);
+        }
+        _ => {}
+    }
+    EvalConfig {
+        halo: HaloConfig {
+            profile: ProfileConfig {
+                affinity_distance: 128,
+                max_tracked_size: 4096,
+                keep_fraction: 0.9,
+                enforce_coallocatability: true,
+            },
+            grouping,
+            alloc,
+            limits: bench_limits(),
+        },
+        hds: HdsConfig::default(),
+        measure: MeasureConfig {
+            limits: bench_limits(),
+            seed: workload.reference.seed,
+            entry_arg: workload.reference.arg,
+            ..MeasureConfig::default()
+        },
+        with_ptmalloc: false,
+        with_random: false,
+    }
+}
+
+/// Evaluate one workload with the paper configuration (plus optional
+/// extras), following the §5.1 methodology.
+pub fn run_workload(workload: &Workload, with_random: bool, with_ptmalloc: bool) -> EvalResult {
+    let mut config = paper_config(workload);
+    config.with_random = with_random;
+    config.with_ptmalloc = with_ptmalloc;
+    evaluate_with_arg(
+        &workload.program,
+        workload.name,
+        workload.train.seed,
+        workload.train.arg,
+        &config,
+    )
+    .unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name))
+}
+
+/// Measure only the jemalloc-style baseline and the HALO configuration for
+/// a workload under `config` — the light-weight path used by sweeps
+/// (Fig. 12 and the ablations), which do not need the comparison technique.
+pub fn run_halo_only(
+    workload: &Workload,
+    config: &EvalConfig,
+) -> (halo_core::Measurement, halo_core::Measurement, halo_core::Optimised) {
+    let halo = halo_core::Halo::new(config.halo);
+    let optimised = halo
+        .optimise_with_arg(&workload.program, workload.train.seed, workload.train.arg)
+        .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", workload.name));
+    let mut base_alloc = halo_mem::SizeClassAllocator::new();
+    let base = halo_core::measure(&workload.program, &mut base_alloc, &config.measure)
+        .unwrap_or_else(|e| panic!("{}: baseline run failed: {e}", workload.name));
+    let mut halo_alloc = halo.make_allocator(&optimised);
+    let opt = halo_core::measure(&optimised.program, &mut halo_alloc, &config.measure)
+        .unwrap_or_else(|e| panic!("{}: HALO run failed: {e}", workload.name));
+    (base, opt, optimised)
+}
+
+/// Measure the baseline against one alternative allocator on the
+/// unmodified binary (Fig. 15 and the §5.1 allocator comparison).
+pub fn run_allocator_pair<A: halo_vm::VmAllocator>(
+    workload: &Workload,
+    other: &mut A,
+) -> (halo_core::Measurement, halo_core::Measurement) {
+    let config = paper_config(workload);
+    let mut base_alloc = halo_mem::SizeClassAllocator::new();
+    let base = halo_core::measure(&workload.program, &mut base_alloc, &config.measure)
+        .unwrap_or_else(|e| panic!("{}: baseline run failed: {e}", workload.name));
+    let m = halo_core::measure(&workload.program, other, &config.measure)
+        .unwrap_or_else(|e| panic!("{}: comparison run failed: {e}", workload.name));
+    (base, m)
+}
+
+/// Format a fraction as a signed percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:+.1}%", fraction * 100.0)
+}
+
+/// Format a byte count like the paper's Table 1 (KiB/MiB with two
+/// decimals).
+pub fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2}MiB", bytes as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.2}KiB", bytes as f64 / 1024.0)
+    }
+}
+
+/// Print a header for a figure/table harness.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.2815), "+28.1%");
+        assert_eq!(pct(-0.03), "-3.0%");
+        assert_eq!(human_bytes(31980), "31.23KiB");
+        assert_eq!(human_bytes(2 << 20), "2.00MiB");
+    }
+
+    #[test]
+    fn per_benchmark_flags_follow_the_artefact() {
+        let ws = halo_workloads::all();
+        let omnetpp = ws.iter().find(|w| w.name == "omnetpp").unwrap();
+        assert_eq!(paper_config(omnetpp).halo.alloc.chunk_size, 131_072);
+        let roms = ws.iter().find(|w| w.name == "roms").unwrap();
+        assert_eq!(paper_config(roms).halo.grouping.max_groups, Some(4));
+        let health = ws.iter().find(|w| w.name == "health").unwrap();
+        assert_eq!(paper_config(health).halo.alloc.chunk_size, 1 << 20);
+    }
+}

@@ -1,0 +1,189 @@
+//! A single set-associative, write-allocate, LRU cache.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (lines per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible into
+    /// `ways`-line sets, or line size not a power of two).
+    pub fn sets(&self) -> u64 {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = self.size_bytes / self.line_bytes;
+        assert_eq!(lines % self.ways as u64, 0, "capacity must divide into whole sets");
+        assert!(lines >= self.ways as u64, "must have at least one set");
+        lines / self.ways as u64
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Tags are full line addresses, so the same structure serves as a TLB by
+/// passing page numbers as "line addresses" with `line_bytes = 1`.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: u64,
+    line_shift: u32,
+    /// Per set: tags ordered most- to least-recently used.
+    lru: Vec<Vec<u64>>,
+}
+
+impl SetAssocCache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        SetAssocCache {
+            config,
+            sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            lru: vec![Vec::with_capacity(config.ways as usize); sets as usize],
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Line address (tag) for a byte address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Touch the line containing `addr`; returns `true` on hit. On miss the
+    /// line is filled, evicting the LRU line of its set if necessary; the
+    /// evicted line address is returned through `evicted`.
+    #[inline]
+    pub fn access_line(&mut self, line: u64) -> (bool, Option<u64>) {
+        let set = &mut self.lru[(line % self.sets) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            (true, None)
+        } else {
+            set.insert(0, line);
+            let evicted =
+                if set.len() > self.config.ways as usize { set.pop() } else { None };
+            (false, evicted)
+        }
+    }
+
+    /// Touch the byte address `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.access_line(self.line_of(addr)).0
+    }
+
+    /// Whether the line containing `addr` is currently resident (does not
+    /// update recency).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        self.lru[(line % self.sets) as usize].contains(&line)
+    }
+
+    /// Invalidate everything.
+    pub fn flush(&mut self) {
+        for set in &mut self.lru {
+            set.clear();
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.lru.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets × 2 ways × 64-byte lines = 256 bytes.
+        SetAssocCache::new(CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 };
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        CacheConfig { size_bytes: 256, line_bytes: 48, ways: 2 }.sets();
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers).
+        assert!(!c.access(0 * 64));
+        assert!(!c.access(2 * 64));
+        // Set 0 is full; touching line 0 makes line 2 the LRU.
+        assert!(c.access(0 * 64));
+        let (hit, evicted) = c.access_line(4);
+        assert!(!hit);
+        assert_eq!(evicted, Some(2));
+        // Line 0 survived, line 2 did not.
+        assert!(c.access(0 * 64));
+        assert!(!c.access(2 * 64));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0 * 64); // set 0
+        c.access(1 * 64); // set 1
+        c.access(3 * 64); // set 1
+        c.access(5 * 64); // set 1 — evicts line 1, set 0 untouched
+        assert!(c.access(0));
+        assert!(!c.access(64));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(64);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn contains_does_not_touch_recency() {
+        let mut c = tiny();
+        c.access(0 * 64);
+        c.access(2 * 64);
+        assert!(c.contains(0 * 64));
+        // `contains` must not have promoted line 0: line 0 is still LRU, so
+        // filling line 4 evicts it.
+        let (_, evicted) = c.access_line(4);
+        assert_eq!(evicted, Some(0));
+    }
+}

@@ -1,0 +1,120 @@
+//! A latency-based timing model turning access counts into cycles.
+
+use crate::hierarchy::AccessStats;
+
+/// Converts instruction and miss counts into simulated cycles.
+///
+/// The model is deliberately simple — an out-of-order core is approximated
+/// by a base CPI plus *additional* average penalties per miss level (partial
+/// overlap of misses is folded into the penalty constants). This is the
+/// "time elapsed" axis of Figs. 12, 14, and 15.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Cycles per retired instruction assuming all memory hits L1.
+    pub base_cpi: f64,
+    /// Additional cycles for an access served from L2.
+    pub l2_penalty: f64,
+    /// Additional cycles for an access served from L3.
+    pub l3_penalty: f64,
+    /// Additional cycles for an access served from DRAM.
+    pub mem_penalty: f64,
+    /// Additional cycles for a dTLB miss (page walk, partially overlapped).
+    pub tlb_penalty: f64,
+}
+
+impl TimingModel {
+    /// Penalties loosely modelled on Skylake-SP class hardware.
+    pub fn skylake_like() -> Self {
+        TimingModel {
+            base_cpi: 0.5,
+            l2_penalty: 10.0,
+            l3_penalty: 35.0,
+            mem_penalty: 180.0,
+            tlb_penalty: 25.0,
+        }
+    }
+
+    /// Total simulated cycles for a run that retired `instructions` and
+    /// produced the given access statistics.
+    pub fn cycles(&self, instructions: u64, stats: &AccessStats) -> f64 {
+        // An access that missed all the way to DRAM pays the *deepest*
+        // penalty only (the level penalties are already cumulative averages).
+        let l2_served = stats.l1_misses - stats.l2_misses;
+        let l3_served = stats.l2_misses - stats.l3_misses;
+        let mem_served = stats.l3_misses;
+        instructions as f64 * self.base_cpi
+            + l2_served as f64 * self.l2_penalty
+            + l3_served as f64 * self.l3_penalty
+            + mem_served as f64 * self.mem_penalty
+            + stats.tlb_misses as f64 * self.tlb_penalty
+    }
+
+    /// Speedup of `optimised` over `baseline` as a fraction
+    /// (`0.28` = "28% speedup", matching the paper's Figs. 14/15 axis).
+    pub fn speedup(baseline_cycles: f64, optimised_cycles: f64) -> f64 {
+        if optimised_cycles <= 0.0 {
+            return 0.0;
+        }
+        baseline_cycles / optimised_cycles - 1.0
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self::skylake_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(l1m: u64, l2m: u64, l3m: u64, tlbm: u64) -> AccessStats {
+        AccessStats {
+            l1_hits: 1000,
+            l1_misses: l1m,
+            l2_misses: l2m,
+            l3_misses: l3m,
+            tlb_misses: tlbm,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    #[test]
+    fn all_hits_costs_base_cpi_only() {
+        let t = TimingModel::skylake_like();
+        let c = t.cycles(1000, &stats(0, 0, 0, 0));
+        assert_eq!(c, 500.0);
+    }
+
+    #[test]
+    fn deeper_misses_cost_more() {
+        let t = TimingModel::skylake_like();
+        let c_l2 = t.cycles(1000, &stats(10, 0, 0, 0));
+        let c_l3 = t.cycles(1000, &stats(10, 10, 0, 0));
+        let c_mem = t.cycles(1000, &stats(10, 10, 10, 0));
+        assert!(c_l2 < c_l3 && c_l3 < c_mem);
+    }
+
+    #[test]
+    fn penalties_are_exclusive_per_level() {
+        let t = TimingModel {
+            base_cpi: 0.0,
+            l2_penalty: 1.0,
+            l3_penalty: 10.0,
+            mem_penalty: 100.0,
+            tlb_penalty: 0.0,
+        };
+        // 5 misses served by L2, 3 by L3, 2 by memory.
+        let c = t.cycles(0, &stats(10, 5, 2, 0));
+        assert_eq!(c, 5.0 * 1.0 + 3.0 * 10.0 + 2.0 * 100.0);
+    }
+
+    #[test]
+    fn speedup_sign_convention() {
+        assert!((TimingModel::speedup(128.0, 100.0) - 0.28).abs() < 1e-12);
+        assert!(TimingModel::speedup(100.0, 128.0) < 0.0);
+        assert_eq!(TimingModel::speedup(100.0, 100.0), 0.0);
+    }
+}

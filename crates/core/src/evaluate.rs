@@ -1,0 +1,298 @@
+//! The §5 evaluation methodology for a single workload: profile on the
+//! *train* input, measure on the *ref* input, across all compared
+//! configurations.
+
+use crate::measure::{measure, Measurement, MeasureConfig};
+use crate::pipeline::{Halo, HaloConfig, Optimised, PipelineError};
+use halo_hds::{analyze, HdsConfig, HdsResult};
+use halo_mem::{
+    BoundaryTagAllocator, FragReport, GroupAllocStats, HaloGroupAllocator,
+    RandomGroupAllocator, SizeClassAllocator,
+};
+use halo_profile::TraceCollector;
+use halo_vm::{Engine, Program};
+
+/// What to run and with which knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalConfig {
+    /// HALO pipeline configuration.
+    pub halo: HaloConfig,
+    /// Hot-data-streams configuration.
+    pub hds: HdsConfig,
+    /// Measurement-run configuration (the *ref* seed lives here).
+    pub measure: MeasureConfig,
+    /// Also measure the ptmalloc2-style baseline (§5.1 comparison).
+    pub with_ptmalloc: bool,
+    /// Also measure the random four-pool allocator (Fig. 15).
+    pub with_random: bool,
+}
+
+/// One configuration's measurement plus technique-specific extras.
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// The measured execution.
+    pub measurement: Measurement,
+    /// Fragmentation of grouped data (HALO and HDS configurations).
+    pub frag: Option<FragReport>,
+    /// Group-allocator event counters (HALO and HDS configurations).
+    pub alloc_stats: Option<GroupAllocStats>,
+}
+
+/// The full §5 result for one workload.
+#[derive(Debug)]
+pub struct EvalResult {
+    /// Workload name.
+    pub name: String,
+    /// Unmodified binary under the jemalloc-style baseline.
+    pub baseline: ConfigResult,
+    /// Rewritten binary under the synthesised allocator.
+    pub halo: ConfigResult,
+    /// Unmodified binary under the hot-data-streams allocator.
+    pub hds: ConfigResult,
+    /// Unmodified binary under the random four-pool allocator (Fig. 15).
+    pub random: Option<ConfigResult>,
+    /// Unmodified binary under the ptmalloc-style baseline (§5.1).
+    pub ptmalloc: Option<ConfigResult>,
+    /// The HALO pipeline artefacts (groups, selectors, rewrite report).
+    pub optimised: Optimised,
+    /// The hot-data-streams analysis artefacts (stream counts etc.).
+    pub hds_analysis: HdsResult,
+}
+
+impl EvalResult {
+    /// Fig. 13 row: L1D miss reduction (fractions) for (HDS, HALO).
+    pub fn miss_reduction_row(&self) -> (f64, f64) {
+        (
+            self.hds.measurement.miss_reduction_vs(&self.baseline.measurement),
+            self.halo.measurement.miss_reduction_vs(&self.baseline.measurement),
+        )
+    }
+
+    /// Fig. 14 row: speedup (fractions) for (HDS, HALO).
+    pub fn speedup_row(&self) -> (f64, f64) {
+        (
+            self.hds.measurement.speedup_vs(&self.baseline.measurement),
+            self.halo.measurement.speedup_vs(&self.baseline.measurement),
+        )
+    }
+}
+
+/// Run the full methodology for one workload program.
+///
+/// `train_seed` drives the profiling runs (the paper's *test/train*
+/// inputs); the measurement seed in `config.measure` drives the *ref*
+/// runs. All runs are deterministic, standing in for the paper's
+/// 11-trial medians (see DESIGN.md).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if any execution traps.
+pub fn evaluate(
+    program: &Program,
+    name: &str,
+    train_seed: u64,
+    config: &EvalConfig,
+) -> Result<EvalResult, PipelineError> {
+    evaluate_with_arg(program, name, train_seed, 0, config)
+}
+
+/// Like [`evaluate`], passing a scale argument to the entry function for
+/// the profiling (train) runs. The measurement (ref) argument lives in
+/// `config.measure.entry_arg`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if any execution traps.
+pub fn evaluate_with_arg(
+    program: &Program,
+    name: &str,
+    train_seed: u64,
+    train_arg: i64,
+    config: &EvalConfig,
+) -> Result<EvalResult, PipelineError> {
+    // --- HALO pipeline on the train input.
+    let halo = Halo::new(config.halo);
+    let optimised = halo.optimise_with_arg(program, train_seed, train_arg)?;
+
+    // --- Hot-data-streams analysis on the train input.
+    let mut collector = TraceCollector::new();
+    {
+        let mut alloc = SizeClassAllocator::new();
+        Engine::new(program)
+            .with_seed(train_seed)
+            .with_entry_arg(train_arg)
+            .with_limits(config.halo.limits)
+            .run(&mut alloc, &mut collector)?;
+    }
+    let trace = collector.finish();
+    let hds_analysis = analyze(&trace, &config.hds);
+
+    // --- Measurement runs on the ref input.
+    let baseline = {
+        let mut alloc = SizeClassAllocator::new();
+        let m = measure(program, &mut alloc, &config.measure)?;
+        ConfigResult { measurement: m, frag: None, alloc_stats: None }
+    };
+
+    let halo_result = {
+        let mut alloc = halo.make_allocator(&optimised);
+        let m = measure(&optimised.program, &mut alloc, &config.measure)?;
+        ConfigResult {
+            measurement: m,
+            frag: Some(alloc.frag_report()),
+            alloc_stats: Some(alloc.stats()),
+        }
+    };
+
+    let hds_result = {
+        let mut alloc = HaloGroupAllocator::with_site_groups(
+            config.halo.alloc,
+            hds_analysis.site_map.clone(),
+        );
+        let m = measure(program, &mut alloc, &config.measure)?;
+        ConfigResult {
+            measurement: m,
+            frag: Some(alloc.frag_report()),
+            alloc_stats: Some(alloc.stats()),
+        }
+    };
+
+    let random = if config.with_random {
+        let mut alloc = RandomGroupAllocator::new(config.measure.seed ^ 0x5eed);
+        let m = measure(program, &mut alloc, &config.measure)?;
+        Some(ConfigResult { measurement: m, frag: None, alloc_stats: None })
+    } else {
+        None
+    };
+
+    let ptmalloc = if config.with_ptmalloc {
+        let mut alloc = BoundaryTagAllocator::new();
+        let m = measure(program, &mut alloc, &config.measure)?;
+        Some(ConfigResult { measurement: m, frag: None, alloc_stats: None })
+    } else {
+        None
+    };
+
+    Ok(EvalResult {
+        name: name.to_string(),
+        baseline,
+        halo: halo_result,
+        hds: hds_result,
+        random,
+        ptmalloc,
+        optimised,
+        hds_analysis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_vm::{Cond, ProgramBuilder, Reg, Width};
+
+    fn r(n: u8) -> Reg {
+        Reg(n)
+    }
+
+    /// A/B hot interleaved with cold C — distinct call sites, so both HALO
+    /// and HDS have material to work with.
+    fn workload() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mk_a = pb.declare("mk_a");
+        let mk_b = pb.declare("mk_b");
+        let mk_c = pb.declare("mk_c");
+        for f in [mk_a, mk_b, mk_c] {
+            let mut fb = pb.define(f);
+            fb.imm(r(0), 24);
+            fb.malloc(r(0), r(1));
+            fb.ret(Some(r(1)));
+            fb.finish();
+        }
+        let mut m = pb.function("main");
+        m.imm(r(9), 0);
+        m.imm(r(10), 0);
+        m.imm(r(11), 256);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, r(10), r(11), done);
+        m.call(mk_a, &[], Some(r(1)));
+        m.store(r(9), r(1), 0, Width::W8);
+        m.mov(r(9), r(1));
+        m.call(mk_b, &[], Some(r(2)));
+        m.store(r(9), r(2), 0, Width::W8);
+        m.mov(r(9), r(2));
+        m.call(mk_c, &[], Some(r(3)));
+        m.store(r(10), r(3), 8, Width::W8);
+        m.add_imm(r(10), r(10), 1);
+        m.jump(top);
+        m.bind(done);
+        m.imm(r(12), 0);
+        m.imm(r(14), 40);
+        let sweep = m.label();
+        let sdone = m.label();
+        m.bind(sweep);
+        m.branch(Cond::Ge, r(12), r(14), sdone);
+        m.mov(r(6), r(9));
+        let walk = m.label();
+        let wdone = m.label();
+        m.bind(walk);
+        m.branch(Cond::Eq, r(6), r(13), wdone);
+        m.load(r(7), r(6), 8, Width::W8);
+        m.load(r(6), r(6), 0, Width::W8);
+        m.jump(walk);
+        m.bind(wdone);
+        m.add_imm(r(12), r(12), 1);
+        m.jump(sweep);
+        m.bind(sdone);
+        m.ret(None);
+        let main = m.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn evaluation_improves_the_motivating_workload() {
+        let p = workload();
+        let cfg = EvalConfig {
+            halo: HaloConfig {
+                grouping: halo_graph::GroupingParams { min_weight: 2, ..Default::default() },
+                ..Default::default()
+            },
+            with_random: true,
+            with_ptmalloc: true,
+            ..Default::default()
+        };
+        let result = evaluate(&p, "fig2", 1, &cfg).expect("evaluation runs");
+        let (hds_mr, halo_mr) = result.miss_reduction_row();
+        let (_, halo_su) = result.speedup_row();
+        // HALO must reduce misses and not meaningfully slow the program
+        // down on the motivating pattern (at this tiny scale the two added
+        // instrumentation instructions can eat the cycle savings).
+        assert!(halo_mr > 0.05, "HALO miss reduction {halo_mr}");
+        assert!(halo_su > -0.01, "HALO speedup {halo_su}");
+        // HDS with distinct immediate call sites also gets improvement.
+        assert!(hds_mr > 0.0, "HDS miss reduction {hds_mr}");
+        // Extras are present.
+        assert!(result.random.is_some() && result.ptmalloc.is_some());
+        assert!(result.halo.frag.is_some());
+        assert!(result.optimised.rewrite.sites_instrumented > 0);
+        assert!(result.hds_analysis.stats.hot_streams > 0);
+    }
+
+    #[test]
+    fn jemalloc_baseline_beats_ptmalloc_on_misses() {
+        // The §5.1 claim, at workload scale: the size-class baseline
+        // produces no more misses than the boundary-tag allocator with its
+        // inline headers.
+        let p = workload();
+        let cfg = EvalConfig { with_ptmalloc: true, ..Default::default() };
+        let result = evaluate(&p, "fig2", 1, &cfg).expect("runs");
+        let pt = result.ptmalloc.expect("requested");
+        assert!(
+            result.baseline.measurement.stats.l1_misses <= pt.measurement.stats.l1_misses,
+            "jemalloc {} vs ptmalloc {}",
+            result.baseline.measurement.stats.l1_misses,
+            pt.measurement.stats.l1_misses
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Pipeline orchestration: Fig. 4 end to end.
+
+use halo_graph::{group, Group, GroupingParams};
+use halo_ident::{contexts_from_profile, identify, Identification};
+use halo_mem::{GroupAllocConfig, HaloGroupAllocator, SizeClassAllocator};
+use halo_profile::{Profile, ProfileConfig, Profiler};
+use halo_rewrite::{instrument, RewriteReport};
+use halo_vm::{Engine, EngineLimits, Program, VmError};
+
+/// Every tunable of the optimisation pipeline, grouped by stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HaloConfig {
+    /// Profiling-stage parameters (affinity distance etc.).
+    pub profile: ProfileConfig,
+    /// Grouping-stage parameters (merge tolerance etc.).
+    pub grouping: GroupingParams,
+    /// Synthesised-allocator parameters (chunk size etc.).
+    pub alloc: GroupAllocConfig,
+    /// Limits for the profiling run.
+    pub limits: EngineLimits,
+}
+
+/// Why the pipeline failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The profiling (or any later verification) execution trapped.
+    Vm(VmError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Vm(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<VmError> for PipelineError {
+    fn from(e: VmError) -> Self {
+        PipelineError::Vm(e)
+    }
+}
+
+/// Everything the pipeline produces for one target binary.
+#[derive(Debug)]
+pub struct Optimised {
+    /// The rewritten (instrumented) binary.
+    pub program: Program,
+    /// The profiling result it was derived from.
+    pub profile: Profile,
+    /// The allocation-context groups.
+    pub groups: Vec<Group>,
+    /// Selectors, monitored sites, and the runtime table.
+    pub ident: Identification,
+    /// Rewriting statistics.
+    pub rewrite: RewriteReport,
+}
+
+/// The HALO optimiser: configure once, apply to binaries.
+#[derive(Debug, Clone, Default)]
+pub struct Halo {
+    config: HaloConfig,
+}
+
+impl Halo {
+    /// Create a pipeline with the given configuration.
+    pub fn new(config: HaloConfig) -> Self {
+        Halo { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HaloConfig {
+        &self.config
+    }
+
+    /// Profile `program` (one run with `train_seed`) and return the raw
+    /// profile — the first pipeline stage alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Vm`] if the profiling run traps.
+    pub fn profile(&self, program: &Program, train_seed: u64) -> Result<Profile, PipelineError> {
+        self.profile_with_arg(program, train_seed, 0)
+    }
+
+    /// Like [`Halo::profile`], passing a scale argument to the entry
+    /// function (the *train* input size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Vm`] if the profiling run traps.
+    pub fn profile_with_arg(
+        &self,
+        program: &Program,
+        train_seed: u64,
+        train_arg: i64,
+    ) -> Result<Profile, PipelineError> {
+        let mut profiler = Profiler::new(program, self.config.profile);
+        // Profiling observes the program under the default allocator, as
+        // the paper's Pin tool does.
+        let mut alloc = SizeClassAllocator::new();
+        Engine::new(program)
+            .with_seed(train_seed)
+            .with_entry_arg(train_arg)
+            .with_limits(self.config.limits)
+            .run(&mut alloc, &mut profiler)?;
+        Ok(profiler.finish())
+    }
+
+    /// Run the whole pipeline: profile → group → identify → rewrite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Vm`] if the profiling run traps.
+    pub fn optimise(&self, program: &Program, train_seed: u64) -> Result<Optimised, PipelineError> {
+        self.optimise_with_arg(program, train_seed, 0)
+    }
+
+    /// Like [`Halo::optimise`], passing a scale argument to the entry
+    /// function for the profiling run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Vm`] if the profiling run traps.
+    pub fn optimise_with_arg(
+        &self,
+        program: &Program,
+        train_seed: u64,
+        train_arg: i64,
+    ) -> Result<Optimised, PipelineError> {
+        let profile = self.profile_with_arg(program, train_seed, train_arg)?;
+        let groups = group(&profile.graph, &self.config.grouping);
+        let contexts = contexts_from_profile(&profile);
+        let ident = identify(&groups, &contexts);
+        let (rewritten, rewrite) = instrument(program, &ident.site_bits);
+        Ok(Optimised { program: rewritten, profile, groups, ident, rewrite })
+    }
+
+    /// Synthesise the specialised allocator for an optimisation result
+    /// (§4.4) — link this against the rewritten binary at "runtime".
+    pub fn make_allocator(&self, optimised: &Optimised) -> HaloGroupAllocator {
+        HaloGroupAllocator::new(self.config.alloc, optimised.ident.table.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_vm::{Cond, ProgramBuilder, Reg, Width};
+
+    fn r(n: u8) -> Reg {
+        Reg(n)
+    }
+
+    /// Fig. 2 at small scale: A/B hot and interleaved with cold C.
+    fn fig2_program(rounds: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let create = pb.declare("create");
+        let mut m = pb.function("main");
+        m.imm(r(9), 0); // list head
+        m.imm(r(10), 0);
+        m.imm(r(11), rounds);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, r(10), r(11), done);
+        m.call(create, &[], Some(r(1))); // context A
+        m.store(r(9), r(1), 0, Width::W8);
+        m.mov(r(9), r(1));
+        m.call(create, &[], Some(r(2))); // context B
+        m.store(r(9), r(2), 0, Width::W8);
+        m.mov(r(9), r(2));
+        m.call(create, &[], Some(r(3))); // context C (touched once)
+        m.store(r(10), r(3), 8, Width::W8);
+        m.add_imm(r(10), r(10), 1);
+        m.jump(top);
+        m.bind(done);
+        m.imm(r(12), 0);
+        let sweep = m.label();
+        let sdone = m.label();
+        m.bind(sweep);
+        m.branch(Cond::Ge, r(12), r(11), sdone);
+        m.mov(r(6), r(9));
+        let walk = m.label();
+        let wdone = m.label();
+        m.bind(walk);
+        m.branch(Cond::Eq, r(6), r(13), wdone);
+        m.load(r(7), r(6), 8, Width::W8);
+        m.load(r(6), r(6), 0, Width::W8);
+        m.jump(walk);
+        m.bind(wdone);
+        m.add_imm(r(12), r(12), 1);
+        m.jump(sweep);
+        m.bind(sdone);
+        m.ret(None);
+        let main = m.finish();
+        let mut f = pb.define(create);
+        f.imm(r(0), 32);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        f.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn pipeline_groups_the_hot_pair() {
+        let p = fig2_program(64);
+        let halo = Halo::new(HaloConfig {
+            grouping: GroupingParams { min_weight: 2, ..Default::default() },
+            ..Default::default()
+        });
+        let opt = halo.optimise(&p, 7).expect("pipeline runs");
+        assert!(!opt.groups.is_empty(), "A and B should form a group");
+        // The rewritten binary grew by instrumentation.
+        assert!(opt.rewrite.sites_instrumented > 0);
+        assert!(opt.program.code_size() > p.code_size());
+        // Monitored sites are few — "only a small handful of call sites".
+        assert!(opt.ident.site_bits.len() <= 4);
+    }
+
+    #[test]
+    fn synthesised_allocator_groups_at_runtime() {
+        let p = fig2_program(64);
+        let halo = Halo::new(HaloConfig {
+            grouping: GroupingParams { min_weight: 2, ..Default::default() },
+            ..Default::default()
+        });
+        let opt = halo.optimise(&p, 7).expect("pipeline runs");
+        let mut alloc = halo.make_allocator(&opt);
+        let mut monitor = halo_vm::NullMonitor;
+        Engine::new(&opt.program)
+            .with_seed(9)
+            .run(&mut alloc, &mut monitor)
+            .expect("optimised binary runs");
+        let stats = alloc.stats();
+        assert!(stats.grouped_allocs > 0, "grouped allocations happened");
+        // C is ungrouped: some allocations fell back.
+        assert!(stats.fallback_allocs > 0, "cold context falls back");
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let p = fig2_program(32);
+        let halo = Halo::new(HaloConfig::default());
+        let a = halo.optimise(&p, 3).expect("runs");
+        let b = halo.optimise(&p, 3).expect("runs");
+        assert_eq!(a.groups, b.groups);
+        assert_eq!(a.ident.site_bits, b.ident.site_bits);
+        assert_eq!(a.program.code_size(), b.program.code_size());
+    }
+
+    #[test]
+    fn programs_without_groups_pass_through() {
+        // A program with a single allocation and no affinity.
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main");
+        m.imm(r(0), 64);
+        m.malloc(r(0), r(1));
+        m.store(r(0), r(1), 0, Width::W8);
+        m.ret(None);
+        let main = m.finish();
+        let p = pb.finish(main);
+        let halo = Halo::new(HaloConfig::default());
+        let opt = halo.optimise(&p, 1).expect("runs");
+        assert!(opt.groups.is_empty());
+        assert_eq!(opt.program.code_size(), p.code_size(), "no instrumentation");
+        // The allocator degenerates to pure fallback.
+        let mut alloc = halo.make_allocator(&opt);
+        let mut monitor = halo_vm::NullMonitor;
+        Engine::new(&opt.program).run(&mut alloc, &mut monitor).expect("runs");
+        assert_eq!(alloc.stats().grouped_allocs, 0);
+    }
+
+    #[test]
+    fn profiling_failure_is_reported() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main");
+        let top = m.label();
+        m.bind(top);
+        m.jump(top);
+        m.ret(None);
+        let main = m.finish();
+        let p = pb.finish(main);
+        let halo = Halo::new(HaloConfig {
+            limits: EngineLimits { max_instructions: 1000, max_call_depth: 8 },
+            ..Default::default()
+        });
+        assert!(matches!(
+            halo.optimise(&p, 0),
+            Err(PipelineError::Vm(VmError::FuelExhausted))
+        ));
+    }
+}

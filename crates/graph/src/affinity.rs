@@ -1,0 +1,269 @@
+//! The pairwise affinity graph (§4.1).
+
+use std::collections::HashMap;
+
+/// Identifies a node (an allocation context) in an [`AffinityGraph`].
+///
+/// Ids are dense and stable: filtering cold nodes never renumbers the
+/// survivors, so profiler-side context tables can key off `NodeId` directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ctx#{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    accesses: u64,
+    alive: bool,
+}
+
+/// A weighted undirected multigraph-free graph over allocation contexts,
+/// with loop edges permitted (two *different* objects from the *same*
+/// context can be affinitive, which the score function must account for).
+#[derive(Debug, Clone, Default)]
+pub struct AffinityGraph {
+    nodes: Vec<NodeData>,
+    /// Canonicalised `(min, max)` endpoint pairs → weight.
+    edges: HashMap<(NodeId, NodeId), u64>,
+}
+
+impl AffinityGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node with an initial access count; returns its id.
+    pub fn add_node(&mut self, accesses: u64) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { accesses, alive: true });
+        id
+    }
+
+    /// Number of nodes ever added (alive and discarded).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate over the ids of alive nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Whether `n` is alive (not discarded by the cold-node filter).
+    pub fn is_alive(&self, n: NodeId) -> bool {
+        self.nodes.get(n.index()).is_some_and(|d| d.alive)
+    }
+
+    /// Access count recorded for `n`.
+    pub fn accesses(&self, n: NodeId) -> u64 {
+        self.nodes[n.index()].accesses
+    }
+
+    /// Add to a node's access count.
+    pub fn add_accesses(&mut self, n: NodeId, delta: u64) {
+        self.nodes[n.index()].accesses += delta;
+    }
+
+    /// Total accesses across alive nodes — the `graph.accesses` quantity of
+    /// the Fig. 6 group-weight threshold.
+    pub fn total_accesses(&self) -> u64 {
+        self.nodes.iter().filter(|n| n.alive).map(|n| n.accesses).sum()
+    }
+
+    #[inline]
+    fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Increment the weight of edge `(u, v)`; `u == v` records a loop.
+    pub fn add_edge_weight(&mut self, u: NodeId, v: NodeId, delta: u64) {
+        debug_assert!(self.is_alive(u) && self.is_alive(v));
+        *self.edges.entry(Self::key(u, v)).or_insert(0) += delta;
+    }
+
+    /// Current weight of edge `(u, v)` (0 when absent).
+    pub fn weight(&self, u: NodeId, v: NodeId) -> u64 {
+        self.edges.get(&Self::key(u, v)).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(u, v, weight)` for every edge with positive weight
+    /// between alive endpoints. Loops are included.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u64)> + '_ {
+        self.edges
+            .iter()
+            .filter(|(&(u, v), &w)| w > 0 && self.is_alive(u) && self.is_alive(v))
+            .map(|(&(u, v), &w)| (u, v, w))
+    }
+
+    /// Number of positive-weight edges between alive endpoints.
+    pub fn edge_count(&self) -> usize {
+        self.edges().count()
+    }
+
+    /// Neighbours of `n` (excluding `n` itself) with edge weights.
+    pub fn neighbours(&self, n: NodeId) -> Vec<(NodeId, u64)> {
+        self.edges()
+            .filter_map(|(u, v, w)| {
+                if u == n && v != n {
+                    Some((v, w))
+                } else if v == n && u != n {
+                    Some((u, w))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Drop edges lighter than `min_weight` (the noise-reduction edge
+    /// thresholding of §4.2).
+    pub fn threshold_edges(&mut self, min_weight: u64) {
+        self.edges.retain(|_, w| *w >= min_weight);
+    }
+
+    /// Keep the hottest nodes covering `keep_fraction` of all accesses and
+    /// discard the rest along with their edges (§4.1: "after 90% of all
+    /// observed accesses have been accounted for, any remaining nodes are
+    /// discarded"). Returns the discarded ids.
+    pub fn discard_cold_nodes(&mut self, keep_fraction: f64) -> Vec<NodeId> {
+        let total = self.total_accesses();
+        let target = (total as f64 * keep_fraction).ceil() as u64;
+        let mut order: Vec<NodeId> = self.nodes().collect();
+        order.sort_by_key(|n| std::cmp::Reverse(self.accesses(*n)));
+        let mut covered = 0u64;
+        let mut discarded = Vec::new();
+        for n in order {
+            if covered >= target {
+                self.nodes[n.index()].alive = false;
+                discarded.push(n);
+            } else {
+                covered += self.accesses(n);
+            }
+        }
+        self.edges
+            .retain(|&(u, v), _| self.nodes[u.index()].alive && self.nodes[v.index()].alive);
+        discarded
+    }
+
+    /// Build an adjacency table over alive nodes: `adj[n]` lists
+    /// `(neighbour, weight)` pairs, excluding loops. Loops are returned
+    /// separately as `loops[n]`.
+    pub fn adjacency(&self) -> (Vec<Vec<(NodeId, u64)>>, Vec<u64>) {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        let mut loops = vec![0u64; self.nodes.len()];
+        for (u, v, w) in self.edges() {
+            if u == v {
+                loops[u.index()] = w;
+            } else {
+                adj[u.index()].push((v, w));
+                adj[v.index()].push((u, w));
+            }
+        }
+        (adj, loops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(10);
+        let b = g.add_node(20);
+        g.add_edge_weight(a, b, 5);
+        g.add_edge_weight(b, a, 3); // same undirected edge
+        assert_eq!(g.weight(a, b), 8);
+        assert_eq!(g.weight(b, a), 8);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.total_accesses(), 30);
+    }
+
+    #[test]
+    fn loops_are_edges_too() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(10);
+        g.add_edge_weight(a, a, 7);
+        assert_eq!(g.weight(a, a), 7);
+        let (adj, loops) = g.adjacency();
+        assert!(adj[0].is_empty());
+        assert_eq!(loops[0], 7);
+    }
+
+    #[test]
+    fn threshold_removes_light_edges() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        let c = g.add_node(1);
+        g.add_edge_weight(a, b, 10);
+        g.add_edge_weight(b, c, 2);
+        g.threshold_edges(5);
+        assert_eq!(g.weight(a, b), 10);
+        assert_eq!(g.weight(b, c), 0);
+    }
+
+    #[test]
+    fn discard_cold_nodes_keeps_90_percent_coverage() {
+        let mut g = AffinityGraph::new();
+        // 80 + 15 + 5 accesses; covering 90% needs the first two nodes,
+        // after which the remainder is discarded (§4.1).
+        let hot = g.add_node(80);
+        let warm = g.add_node(15);
+        let cold = g.add_node(5);
+        g.add_edge_weight(hot, cold, 4);
+        let dropped = g.discard_cold_nodes(0.9);
+        assert_eq!(dropped, vec![cold]);
+        assert!(g.is_alive(hot) && g.is_alive(warm) && !g.is_alive(cold));
+        // Edges to dead nodes disappear.
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.total_accesses(), 95);
+    }
+
+    #[test]
+    fn discard_keeps_everything_when_fraction_is_one() {
+        let mut g = AffinityGraph::new();
+        g.add_node(5);
+        g.add_node(5);
+        let dropped = g.discard_cold_nodes(1.0);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn neighbours_excludes_loops() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        g.add_edge_weight(a, a, 3);
+        g.add_edge_weight(a, b, 4);
+        let n = g.neighbours(a);
+        assert_eq!(n, vec![(b, 4)]);
+    }
+}

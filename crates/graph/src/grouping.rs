@@ -1,0 +1,265 @@
+//! The greedy context-grouping algorithm (paper Fig. 6).
+
+use crate::affinity::{AffinityGraph, NodeId};
+use crate::score::{merge_benefit, SubgraphScore};
+use std::collections::HashSet;
+
+/// Tunables of the Fig. 6 algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupingParams {
+    /// Edges lighter than this are dropped before grouping
+    /// (`args.min_weight`; the noise-reduction thresholding of §4.2).
+    pub min_weight: u64,
+    /// Maximum members per group (`args.max_group_members`).
+    pub max_group_members: usize,
+    /// Merge tolerance `T` (§4.2 finds ~5% to work well).
+    pub merge_tolerance: f64,
+    /// A finished group is kept only if its internal weight is at least
+    /// `total accesses × gthresh` (`args.gthresh`).
+    pub group_threshold: f64,
+    /// Optional cap on the number of groups emitted, hottest first. The
+    /// paper's artefact exposes this as `--max-groups` (roms uses 4).
+    pub max_groups: Option<usize>,
+}
+
+impl Default for GroupingParams {
+    fn default() -> Self {
+        GroupingParams {
+            min_weight: 8,
+            max_group_members: 16,
+            merge_tolerance: 0.05,
+            group_threshold: 0.0005,
+            max_groups: None,
+        }
+    }
+}
+
+/// A group of allocation contexts to be co-allocated from a shared pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Member contexts, in the order the algorithm accreted them.
+    pub members: Vec<NodeId>,
+    /// Σ of affinity-edge weights inside the group.
+    pub weight: u64,
+    /// Σ of member access counts — the "popularity" that orders selector
+    /// construction (Fig. 10) and runtime selector evaluation.
+    pub accesses: u64,
+}
+
+impl Group {
+    /// Whether `n` is a member.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.members.contains(&n)
+    }
+}
+
+/// Partition (a subset of) the graph's contexts into co-allocation groups —
+/// the paper's Fig. 6 algorithm, verbatim:
+///
+/// 1. drop edges below `min_weight`;
+/// 2. while any ungrouped edge remains, seed a group with the hotter
+///    endpoint of the strongest available edge;
+/// 3. grow it greedily by maximum [`merge_benefit`] while positive and the
+///    group is under `max_group_members`;
+/// 4. keep the group if its internal weight reaches
+///    `total_accesses × group_threshold`.
+///
+/// Returned groups are in formation order (strongest seed edge first).
+pub fn group(graph: &AffinityGraph, params: &GroupingParams) -> Vec<Group> {
+    let mut work = graph.clone();
+    work.threshold_edges(params.min_weight);
+    let total_accesses = work.total_accesses();
+    let min_group_weight = (total_accesses as f64 * params.group_threshold).ceil() as u64;
+
+    let mut avail: HashSet<NodeId> = work.nodes().collect();
+    let mut groups: Vec<Group> = Vec::new();
+
+    loop {
+        // Strongest edge in the subgraph induced by the available nodes.
+        // Loop edges participate: a context strongly affinitive with itself
+        // can seed (and remain) a singleton group.
+        let seed_edge = work
+            .edges()
+            .filter(|(u, v, _)| avail.contains(u) && avail.contains(v))
+            .max_by_key(|&(u, v, w)| (w, std::cmp::Reverse((u, v))));
+        let Some((u, v, _)) = seed_edge else { break };
+
+        // Seed with the hotter endpoint.
+        let seed = if work.accesses(u) >= work.accesses(v) { u } else { v };
+        let mut sub = SubgraphScore::singleton(&work, seed);
+        avail.remove(&seed);
+
+        // Grow by best positive merge benefit.
+        while sub.len() < params.max_group_members {
+            let mut best: Option<(NodeId, f64)> = None;
+            for &stranger in &avail {
+                let benefit = merge_benefit(&work, &sub, stranger, params.merge_tolerance);
+                if benefit > 0.0 && best.map_or(true, |(bn, bb)| {
+                    benefit > bb || (benefit == bb && stranger < bn)
+                }) {
+                    best = Some((stranger, benefit));
+                }
+            }
+            match best {
+                Some((node, _)) => {
+                    sub.push(&work, node);
+                    avail.remove(&node);
+                }
+                None => break,
+            }
+        }
+
+        if sub.weight_sum() >= min_group_weight && sub.weight_sum() > 0 {
+            let accesses = sub.members().iter().map(|&m| work.accesses(m)).sum();
+            groups.push(Group {
+                members: sub.members().to_vec(),
+                weight: sub.weight_sum(),
+                accesses,
+            });
+        }
+    }
+
+    if let Some(cap) = params.max_groups {
+        groups.sort_by_key(|g| std::cmp::Reverse(g.accesses));
+        groups.truncate(cap);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> GroupingParams {
+        GroupingParams {
+            min_weight: 1,
+            max_group_members: 16,
+            merge_tolerance: 0.05,
+            group_threshold: 0.0,
+            max_groups: None,
+        }
+    }
+
+    /// Two tight clusters joined by one weak edge — the canonical case the
+    /// algorithm must separate.
+    fn two_clusters() -> (AffinityGraph, Vec<NodeId>, Vec<NodeId>) {
+        let mut g = AffinityGraph::new();
+        let left: Vec<NodeId> = (0..3).map(|_| g.add_node(1000)).collect();
+        let right: Vec<NodeId> = (0..3).map(|_| g.add_node(900)).collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                g.add_edge_weight(left[i], left[j], 500);
+                g.add_edge_weight(right[i], right[j], 400);
+            }
+        }
+        g.add_edge_weight(left[2], right[0], 3); // weak bridge
+        (g, left, right)
+    }
+
+    #[test]
+    fn separates_two_tight_clusters() {
+        let (g, left, right) = two_clusters();
+        let groups = group(&g, &params());
+        assert_eq!(groups.len(), 2);
+        let find = |n: NodeId| groups.iter().position(|gr| gr.contains(n)).unwrap();
+        // All of `left` in one group, all of `right` in the other.
+        assert!(left.iter().all(|&n| find(n) == find(left[0])));
+        assert!(right.iter().all(|&n| find(n) == find(right[0])));
+        assert_ne!(find(left[0]), find(right[0]));
+    }
+
+    #[test]
+    fn groups_are_disjoint_and_within_bounds() {
+        let (g, _, _) = two_clusters();
+        let p = GroupingParams { max_group_members: 2, ..params() };
+        let groups = group(&g, &p);
+        let mut seen = HashSet::new();
+        for gr in &groups {
+            assert!(gr.members.len() <= 2);
+            for &m in &gr.members {
+                assert!(seen.insert(m), "node {m} appears in two groups");
+            }
+        }
+    }
+
+    #[test]
+    fn strongest_edge_seeds_first_group() {
+        let (g, left, _) = two_clusters();
+        let groups = group(&g, &params());
+        // Left cluster has the heavier edges, so it forms first.
+        assert!(groups[0].contains(left[0]));
+    }
+
+    #[test]
+    fn min_weight_filters_noise_edges() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(10);
+        let b = g.add_node(10);
+        g.add_edge_weight(a, b, 2);
+        let p = GroupingParams { min_weight: 5, ..params() };
+        assert!(group(&g, &p).is_empty());
+        let p2 = GroupingParams { min_weight: 1, ..params() };
+        assert_eq!(group(&g, &p2).len(), 1);
+    }
+
+    #[test]
+    fn group_threshold_discards_cold_groups() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(1_000_000); // a very hot, edgeless node
+        let b = g.add_node(10);
+        let c = g.add_node(10);
+        g.add_edge_weight(b, c, 4);
+        let _ = a;
+        // 4 < 0.001 × 1,000,020 → discarded.
+        let p = GroupingParams { group_threshold: 0.001, ..params() };
+        assert!(group(&g, &p).is_empty());
+    }
+
+    #[test]
+    fn loop_only_context_forms_singleton_group() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(100);
+        g.add_edge_weight(a, a, 50);
+        let groups = group(&g, &params());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members, vec![a]);
+        assert_eq!(groups[0].weight, 50);
+    }
+
+    #[test]
+    fn max_groups_keeps_hottest() {
+        let (g, left, right) = two_clusters();
+        let p = GroupingParams { max_groups: Some(1), ..params() };
+        let groups = group(&g, &p);
+        assert_eq!(groups.len(), 1);
+        // Left members are hotter (1000 each vs 900).
+        assert!(left.iter().all(|&n| groups[0].contains(n)));
+        assert!(right.iter().all(|&n| !groups[0].contains(n)));
+    }
+
+    #[test]
+    fn empty_graph_yields_no_groups() {
+        let g = AffinityGraph::new();
+        assert!(group(&g, &params()).is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_stay_ungrouped() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(100);
+        let b = g.add_node(100);
+        let c = g.add_node(5);
+        g.add_edge_weight(a, b, 10);
+        let groups = group(&g, &params());
+        assert_eq!(groups.len(), 1);
+        assert!(!groups[0].contains(c));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (g, _, _) = two_clusters();
+        let a = group(&g, &params());
+        let b = group(&g, &params());
+        assert_eq!(a, b);
+    }
+}

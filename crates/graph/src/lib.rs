@@ -1,0 +1,42 @@
+//! The affinity graph and context-grouping algorithms of HALO (§4.2).
+//!
+//! Nodes are allocation contexts (opaque [`NodeId`]s assigned by the
+//! profiler); edges are weighted by the number of contemporaneous accesses
+//! observed between objects of the two contexts. On top of the graph this
+//! crate implements:
+//!
+//! * the **score** function — a loop-aware variant of weighted graph
+//!   density (paper Fig. 7);
+//! * the **merge benefit** function with tolerance `T` (paper Fig. 8);
+//! * the **greedy grouping algorithm** (paper Fig. 6);
+//! * two alternative clusterers the paper compares against in prose
+//!   (greedy modularity maximisation and HCS via Stoer–Wagner min-cut),
+//!   used by the grouping ablation bench.
+//!
+//! # Example
+//!
+//! ```
+//! use halo_graph::{AffinityGraph, GroupingParams, group};
+//!
+//! let mut g = AffinityGraph::new();
+//! let a = g.add_node(1000);
+//! let b = g.add_node(900);
+//! let c = g.add_node(10);
+//! g.add_edge_weight(a, b, 500); // strongly related
+//! g.add_edge_weight(b, c, 1);   // noise
+//! let groups = group(&g, &GroupingParams::default());
+//! assert_eq!(groups.len(), 1);
+//! assert!(groups[0].members.contains(&a) && groups[0].members.contains(&b));
+//! ```
+
+mod affinity;
+mod alt;
+mod dot;
+mod grouping;
+mod score;
+
+pub use affinity::{AffinityGraph, NodeId};
+pub use alt::{hcs_clusters, modularity_clusters, stoer_wagner_min_cut};
+pub use dot::to_dot;
+pub use grouping::{group, Group, GroupingParams};
+pub use score::{merge_benefit, score_of_members, SubgraphScore};

@@ -1,0 +1,224 @@
+//! The group-quality score (paper Fig. 7) and merge benefit (Fig. 8).
+
+use crate::affinity::{AffinityGraph, NodeId};
+
+/// Incremental bookkeeping for the score of an induced subgraph.
+///
+/// The Fig. 7 score of `G = (V, E)` is
+///
+/// ```text
+/// s(G) = Σ w(u,v) / (|L| + |V|·(|V|−1)/2)
+/// ```
+///
+/// where the sum runs over edges of the induced subgraph and `L` is the set
+/// of positive-weight loop edges present in it. Growing a group one node at
+/// a time only needs the candidate's edges into the group, so the grouping
+/// algorithm keeps one of these structures per group and updates it in
+/// O(degree) per merge instead of recomputing from scratch.
+#[derive(Debug, Clone, Default)]
+pub struct SubgraphScore {
+    members: Vec<NodeId>,
+    /// Σ w(u,v) over all edges (including loops) inside the subgraph.
+    weight_sum: u64,
+    /// |L|: number of members with a positive loop edge.
+    loop_count: usize,
+}
+
+impl SubgraphScore {
+    /// Start with a single-node subgraph.
+    pub fn singleton(graph: &AffinityGraph, node: NodeId) -> Self {
+        let loop_w = graph.weight(node, node);
+        SubgraphScore {
+            members: vec![node],
+            weight_sum: loop_w,
+            loop_count: usize::from(loop_w > 0),
+        }
+    }
+
+    /// Current members.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Σ of edge weights inside the subgraph (the group weight checked
+    /// against the Fig. 6 threshold).
+    pub fn weight_sum(&self) -> u64 {
+        self.weight_sum
+    }
+
+    /// The Fig. 7 score. Empty or edge-free subgraphs score 0.
+    pub fn score(&self) -> f64 {
+        let v = self.members.len() as u64;
+        let denom = self.loop_count as u64 + v * v.saturating_sub(1) / 2;
+        if denom == 0 {
+            0.0
+        } else {
+            self.weight_sum as f64 / denom as f64
+        }
+    }
+
+    /// The score this subgraph would have after adding `candidate`,
+    /// without mutating it.
+    pub fn score_with(&self, graph: &AffinityGraph, candidate: NodeId) -> f64 {
+        let (w, l) = self.deltas_for(graph, candidate);
+        let v = (self.members.len() + 1) as u64;
+        let denom = (self.loop_count + l) as u64 + v * (v - 1) / 2;
+        if denom == 0 {
+            0.0
+        } else {
+            (self.weight_sum + w) as f64 / denom as f64
+        }
+    }
+
+    /// Add `candidate` to the subgraph.
+    pub fn push(&mut self, graph: &AffinityGraph, candidate: NodeId) {
+        let (w, l) = self.deltas_for(graph, candidate);
+        self.weight_sum += w;
+        self.loop_count += l;
+        self.members.push(candidate);
+    }
+
+    fn deltas_for(&self, graph: &AffinityGraph, candidate: NodeId) -> (u64, usize) {
+        let mut w = 0u64;
+        for &m in &self.members {
+            w += graph.weight(m, candidate);
+        }
+        let loop_w = graph.weight(candidate, candidate);
+        (w + loop_w, usize::from(loop_w > 0))
+    }
+}
+
+/// The Fig. 7 score of an arbitrary member set, computed from scratch.
+/// Primarily for tests and for scoring clusters produced by the alternative
+/// algorithms; the grouping loop uses [`SubgraphScore`] incrementally.
+pub fn score_of_members(graph: &AffinityGraph, members: &[NodeId]) -> f64 {
+    let mut s = SubgraphScore::default();
+    for &m in members {
+        s.push(graph, m);
+    }
+    s.score()
+}
+
+/// The Fig. 8 merge benefit of adding `candidate` to `group`:
+///
+/// ```text
+/// m(A, B) = s(G[A ∪ B]) − (1 − T)·max(s(G[A]), s(G[B]))
+/// ```
+///
+/// Positive only if the merged subgraph scores higher than either side in
+/// isolation, up to the tolerance `T` that deliberately permits fractionally
+/// score-lowering merges to encourage group formation (§4.2).
+pub fn merge_benefit(
+    graph: &AffinityGraph,
+    group: &SubgraphScore,
+    candidate: NodeId,
+    tolerance: f64,
+) -> f64 {
+    let sa = group.score();
+    let sb = SubgraphScore::singleton(graph, candidate).score();
+    let sc = group.score_with(graph, candidate);
+    sc - (1.0 - tolerance) * sa.max(sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (AffinityGraph, NodeId, NodeId, NodeId) {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(100);
+        let b = g.add_node(100);
+        let c = g.add_node(100);
+        g.add_edge_weight(a, b, 30);
+        g.add_edge_weight(b, c, 20);
+        g.add_edge_weight(a, c, 10);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn score_matches_figure7_formula() {
+        let (g, a, b, c) = triangle();
+        // Full triangle: (30+20+10) / (0 loops + 3·2/2) = 60/3 = 20.
+        assert_eq!(score_of_members(&g, &[a, b, c]), 20.0);
+        // Pair (a, b): 30 / 1 = 30.
+        assert_eq!(score_of_members(&g, &[a, b]), 30.0);
+        // Singleton without loop: denominator 0 → score 0.
+        assert_eq!(score_of_members(&g, &[a]), 0.0);
+    }
+
+    #[test]
+    fn loops_enter_both_numerator_and_denominator() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(10);
+        let b = g.add_node(10);
+        g.add_edge_weight(a, a, 12);
+        g.add_edge_weight(a, b, 6);
+        // {a}: 12 / (1 loop) = 12.
+        assert_eq!(score_of_members(&g, &[a]), 12.0);
+        // {a, b}: (12 + 6) / (1 loop + 1 pair) = 9.
+        assert_eq!(score_of_members(&g, &[a, b]), 9.0);
+    }
+
+    #[test]
+    fn incremental_matches_scratch() {
+        let (g, a, b, c) = triangle();
+        let mut inc = SubgraphScore::singleton(&g, a);
+        assert_eq!(inc.score_with(&g, b), score_of_members(&g, &[a, b]));
+        inc.push(&g, b);
+        assert_eq!(inc.score(), score_of_members(&g, &[a, b]));
+        assert_eq!(inc.score_with(&g, c), score_of_members(&g, &[a, b, c]));
+        inc.push(&g, c);
+        assert_eq!(inc.score(), score_of_members(&g, &[a, b, c]));
+        assert_eq!(inc.weight_sum(), 60);
+    }
+
+    #[test]
+    fn merge_benefit_positive_for_tight_candidates() {
+        let (g, a, b, _) = triangle();
+        let group = SubgraphScore::singleton(&g, a);
+        // s(A)=0, s(B)=0, s(A∪B)=30 → benefit 30.
+        assert_eq!(merge_benefit(&g, &group, b, 0.05), 30.0);
+    }
+
+    #[test]
+    fn merge_benefit_negative_for_weakly_connected_candidates() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(10);
+        let b = g.add_node(10);
+        let c = g.add_node(10);
+        g.add_edge_weight(a, b, 100);
+        g.add_edge_weight(b, c, 1);
+        let mut group = SubgraphScore::singleton(&g, a);
+        group.push(&g, b);
+        // Adding c: s = 101/3 ≈ 33.7 vs (1−T)·100 = 95 → negative.
+        assert!(merge_benefit(&g, &group, c, 0.05) < 0.0);
+    }
+
+    #[test]
+    fn tolerance_allows_fractionally_worse_merges() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(10);
+        let b = g.add_node(10);
+        let c = g.add_node(10);
+        // Perfect triangle of equal edges: adding c to {a,b} keeps score
+        // at w (s({a,b}) = w, s({a,b,c}) = 3w/3 = w). With T=0 the benefit
+        // is exactly 0 (not positive); any positive T makes it positive.
+        for (u, v) in [(a, b), (b, c), (a, c)] {
+            g.add_edge_weight(u, v, 50);
+        }
+        let mut group = SubgraphScore::singleton(&g, a);
+        group.push(&g, b);
+        assert!(merge_benefit(&g, &group, c, 0.0) <= 0.0);
+        assert!(merge_benefit(&g, &group, c, 0.05) > 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Co-allocation sets and weighted set packing (Chilimbi & Shaham, §3;
+//! Halldórsson, 1999).
+//!
+//! Each hot data stream suggests co-locating its objects. Because an object
+//! can only live in one place, the suggested sets must be *packed*: choose
+//! a disjoint subfamily maximising total projected benefit. The paper uses
+//! "an approximation algorithm to the weighted set packing problem"; the
+//! classic greedy from Halldórsson picks sets by benefit scaled by
+//! `1/√|S|`, which is what we implement.
+
+use crate::streams::Stream;
+use halo_profile::HeapTrace;
+use std::collections::HashSet;
+
+/// A candidate co-allocation set derived from one hot stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoallocationSet {
+    /// Distinct object ids from the stream.
+    pub objects: Vec<u32>,
+    /// Projected cache-miss reduction from co-locating them.
+    pub benefit: f64,
+}
+
+/// Build a co-allocation set per stream, evaluating "the projected cache
+/// miss reduction from the various object groupings suggested by each
+/// stream" (§2.2.3):
+///
+/// * scattered, each object occupies `⌈size/64⌉` lines of its own;
+/// * co-located, the stream's objects share `⌈Σ size/64⌉` lines — but the
+///   runtime policy pools *every* allocation from the objects' immediate
+///   call sites, so the packed extent is inflated by the sites' **dilution**
+///   (total bytes the sites allocate ÷ bytes of their hot-stream objects).
+///
+/// The dilution term is what rejects wrapper-site groupings: when one
+/// `pov_malloc`-style site allocates the whole heap, pooling it reproduces
+/// the original allocation-order layout and projects no gain (§3).
+pub fn coallocation_sets(streams: &[Stream], trace: &HeapTrace) -> Vec<CoallocationSet> {
+    // Per-site totals and per-site hot-object totals. An object is *hot*
+    // when it was accessed more than once: write-once records, labels and
+    // log strings (the §3 pollution) fail this bar, so a site whose
+    // allocation volume is dominated by such objects shows high dilution.
+    let mut site_bytes: std::collections::HashMap<halo_vm::CallSite, u64> =
+        std::collections::HashMap::new();
+    let mut hot_site_bytes: std::collections::HashMap<halo_vm::CallSite, u64> =
+        std::collections::HashMap::new();
+    for o in &trace.objects {
+        *site_bytes.entry(o.site).or_insert(0) += o.size.max(1);
+        if o.accesses >= 2 {
+            *hot_site_bytes.entry(o.site).or_insert(0) += o.size.max(1);
+        }
+    }
+
+    streams
+        .iter()
+        .filter_map(|s| {
+            let mut objects: Vec<u32> = Vec::new();
+            let mut seen = HashSet::new();
+            for &o in &s.symbols {
+                if seen.insert(o) {
+                    objects.push(o);
+                }
+            }
+            if objects.len() < 2 {
+                return None;
+            }
+            let total_size: u64 =
+                objects.iter().map(|&o| trace.objects[o as usize].size.max(1)).sum();
+            let lines_scattered: u64 = objects
+                .iter()
+                .map(|&o| trace.objects[o as usize].size.max(1).div_ceil(64))
+                .sum();
+            // Dilution over the set's sites.
+            let sites: HashSet<halo_vm::CallSite> =
+                objects.iter().map(|&o| trace.objects[o as usize].site).collect();
+            let alloc_total: u64 = sites.iter().map(|s| site_bytes[s]).sum();
+            let hot_total: u64 =
+                sites.iter().map(|s| hot_site_bytes.get(s).copied().unwrap_or(0)).sum();
+            if hot_total == 0 {
+                return None;
+            }
+            let dilution = (alloc_total as f64 / hot_total as f64).max(1.0);
+            let lines_packed = ((total_size as f64 * dilution) / 64.0).ceil().max(1.0);
+            let saved = lines_scattered as f64 - lines_packed;
+            (saved > 0.0).then(|| CoallocationSet {
+                objects,
+                benefit: saved * s.frequency as f64,
+            })
+        })
+        .collect()
+}
+
+/// Greedy weighted set packing: repeatedly take the set maximising
+/// `benefit / √|S|` among those disjoint from everything already chosen.
+/// Returns indices into `sets`.
+pub fn pack_sets(sets: &[CoallocationSet]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..sets.len()).collect();
+    let score = |i: usize| sets[i].benefit / (sets[i].objects.len() as f64).sqrt();
+    order.sort_by(|&a, &b| {
+        score(b).partial_cmp(&score(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let mut used: HashSet<u32> = HashSet::new();
+    let mut chosen = Vec::new();
+    for i in order {
+        if sets[i].objects.iter().any(|o| used.contains(o)) {
+            continue;
+        }
+        used.extend(sets[i].objects.iter().copied());
+        chosen.push(i);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_profile::TraceObject;
+    use halo_vm::{CallSite, FuncId};
+
+    fn trace_with_sizes(sizes: &[u64]) -> HeapTrace {
+        HeapTrace {
+            symbols: Vec::new(),
+            objects: sizes
+                .iter()
+                .map(|&size| TraceObject {
+                    site: CallSite::new(FuncId(0), 0),
+                    size,
+                    accesses: 5, // hot by default; tests override for cold
+                })
+                .collect(),
+        }
+    }
+
+    fn stream(symbols: &[u32], frequency: u64) -> Stream {
+        Stream { symbols: symbols.to_vec(), frequency, heat: symbols.len() as u64 * frequency }
+    }
+
+    #[test]
+    fn benefit_scales_with_frequency_and_packing_gain() {
+        let trace = trace_with_sizes(&[16, 16, 16, 16]);
+        let sets = coallocation_sets(
+            &[stream(&[0, 1, 2, 3], 10), stream(&[0, 1], 10)],
+            &trace,
+        );
+        // 4 objects × 16 B pack into one line: saves 3 lines × 10 = 30.
+        assert_eq!(sets[0].benefit, 30.0);
+        // 2 objects save 1 line × 10 = 10.
+        assert_eq!(sets[1].benefit, 10.0);
+    }
+
+    #[test]
+    fn streams_without_packing_gain_are_dropped() {
+        // Two 4 KiB objects cannot share lines: no benefit, no set.
+        let trace = trace_with_sizes(&[4096, 4096]);
+        let sets = coallocation_sets(&[stream(&[0, 1], 100)], &trace);
+        assert!(sets.is_empty());
+    }
+
+    #[test]
+    fn repeated_objects_in_stream_dedupe() {
+        let trace = trace_with_sizes(&[8, 8]);
+        let sets = coallocation_sets(&[stream(&[0, 1, 0, 1], 5)], &trace);
+        assert_eq!(sets[0].objects, vec![0, 1]);
+    }
+
+    #[test]
+    fn wrapper_site_dilution_rejects_whole_heap_groupings() {
+        // Ten objects from ONE wrapper site, only two of them hot
+        // (accessed more than once): pooling the site drags all ten
+        // objects' bytes into the pool, so the projected packed extent
+        // exceeds the scattered one.
+        let mut trace = trace_with_sizes(&[16; 10]);
+        for o in trace.objects.iter_mut().skip(2) {
+            o.accesses = 1; // write-once pollution
+        }
+        let sets = coallocation_sets(&[stream(&[0, 1], 50)], &trace);
+        assert!(sets.is_empty(), "diluted wrapper grouping must project no gain");
+        // Same stream, but the cold objects come from a *different* site:
+        // full benefit for the hot pair's dedicated sites.
+        let mut trace2 = trace_with_sizes(&[16; 10]);
+        for o in trace2.objects.iter_mut().skip(2) {
+            o.accesses = 1;
+            o.site = CallSite::new(FuncId(9), 9);
+        }
+        let sets2 = coallocation_sets(&[stream(&[0, 1], 50)], &trace2);
+        assert_eq!(sets2.len(), 1);
+        assert_eq!(sets2[0].benefit, 50.0);
+    }
+
+    #[test]
+    fn scattered_lines_count_per_object_spans() {
+        // A 96-byte object spans two lines scattered; packing five of them
+        // with four 16-byte cells saves real lines (the ammp shape).
+        let trace = trace_with_sizes(&[96, 16, 96, 16, 96]);
+        let sets = coallocation_sets(&[stream(&[0, 1, 2, 3, 4], 8)], &trace);
+        assert_eq!(sets.len(), 1);
+        // scattered = 2+1+2+1+2 = 8; packed = ceil(320/64) = 5 → saved 3.
+        assert_eq!(sets[0].benefit, 24.0);
+    }
+
+    #[test]
+    fn packing_chooses_disjoint_sets_by_scaled_benefit() {
+        let sets = vec![
+            CoallocationSet { objects: vec![1, 2], benefit: 10.0 },
+            CoallocationSet { objects: vec![2, 3], benefit: 9.0 },
+            CoallocationSet { objects: vec![4, 5], benefit: 1.0 },
+        ];
+        let chosen = pack_sets(&sets);
+        // Set 0 wins over overlapping set 1; set 2 is disjoint.
+        assert_eq!(chosen, vec![0, 2]);
+    }
+
+    #[test]
+    fn sqrt_scaling_prefers_dense_benefit() {
+        // A big set with benefit 10 (score 10/√100 = 1) loses to a pair
+        // with benefit 2 (score 2/√2 ≈ 1.41) that overlaps it.
+        let big: Vec<u32> = (0..100).collect();
+        let sets = vec![
+            CoallocationSet { objects: big, benefit: 10.0 },
+            CoallocationSet { objects: vec![0, 1], benefit: 2.0 },
+        ];
+        let chosen = pack_sets(&sets);
+        assert_eq!(chosen, vec![1]);
+    }
+
+    #[test]
+    fn empty_input_packs_to_nothing() {
+        assert!(pack_sets(&[]).is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! Group identification (§4.3, Fig. 10): distilling full-context groups
+//! down to "a small handful of call sites" monitorable at runtime.
+//!
+//! For each group, in descending popularity order, the algorithm builds a
+//! **selector** in disjunctive normal form: one conjunctive expression per
+//! member context, greedily accumulating the member's call sites that most
+//! reduce *conflicts* — other (not-yet-ignored) contexts whose chains also
+//! satisfy the expression. Sites lower in the stack are preferred on ties.
+//! The union of chosen sites becomes the monitored-site set, each assigned
+//! a bit in the shared group-state vector; the rewriter instruments exactly
+//! those sites and the allocator evaluates the resulting
+//! [`halo_mem::SelectorTable`] on every request.
+//!
+//! # Example
+//!
+//! ```
+//! use halo_graph::{AffinityGraph, GroupingParams, group};
+//! use halo_ident::identify;
+//!
+//! # use halo_vm::{CallSite, FuncId};
+//! # use halo_ident::ContextSummary;
+//! # let site = |f, pc| CallSite::new(FuncId(f), pc);
+//! // Two contexts in one group, one outside it.
+//! let contexts = vec![
+//!     ContextSummary { chain: vec![site(0, 1), site(1, 0)], accesses: 100 },
+//!     ContextSummary { chain: vec![site(0, 2), site(1, 0)], accesses: 90 },
+//!     ContextSummary { chain: vec![site(0, 3), site(1, 0)], accesses: 5 },
+//! ];
+//! let mut g = AffinityGraph::new();
+//! let a = g.add_node(100);
+//! let b = g.add_node(90);
+//! let _c = g.add_node(5);
+//! g.add_edge_weight(a, b, 50);
+//! let groups = group(&g, &GroupingParams { min_weight: 1, ..Default::default() });
+//! let ident = identify(&groups, &contexts);
+//! // The shared site fn#1+0 cannot distinguish; the outer sites can.
+//! assert_eq!(ident.monitored_sites().count(), 2);
+//! ```
+
+use halo_graph::{Group, NodeId};
+use halo_mem::{GroupSelector, SelectorTable};
+use halo_vm::CallSite;
+use std::collections::{HashMap, HashSet};
+
+/// The identification-relevant slice of a profiled context: its call-site
+/// chain (outermost first) and how hot it is.
+///
+/// Usually obtained from [`halo_profile::ContextInfo`] via
+/// [`contexts_from_profile`], but constructible directly for tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextSummary {
+    /// Call-site chain, outermost first, allocation site last.
+    pub chain: Vec<CallSite>,
+    /// Access count (popularity).
+    pub accesses: u64,
+}
+
+/// Convert profiler output into identification input. Context order (and
+/// thus [`NodeId`] indexing) is preserved; discarded contexts participate
+/// as conflict candidates but are never group members.
+pub fn contexts_from_profile(profile: &halo_profile::Profile) -> Vec<ContextSummary> {
+    profile
+        .contexts
+        .iter()
+        .map(|c| ContextSummary { chain: c.chain.clone(), accesses: c.accesses })
+        .collect()
+}
+
+/// A selector in symbolic (call-site) form, for reports and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSelector {
+    /// Index of the group in the *input* group slice.
+    pub group: usize,
+    /// One conjunction of call sites per group member.
+    pub conjunctions: Vec<Vec<CallSite>>,
+}
+
+impl SiteSelector {
+    /// Whether a context with `chain` satisfies this selector (some
+    /// conjunction is a subset of the chain).
+    pub fn matches_chain(&self, chain: &[CallSite]) -> bool {
+        let set: HashSet<CallSite> = chain.iter().copied().collect();
+        self.conjunctions.iter().any(|c| c.iter().all(|s| set.contains(s)))
+    }
+}
+
+/// The output of identification.
+#[derive(Debug, Clone)]
+pub struct Identification {
+    /// Monitored call sites and their assigned group-state bits.
+    pub site_bits: HashMap<CallSite, u16>,
+    /// Symbolic selectors in evaluation (popularity) order.
+    pub selectors: Vec<SiteSelector>,
+    /// The runtime selector table for the specialised allocator.
+    pub table: SelectorTable,
+}
+
+impl Identification {
+    /// The monitored call sites (the rewriter instruments exactly these).
+    pub fn monitored_sites(&self) -> impl Iterator<Item = CallSite> + '_ {
+        self.site_bits.keys().copied()
+    }
+
+    /// An identification with no groups (used when grouping found nothing).
+    pub fn empty() -> Self {
+        Identification {
+            site_bits: HashMap::new(),
+            selectors: Vec::new(),
+            table: SelectorTable::empty(),
+        }
+    }
+}
+
+/// Run the Fig. 10 algorithm.
+///
+/// `groups` come from [`halo_graph::group`]; their member [`NodeId`]s index
+/// into `contexts`. Every context — grouped or not, filtered or not — acts
+/// as a conflict candidate, because every context allocates at runtime.
+pub fn identify(groups: &[Group], contexts: &[ContextSummary]) -> Identification {
+    // Group membership per context.
+    let mut member_of: HashMap<NodeId, usize> = HashMap::new();
+    for (gi, g) in groups.iter().enumerate() {
+        for &m in &g.members {
+            member_of.insert(m, gi);
+        }
+    }
+    let chain_sets: Vec<HashSet<CallSite>> =
+        contexts.iter().map(|c| c.chain.iter().copied().collect()).collect();
+
+    // Process groups most popular first; runtime evaluation uses the same
+    // order, so a context matching several selectors goes to the hottest.
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by_key(|&gi| std::cmp::Reverse((groups[gi].accesses, std::cmp::Reverse(gi))));
+
+    let mut ignore: HashSet<usize> = HashSet::new();
+    let mut selectors: Vec<SiteSelector> = Vec::new();
+
+    for &gi in &order {
+        ignore.insert(gi);
+        let mut conjunctions: Vec<Vec<CallSite>> = Vec::new();
+        for &member in &groups[gi].members {
+            let member_chain = &contexts[member.index()].chain;
+            let mut expr: Vec<CallSite> = Vec::new();
+            let mut conflicts = usize::MAX;
+            loop {
+                // Contexts that still satisfy the expression and belong to
+                // no already-identified group.
+                let candidates: Vec<usize> = (0..contexts.len())
+                    .filter(|&ci| {
+                        member_of
+                            .get(&NodeId(ci as u32))
+                            .is_none_or(|g| !ignore.contains(g))
+                    })
+                    .filter(|&ci| expr.iter().all(|s| chain_sets[ci].contains(s)))
+                    .collect();
+                // For each site of the member chain, how many candidates
+                // would remain; prefer fewest, then lowest in the stack.
+                let mut best: Option<(usize, usize, CallSite)> = None; // (m, idx, site)
+                for (idx, &site) in member_chain.iter().enumerate() {
+                    if expr.contains(&site) {
+                        continue;
+                    }
+                    let m = candidates
+                        .iter()
+                        .filter(|&&ci| chain_sets[ci].contains(&site))
+                        .count();
+                    if best.is_none_or(|(bm, bi, _)| m < bm || (m == bm && idx < bi)) {
+                        best = Some((m, idx, site));
+                    }
+                }
+                let Some((m, _, site)) = best else { break };
+                // "Add the new constraint only if it reduces conflicts."
+                if m >= conflicts {
+                    break;
+                }
+                expr.push(site);
+                conflicts = m;
+                if conflicts == 0 {
+                    break;
+                }
+            }
+            conjunctions.push(expr);
+        }
+        selectors.push(SiteSelector { group: gi, conjunctions });
+    }
+
+    // Assign bits to the union of chosen sites, in first-use order.
+    let mut site_bits: HashMap<CallSite, u16> = HashMap::new();
+    for sel in &selectors {
+        for conj in &sel.conjunctions {
+            for &site in conj {
+                let next = site_bits.len() as u16;
+                site_bits.entry(site).or_insert(next);
+            }
+        }
+    }
+
+    let runtime = selectors
+        .iter()
+        .map(|s| GroupSelector {
+            group: s.group,
+            conjunctions: s
+                .conjunctions
+                .iter()
+                .map(|c| c.iter().map(|site| site_bits[site]).collect())
+                .collect(),
+        })
+        .collect();
+    let num_bits = site_bits.len() as u16;
+    Identification { site_bits, selectors, table: SelectorTable::new(runtime, num_bits) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_graph::{AffinityGraph, GroupingParams};
+    use halo_vm::FuncId;
+
+    fn site(f: u32, pc: u32) -> CallSite {
+        CallSite::new(FuncId(f), pc)
+    }
+
+    fn ctx(chain: Vec<CallSite>, accesses: u64) -> ContextSummary {
+        ContextSummary { chain, accesses }
+    }
+
+    /// Build groups straight from member lists (bypassing the clusterer).
+    fn mk_groups(members: &[&[u32]], contexts: &[ContextSummary]) -> Vec<Group> {
+        members
+            .iter()
+            .map(|ms| Group {
+                members: ms.iter().map(|&m| NodeId(m)).collect(),
+                weight: 1,
+                accesses: ms.iter().map(|&m| contexts[m as usize].accesses).sum(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unique_site_needs_single_conjunct() {
+        let contexts = vec![
+            ctx(vec![site(0, 1), site(1, 5)], 100),
+            ctx(vec![site(0, 2), site(2, 5)], 50),
+        ];
+        let groups = mk_groups(&[&[0]], &contexts);
+        let ident = identify(&groups, &contexts);
+        // Site fn#0+1 alone distinguishes member 0 from context 1.
+        assert_eq!(ident.selectors[0].conjunctions, vec![vec![site(0, 1)]]);
+        assert_eq!(ident.site_bits.len(), 1);
+    }
+
+    #[test]
+    fn wrapper_site_is_useless_outer_site_chosen() {
+        // The povray situation: both contexts end at the same wrapper-
+        // internal malloc site; only the outer call sites differ.
+        let wrapper_malloc = site(9, 3);
+        let contexts = vec![
+            ctx(vec![site(0, 1), wrapper_malloc], 100), // grouped
+            ctx(vec![site(0, 2), wrapper_malloc], 80),  // conflict
+        ];
+        let groups = mk_groups(&[&[0]], &contexts);
+        let ident = identify(&groups, &contexts);
+        let conj = &ident.selectors[0].conjunctions[0];
+        assert!(conj.contains(&site(0, 1)), "outer site distinguishes");
+        assert!(!conj.contains(&wrapper_malloc), "wrapper site adds nothing");
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_stack_sites() {
+        // Both of the member's sites are unique to it (0 conflicts each);
+        // the first (lowest/outermost) one must be chosen.
+        let contexts = vec![
+            ctx(vec![site(0, 1), site(1, 1)], 100),
+            ctx(vec![site(0, 9), site(9, 9)], 10),
+        ];
+        let groups = mk_groups(&[&[0]], &contexts);
+        let ident = identify(&groups, &contexts);
+        assert_eq!(ident.selectors[0].conjunctions[0], vec![site(0, 1)]);
+    }
+
+    #[test]
+    fn multi_site_conjunction_when_no_single_site_suffices() {
+        // Member shares each individual site with some conflict context;
+        // only the pair is unique.
+        let contexts = vec![
+            ctx(vec![site(0, 1), site(0, 2)], 100), // member
+            ctx(vec![site(0, 1), site(0, 3)], 50),
+            ctx(vec![site(0, 4), site(0, 2)], 50),
+        ];
+        let groups = mk_groups(&[&[0]], &contexts);
+        let ident = identify(&groups, &contexts);
+        let conj = &ident.selectors[0].conjunctions[0];
+        assert_eq!(conj.len(), 2);
+        assert!(conj.contains(&site(0, 1)) && conj.contains(&site(0, 2)));
+    }
+
+    #[test]
+    fn stops_when_conflicts_stop_improving() {
+        // Two identical chains in different "groups" can never be fully
+        // separated; the loop must terminate with residual conflicts.
+        let contexts = vec![
+            ctx(vec![site(0, 1), site(1, 1)], 100),
+            ctx(vec![site(0, 1), site(1, 1)], 50),
+        ];
+        let groups = mk_groups(&[&[0]], &contexts);
+        let ident = identify(&groups, &contexts);
+        // Selector exists and contains at most the whole chain.
+        assert!(ident.selectors[0].conjunctions[0].len() <= 2);
+        // The conflicting identical context will (unavoidably) match too.
+        assert!(ident.selectors[0].matches_chain(&contexts[1].chain));
+    }
+
+    #[test]
+    fn popular_groups_are_identified_first_and_win_at_runtime() {
+        let shared = site(5, 5);
+        let contexts = vec![
+            ctx(vec![site(0, 1), shared], 10), // member of cold group
+            ctx(vec![site(0, 1), shared], 1000), // member of hot group (same chain!)
+        ];
+        let groups = mk_groups(&[&[0], &[1]], &contexts);
+        let ident = identify(&groups, &contexts);
+        // Hot group (index 1) is processed and evaluated first.
+        assert_eq!(ident.selectors[0].group, 1);
+        assert_eq!(ident.table.selectors()[0].group, 1);
+        // A runtime state matching both chains classifies as the hot group.
+        let mut gs = halo_vm::GroupState::new(ident.site_bits.len().max(1));
+        for (&_site, &bit) in &ident.site_bits {
+            gs.set(bit);
+        }
+        assert_eq!(ident.table.classify(&gs), Some(1));
+    }
+
+    #[test]
+    fn own_group_members_do_not_count_as_conflicts() {
+        // Two members of the same group share their whole chain except the
+        // allocation site; conflicts only count *other* groups' contexts.
+        let contexts = vec![
+            ctx(vec![site(0, 1), site(1, 1)], 100),
+            ctx(vec![site(0, 1), site(1, 2)], 90),
+        ];
+        let groups = mk_groups(&[&[0, 1]], &contexts);
+        let ident = identify(&groups, &contexts);
+        // With no outside contexts at all, a single site reaches 0
+        // conflicts immediately for each member.
+        for conj in &ident.selectors[0].conjunctions {
+            assert_eq!(conj.len(), 1);
+        }
+    }
+
+    #[test]
+    fn members_of_earlier_groups_are_ignored_for_later_ones() {
+        let contexts = vec![
+            ctx(vec![site(0, 1), site(2, 2)], 1000), // hot group member
+            ctx(vec![site(0, 1), site(3, 3)], 10),   // cold group member
+        ];
+        let groups = mk_groups(&[&[1], &[0]], &contexts);
+        let ident = identify(&groups, &contexts);
+        // Hot group first; when the cold group (index 0) is processed, the
+        // hot member is ignored, so site(0,1) alone reaches zero conflicts.
+        assert_eq!(ident.selectors[1].group, 0);
+        assert_eq!(ident.selectors[1].conjunctions[0], vec![site(0, 1)]);
+    }
+
+    #[test]
+    fn selector_accepts_every_member_chain() {
+        let contexts = vec![
+            ctx(vec![site(0, 1), site(1, 1), site(2, 9)], 100),
+            ctx(vec![site(0, 2), site(1, 1), site(2, 9)], 90),
+            ctx(vec![site(0, 3), site(2, 9)], 50),
+            ctx(vec![site(0, 4), site(2, 9)], 5),
+        ];
+        let groups = mk_groups(&[&[0, 1], &[2]], &contexts);
+        let ident = identify(&groups, &contexts);
+        for sel in &ident.selectors {
+            for &m in &groups[sel.group].members {
+                assert!(
+                    sel.matches_chain(&contexts[m.index()].chain),
+                    "selector for group {} must accept member {m}",
+                    sel.group
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_groups_produce_empty_identification() {
+        let contexts = vec![ctx(vec![site(0, 1)], 10)];
+        let ident = identify(&[], &contexts);
+        assert!(ident.selectors.is_empty());
+        assert_eq!(ident.site_bits.len(), 0);
+        let gs = halo_vm::GroupState::new(1);
+        assert_eq!(ident.table.classify(&gs), None);
+    }
+
+    #[test]
+    fn end_to_end_with_real_grouping() {
+        // Graph: contexts 0,1 tight; 2 loose.
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(100);
+        let b = g.add_node(90);
+        let c = g.add_node(10);
+        g.add_edge_weight(a, b, 40);
+        g.add_edge_weight(b, c, 1);
+        let groups = halo_graph::group(
+            &g,
+            &GroupingParams { min_weight: 1, group_threshold: 0.0, ..Default::default() },
+        );
+        let contexts = vec![
+            ctx(vec![site(0, 1), site(7, 0)], 100),
+            ctx(vec![site(0, 2), site(7, 0)], 90),
+            ctx(vec![site(0, 3), site(7, 0)], 10),
+        ];
+        let ident = identify(&groups, &contexts);
+        assert!(!ident.selectors.is_empty());
+        // Group 0 = {a, b}: both member chains accepted, context c rejected.
+        let sel = ident.selectors.iter().find(|s| s.group == 0).unwrap();
+        assert!(sel.matches_chain(&contexts[0].chain));
+        assert!(sel.matches_chain(&contexts[1].chain));
+        assert!(!sel.matches_chain(&contexts[2].chain));
+    }
+}

@@ -1,0 +1,278 @@
+//! A ptmalloc2/dlmalloc-style boundary-tag allocator.
+//!
+//! §5.1 notes that jemalloc "universally outperforms ptmalloc2 from glibc
+//! 2.27, reducing L1 data-cache misses by as much as 32%", which the
+//! `baseline_jemalloc_vs_ptmalloc` bench reproduces. The placement-relevant
+//! properties of ptmalloc2 modelled here: a 16-byte inline chunk header
+//! before every object (spacing same-size objects apart and dragging
+//! metadata through the cache), best-fit allocation from a coalescing free
+//! list, and wilderness extension at the top of an sbrk-style heap.
+
+use crate::stats::AllocatorStats;
+use crate::vmm::Vmm;
+use halo_vm::{CallSite, GroupState, Memory, VmAllocator};
+use std::collections::{BTreeMap, HashMap};
+
+/// Inline header bytes preceding every allocated chunk.
+const HEADER: u64 = 16;
+/// Minimum chunk payload.
+const MIN_PAYLOAD: u64 = 16;
+
+/// The boundary-tag simulated allocator (see module docs).
+#[derive(Debug)]
+pub struct BoundaryTagAllocator {
+    vmm: Vmm,
+    /// Free chunks by base address → size (chunk includes its header span).
+    free_by_addr: BTreeMap<u64, u64>,
+    /// Live chunks: payload pointer → (chunk base, chunk size, requested).
+    live: HashMap<u64, (u64, u64, u64)>,
+    /// Top of the allocated heap (wilderness pointer).
+    top: u64,
+    heap_base: u64,
+    live_bytes: u64,
+}
+
+impl BoundaryTagAllocator {
+    /// Default base address for standalone use.
+    pub const DEFAULT_BASE: u64 = 0x30_0000_0000;
+
+    /// Create an allocator rooted at [`Self::DEFAULT_BASE`].
+    pub fn new() -> Self {
+        Self::with_base(Self::DEFAULT_BASE)
+    }
+
+    /// Create an allocator rooted at `base`.
+    pub fn with_base(base: u64) -> Self {
+        let mut vmm = Vmm::new(base, 1 << 38);
+        let heap_base = vmm.reserve(0, 16);
+        BoundaryTagAllocator {
+            vmm,
+            free_by_addr: BTreeMap::new(),
+            live: HashMap::new(),
+            top: heap_base,
+            heap_base,
+            live_bytes: 0,
+        }
+    }
+
+    fn chunk_size_for(request: u64) -> u64 {
+        (request.max(MIN_PAYLOAD) + HEADER + 15) & !15
+    }
+
+    /// Best-fit search: smallest free chunk that fits; ties by address.
+    fn take_best_fit(&mut self, need: u64) -> Option<(u64, u64)> {
+        let mut best: Option<(u64, u64)> = None;
+        for (&addr, &size) in &self.free_by_addr {
+            if size >= need && best.map_or(true, |(_, bs)| size < bs) {
+                best = Some((addr, size));
+            }
+        }
+        if let Some((addr, _)) = best {
+            let size = self.free_by_addr.remove(&addr).expect("present");
+            return Some((addr, size));
+        }
+        None
+    }
+
+    fn insert_free_coalescing(&mut self, mut addr: u64, mut size: u64) {
+        // Merge with predecessor.
+        if let Some((&paddr, &psize)) = self.free_by_addr.range(..addr).next_back() {
+            if paddr + psize == addr {
+                self.free_by_addr.remove(&paddr);
+                addr = paddr;
+                size += psize;
+            }
+        }
+        // Merge with successor.
+        if let Some(&ssize) = self.free_by_addr.get(&(addr + size)) {
+            self.free_by_addr.remove(&(addr + size));
+            size += ssize;
+        }
+        // Merge into the wilderness when touching the top.
+        if addr + size == self.top {
+            self.top = addr;
+        } else {
+            self.free_by_addr.insert(addr, size);
+        }
+    }
+
+    /// Bytes consumed from the heap span (wilderness high-water mark).
+    pub fn heap_extent(&self) -> u64 {
+        self.top - self.heap_base
+    }
+}
+
+impl Default for BoundaryTagAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AllocatorStats for BoundaryTagAllocator {
+    fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    fn live_objects(&self) -> usize {
+        self.live.len()
+    }
+}
+
+impl VmAllocator for BoundaryTagAllocator {
+    fn malloc(&mut self, size: u64, _site: CallSite, _gs: &GroupState, mem: &mut Memory) -> u64 {
+        let size = size.max(1);
+        let need = Self::chunk_size_for(size);
+        let (base, chunk) = match self.take_best_fit(need) {
+            Some((base, have)) => {
+                // Split the remainder when it can hold another chunk.
+                if have - need >= HEADER + MIN_PAYLOAD {
+                    self.free_by_addr.insert(base + need, have - need);
+                    (base, need)
+                } else {
+                    (base, have)
+                }
+            }
+            None => {
+                let base = self.top;
+                self.vmm.reserve(need, 1);
+                self.top += need;
+                (base, need)
+            }
+        };
+        let payload = base + HEADER;
+        // The inline header is real data traffic in ptmalloc: the allocator
+        // writes size/flags words that share cache lines with the payload.
+        mem.write(base, 8, chunk);
+        mem.write(base + 8, 8, 1); // in-use flag
+        self.live.insert(payload, (base, chunk, size));
+        self.live_bytes += size;
+        payload
+    }
+
+    fn free(&mut self, ptr: u64, mem: &mut Memory) {
+        let Some((base, chunk, requested)) = self.live.remove(&ptr) else {
+            debug_assert!(false, "free of unknown pointer {ptr:#x}");
+            return;
+        };
+        self.live_bytes -= requested;
+        mem.write(base + 8, 8, 0);
+        self.insert_free_coalescing(base, chunk);
+    }
+
+    fn realloc(
+        &mut self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        let Some(&(_, chunk, requested)) = self.live.get(&ptr) else {
+            return self.malloc(size, site, gs, mem);
+        };
+        let size = size.max(1);
+        if Self::chunk_size_for(size) <= chunk {
+            self.live_bytes = self.live_bytes - requested + size;
+            if let Some(entry) = self.live.get_mut(&ptr) {
+                entry.2 = size;
+            }
+            return ptr;
+        }
+        let newp = self.malloc(size, site, gs, mem);
+        mem.copy(newp, ptr, requested.min(size));
+        self.free(ptr, mem);
+        newp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> CallSite {
+        CallSite::new(halo_vm::FuncId(0), 0)
+    }
+
+    fn setup() -> (BoundaryTagAllocator, GroupState, Memory) {
+        (BoundaryTagAllocator::new(), GroupState::default(), Memory::new())
+    }
+
+    #[test]
+    fn headers_space_objects_apart() {
+        let (mut a, gs, mut mem) = setup();
+        let p1 = a.malloc(16, site(), &gs, &mut mem);
+        let p2 = a.malloc(16, site(), &gs, &mut mem);
+        // 16 payload + 16 header = 32-byte stride (vs 16 under jemalloc).
+        assert_eq!(p2 - p1, 32);
+    }
+
+    #[test]
+    fn free_chunks_coalesce_and_are_reused() {
+        let (mut a, gs, mut mem) = setup();
+        let p1 = a.malloc(16, site(), &gs, &mut mem);
+        let p2 = a.malloc(16, site(), &gs, &mut mem);
+        let _p3 = a.malloc(16, site(), &gs, &mut mem);
+        a.free(p1, &mut mem);
+        a.free(p2, &mut mem);
+        // p1+p2 coalesced into one 64-byte chunk; a 40-byte request fits it.
+        let big = a.malloc(40, site(), &gs, &mut mem);
+        assert_eq!(big, p1);
+    }
+
+    #[test]
+    fn best_fit_prefers_snuggest_chunk() {
+        let (mut a, gs, mut mem) = setup();
+        let big = a.malloc(200, site(), &gs, &mut mem);
+        let guard1 = a.malloc(16, site(), &gs, &mut mem);
+        let small = a.malloc(24, site(), &gs, &mut mem);
+        let guard2 = a.malloc(16, site(), &gs, &mut mem);
+        let _ = (guard1, guard2);
+        a.free(big, &mut mem);
+        a.free(small, &mut mem);
+        // A 24-byte request best-fits the small hole, not the big one.
+        assert_eq!(a.malloc(24, site(), &gs, &mut mem), small);
+    }
+
+    #[test]
+    fn top_chunk_absorbs_frees_at_the_end() {
+        let (mut a, gs, mut mem) = setup();
+        let p1 = a.malloc(64, site(), &gs, &mut mem);
+        let extent_before = a.heap_extent();
+        a.free(p1, &mut mem);
+        assert!(a.heap_extent() < extent_before);
+        // Reallocation grows from the same place.
+        assert_eq!(a.malloc(64, site(), &gs, &mut mem), p1);
+    }
+
+    #[test]
+    fn realloc_in_place_then_move() {
+        let (mut a, gs, mut mem) = setup();
+        let p = a.malloc(32, site(), &gs, &mut mem);
+        let _guard = a.malloc(8, site(), &gs, &mut mem);
+        mem.write(p, 8, 0x77);
+        assert_eq!(a.realloc(p, 20, site(), &gs, &mut mem), p);
+        let q = a.realloc(p, 500, site(), &gs, &mut mem);
+        assert_ne!(q, p);
+        assert_eq!(mem.read(q, 8), 0x77);
+    }
+
+    #[test]
+    fn live_accounting() {
+        let (mut a, gs, mut mem) = setup();
+        let p = a.malloc(100, site(), &gs, &mut mem);
+        assert_eq!(a.live_bytes(), 100);
+        assert_eq!(a.live_objects(), 1);
+        a.free(p, &mut mem);
+        assert_eq!(a.live_bytes(), 0);
+        assert_eq!(a.live_objects(), 0);
+    }
+
+    #[test]
+    fn header_writes_touch_simulated_memory() {
+        let (mut a, gs, mut mem) = setup();
+        let p = a.malloc(16, site(), &gs, &mut mem);
+        // The size field sits 16 bytes before the payload.
+        assert_eq!(mem.read(p - 16, 8), 32);
+        assert_eq!(mem.read(p - 8, 8), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Allocators for the HALO reproduction: the baselines the paper measures
+//! against and the specialised group allocator it contributes (§4.4).
+//!
+//! Everything here implements [`halo_vm::VmAllocator`], so any allocator can
+//! be plugged under any simulated program:
+//!
+//! * [`SizeClassAllocator`] — a jemalloc-style size-segregated allocator;
+//!   the paper's default/baseline allocator (jemalloc 5.1.0 in §5.1).
+//! * [`BoundaryTagAllocator`] — a ptmalloc2/dlmalloc-style best-fit
+//!   free-list allocator with inline chunk headers, for the §5.1
+//!   jemalloc-vs-ptmalloc2 baseline comparison.
+//! * [`BumpAllocator`] — trivial contiguous allocation, used by tests and
+//!   as the building block of pool-based schemes.
+//! * [`RandomGroupAllocator`] — the deliberately terrible allocator of
+//!   Fig. 15: small objects go to one of four bump pools at random.
+//! * [`HaloGroupAllocator`] — the paper's specialised allocator: group
+//!   selectors evaluated against the shared group-state vector route
+//!   allocations into group-owned, size-aligned chunks carved from large
+//!   demand-paged slabs, with bump allocation inside chunks, a
+//!   `live_regions` count in the chunk bookkeeping, and spare-chunk
+//!   reuse/purging. Non-grouped requests forward to a fallback allocator.
+//! * [`rt`] — a *native* (non-simulated) group-pool runtime implementing
+//!   [`std::alloc::GlobalAlloc`], demonstrating the synthesised-allocator
+//!   half of HALO on real memory.
+//!
+//! The [`SelectorTable`] type is the runtime form of the identification
+//! stage's output (Fig. 10): per-group DNF formulae over group-state bits,
+//! evaluated in group-popularity order with first match winning.
+
+mod boundary_tag;
+mod bump;
+mod group_alloc;
+mod random_group;
+pub mod rt;
+mod selector;
+mod size_class;
+mod stats;
+mod vmm;
+
+pub use boundary_tag::BoundaryTagAllocator;
+pub use bump::BumpAllocator;
+pub use group_alloc::{FragReport, GroupAllocConfig, GroupAllocStats, HaloGroupAllocator, ReusePolicy};
+pub use random_group::RandomGroupAllocator;
+pub use selector::{GroupSelector, SelectorTable};
+pub use size_class::{SizeClassAllocator, SIZE_CLASSES, SMALL_MAX};
+pub use stats::AllocatorStats;
+pub use vmm::Vmm;

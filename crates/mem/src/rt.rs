@@ -1,0 +1,405 @@
+//! A *native* group-pool allocator runtime implementing
+//! [`std::alloc::GlobalAlloc`].
+//!
+//! Everything else in this crate runs against the simulated address space.
+//! This module is the other half of the reproduction story: the specialised
+//! allocator that HALO synthesises is, in the paper, a real shared library
+//! interposed on `malloc`. Here the same design runs on real memory:
+//!
+//! * monitored-call-site bits live in a thread-local word, maintained by
+//!   RAII [`SiteGuard`]s (standing in for the instructions BOLT inserts);
+//! * [`GroupHeap`] bump-allocates grouped requests from chunk-aligned
+//!   chunks obtained from the system allocator, locates chunk headers by
+//!   pointer masking, counts `live_regions` per chunk, and recycles empty
+//!   chunks;
+//! * non-grouped requests forward to [`std::alloc::System`].
+//!
+//! The `global_alloc` example installs a `GroupHeap` as the program's
+//! `#[global_allocator]` and demonstrates grouped co-location end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use halo_mem::rt::{enter_site, GroupHeap, NativeSelector};
+//! use std::alloc::{GlobalAlloc, Layout};
+//!
+//! static SELECTORS: &[NativeSelector] =
+//!     &[NativeSelector { group: 0, masks: &[0b1] }];
+//! static HEAP: GroupHeap = GroupHeap::new(SELECTORS);
+//!
+//! let layout = Layout::from_size_align(24, 8).unwrap();
+//! let _guard = enter_site(0); // control flow passed monitored site 0
+//! let a = unsafe { HEAP.alloc(layout) };
+//! let b = unsafe { HEAP.alloc(layout) };
+//! assert_eq!(a as usize + 24, b as usize); // co-located in the group chunk
+//! unsafe {
+//!     HEAP.dealloc(a, layout);
+//!     HEAP.dealloc(b, layout);
+//! }
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Chunk size for the native heap (1 MiB, the paper's default).
+pub const CHUNK_SIZE: usize = 1 << 20;
+/// Requests at or above this size are never grouped (page size, §4.4).
+pub const MAX_GROUPED_SIZE: usize = 4096;
+/// Maximum simultaneously tracked chunks.
+const MAX_CHUNKS: usize = 1024;
+/// Maximum groups addressable by native selectors.
+const MAX_GROUPS: usize = 64;
+/// Bytes reserved at the start of each chunk for its header.
+const CHUNK_HEADER: usize = 64;
+
+thread_local! {
+    static SITE_BITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII guard marking "control flow is inside monitored call site `bit`".
+///
+/// In the paper this is a pair of instructions inserted by the BOLT pass;
+/// native Rust programs (or generated shims) place guards instead. Dropping
+/// the guard restores the previous state, which is strictly more robust
+/// than the paper's single-bit set/unset under recursion.
+#[derive(Debug)]
+pub struct SiteGuard {
+    bit: u8,
+    was_set: bool,
+}
+
+/// Set monitored-site bit `bit` for the current thread until the returned
+/// guard drops.
+pub fn enter_site(bit: u8) -> SiteGuard {
+    debug_assert!(bit < 64);
+    let mask = 1u64 << bit;
+    let was_set = SITE_BITS.with(|b| {
+        let old = b.get();
+        b.set(old | mask);
+        old & mask != 0
+    });
+    SiteGuard { bit, was_set }
+}
+
+/// Current thread's monitored-site bits.
+pub fn current_bits() -> u64 {
+    SITE_BITS.with(Cell::get)
+}
+
+impl Drop for SiteGuard {
+    fn drop(&mut self) {
+        if !self.was_set {
+            let mask = 1u64 << self.bit;
+            SITE_BITS.with(|b| b.set(b.get() & !mask));
+        }
+    }
+}
+
+/// A native group selector: DNF over the thread-local site bits, with each
+/// conjunction pre-compiled to a bit mask.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeSelector {
+    /// Group index (must be < 64).
+    pub group: usize,
+    /// The selector matches when `bits & mask == mask` for any mask.
+    pub masks: &'static [u64],
+}
+
+impl NativeSelector {
+    #[inline]
+    fn matches(&self, bits: u64) -> bool {
+        self.masks.iter().any(|&m| bits & m == m)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChunkInfo {
+    base: usize,
+    group: usize,
+    bump: usize,
+    live_regions: usize,
+}
+
+struct HeapState {
+    chunks: [Option<ChunkInfo>; MAX_CHUNKS],
+    current: [Option<usize>; MAX_GROUPS], // index into `chunks` per group
+}
+
+/// The native group-pool heap. Safe to use as `#[global_allocator]`.
+///
+/// Grouped requests (size below [`MAX_GROUPED_SIZE`], matching selector)
+/// are bump allocated from group-owned chunks; everything else forwards to
+/// [`System`]. Deallocation classifies pointers by masking to the chunk
+/// base and checking the chunk registry, exactly as §4.4 describes.
+pub struct GroupHeap {
+    selectors: &'static [NativeSelector],
+    lock: AtomicBool,
+    state: std::cell::UnsafeCell<Option<Box<HeapState>>>,
+}
+
+// SAFETY: all access to `state` happens under `lock` (a spin lock), and the
+// boxed state is never handed out by reference beyond the critical section.
+unsafe impl Sync for GroupHeap {}
+
+impl GroupHeap {
+    /// Create a heap with a static selector table (const-constructible so
+    /// it can be a `static` / `#[global_allocator]`).
+    pub const fn new(selectors: &'static [NativeSelector]) -> Self {
+        GroupHeap {
+            selectors,
+            lock: AtomicBool::new(false),
+            state: std::cell::UnsafeCell::new(None),
+        }
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut HeapState) -> R) -> R {
+        while self
+            .lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        // SAFETY: we hold the spin lock.
+        let state = unsafe { &mut *self.state.get() };
+        let state = state.get_or_insert_with(|| {
+            Box::new(HeapState { chunks: [None; MAX_CHUNKS], current: [None; MAX_GROUPS] })
+        });
+        let r = f(state);
+        self.lock.store(false, Ordering::Release);
+        r
+    }
+
+    fn classify(&self, bits: u64) -> Option<usize> {
+        self.selectors.iter().find(|s| s.matches(bits)).map(|s| s.group)
+    }
+
+    fn chunk_layout() -> Layout {
+        // SAFETY: CHUNK_SIZE is a nonzero power of two.
+        unsafe { Layout::from_size_align_unchecked(CHUNK_SIZE, CHUNK_SIZE) }
+    }
+
+    fn group_alloc(&self, group: usize, layout: Layout) -> *mut u8 {
+        if group >= MAX_GROUPS {
+            return std::ptr::null_mut();
+        }
+        self.with_state(|st| {
+            let size = layout.size().max(1);
+            let align = layout.align().max(8);
+            // Try the group's current chunk.
+            if let Some(ci) = st.current[group] {
+                if let Some(chunk) = &mut st.chunks[ci] {
+                    let ptr = (chunk.bump + align - 1) & !(align - 1);
+                    if ptr + size <= chunk.base + CHUNK_SIZE {
+                        chunk.bump = ptr + size;
+                        chunk.live_regions += 1;
+                        return ptr as *mut u8;
+                    }
+                }
+            }
+            // Need a fresh chunk.
+            let Some(slot) = st.chunks.iter().position(Option::is_none) else {
+                return std::ptr::null_mut();
+            };
+            // SAFETY: chunk_layout is valid; System returns null on failure.
+            let base = unsafe { System.alloc(Self::chunk_layout()) };
+            if base.is_null() {
+                return std::ptr::null_mut();
+            }
+            let base = base as usize;
+            debug_assert_eq!(base % CHUNK_SIZE, 0);
+            let ptr = (base + CHUNK_HEADER + align - 1) & !(align - 1);
+            st.chunks[slot] = Some(ChunkInfo {
+                base,
+                group,
+                bump: ptr + size,
+                live_regions: 1,
+            });
+            st.current[group] = Some(slot);
+            ptr as *mut u8
+        })
+    }
+
+    /// Try to free `ptr` as a group allocation; returns `false` when the
+    /// pointer is not chunk-owned (caller should forward to the system).
+    fn group_dealloc(&self, ptr: *mut u8) -> bool {
+        let base = (ptr as usize) & !(CHUNK_SIZE - 1);
+        self.with_state(|st| {
+            let Some(slot) = st
+                .chunks
+                .iter()
+                .position(|c| c.is_some_and(|c| c.base == base))
+            else {
+                return false;
+            };
+            let chunk = st.chunks[slot].as_mut().expect("slot just found");
+            chunk.live_regions -= 1;
+            if chunk.live_regions == 0 {
+                if st.current[chunk.group] == Some(slot) {
+                    // Reset the current chunk in place.
+                    chunk.bump = chunk.base + CHUNK_HEADER;
+                } else {
+                    let chunk = st.chunks[slot].take().expect("present");
+                    // SAFETY: `base` came from System.alloc(chunk_layout()).
+                    unsafe { System.dealloc(chunk.base as *mut u8, Self::chunk_layout()) };
+                }
+            }
+            true
+        })
+    }
+
+    /// Number of live chunks (for tests and monitoring).
+    pub fn chunk_count(&self) -> usize {
+        self.with_state(|st| st.chunks.iter().filter(|c| c.is_some()).count())
+    }
+}
+
+impl std::fmt::Debug for GroupHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupHeap")
+            .field("selectors", &self.selectors.len())
+            .finish_non_exhaustive()
+    }
+}
+
+// SAFETY: alloc returns unique, live, suitably aligned blocks; dealloc
+// releases exactly the block allocated for `ptr`. Grouped blocks come from
+// private bump chunks; everything else is delegated to `System` unchanged.
+unsafe impl GlobalAlloc for GroupHeap {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() < MAX_GROUPED_SIZE && layout.align() <= CHUNK_HEADER {
+            if let Some(group) = self.classify(current_bits()) {
+                let p = self.group_alloc(group, layout);
+                if !p.is_null() {
+                    return p;
+                }
+            }
+        }
+        // SAFETY: forwarded verbatim.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if !self.group_dealloc(ptr) {
+            // SAFETY: `ptr` was returned by `System.alloc(layout)` above.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_SELECTORS: &[NativeSelector] = &[
+        NativeSelector { group: 0, masks: &[0b01] },
+        NativeSelector { group: 1, masks: &[0b10] },
+    ];
+
+    fn layout(n: usize) -> Layout {
+        Layout::from_size_align(n, 8).unwrap()
+    }
+
+    #[test]
+    fn site_guard_sets_and_restores_bits() {
+        assert_eq!(current_bits() & 0b11, 0);
+        {
+            let _g0 = enter_site(0);
+            assert_eq!(current_bits() & 0b11, 0b01);
+            {
+                let _g1 = enter_site(1);
+                assert_eq!(current_bits() & 0b11, 0b11);
+            }
+            assert_eq!(current_bits() & 0b11, 0b01);
+            // Re-entering an already-set bit must not clear it on drop.
+            {
+                let _g0b = enter_site(0);
+            }
+            assert_eq!(current_bits() & 0b11, 0b01);
+        }
+        assert_eq!(current_bits() & 0b11, 0);
+    }
+
+    #[test]
+    fn grouped_allocations_are_colocated() {
+        static HEAP: GroupHeap = GroupHeap::new(TEST_SELECTORS);
+        let _g = enter_site(0);
+        let a = unsafe { HEAP.alloc(layout(32)) };
+        let b = unsafe { HEAP.alloc(layout(32)) };
+        assert!(!a.is_null() && !b.is_null());
+        assert_eq!(a as usize + 32, b as usize);
+        unsafe {
+            HEAP.dealloc(a, layout(32));
+            HEAP.dealloc(b, layout(32));
+        }
+    }
+
+    #[test]
+    fn groups_use_distinct_chunks() {
+        static HEAP: GroupHeap = GroupHeap::new(TEST_SELECTORS);
+        let a = {
+            let _g = enter_site(0);
+            unsafe { HEAP.alloc(layout(16)) }
+        };
+        let b = {
+            let _g = enter_site(1);
+            unsafe { HEAP.alloc(layout(16)) }
+        };
+        assert_ne!(
+            (a as usize) & !(CHUNK_SIZE - 1),
+            (b as usize) & !(CHUNK_SIZE - 1)
+        );
+        unsafe {
+            HEAP.dealloc(a, layout(16));
+            HEAP.dealloc(b, layout(16));
+        }
+    }
+
+    #[test]
+    fn unmatched_bits_fall_through_to_system() {
+        static HEAP: GroupHeap = GroupHeap::new(TEST_SELECTORS);
+        // No guard: bits are zero, no selector matches.
+        let p = unsafe { HEAP.alloc(layout(64)) };
+        assert!(!p.is_null());
+        assert_eq!(HEAP.chunk_count(), 0, "no group chunk was created");
+        unsafe { HEAP.dealloc(p, layout(64)) };
+    }
+
+    #[test]
+    fn large_requests_bypass_groups() {
+        static HEAP: GroupHeap = GroupHeap::new(TEST_SELECTORS);
+        let _g = enter_site(0);
+        let p = unsafe { HEAP.alloc(layout(MAX_GROUPED_SIZE)) };
+        assert!(!p.is_null());
+        assert_eq!(HEAP.chunk_count(), 0);
+        unsafe { HEAP.dealloc(p, layout(MAX_GROUPED_SIZE)) };
+    }
+
+    #[test]
+    fn empty_noncurrent_chunks_are_released() {
+        static HEAP: GroupHeap = GroupHeap::new(TEST_SELECTORS);
+        let _g = enter_site(0);
+        // Fill more than one chunk.
+        let n = CHUNK_SIZE / 2048 + 4;
+        let ptrs: Vec<*mut u8> =
+            (0..n).map(|_| unsafe { HEAP.alloc(layout(2048)) }).collect();
+        assert!(HEAP.chunk_count() >= 2);
+        for p in ptrs {
+            unsafe { HEAP.dealloc(p, layout(2048)) };
+        }
+        // The non-current chunk was returned to the system; the current one
+        // is kept (reset in place).
+        assert_eq!(HEAP.chunk_count(), 1);
+    }
+
+    #[test]
+    fn zero_size_alloc_is_safe() {
+        static HEAP: GroupHeap = GroupHeap::new(TEST_SELECTORS);
+        let _g = enter_site(0);
+        let l = Layout::from_size_align(0, 1).unwrap();
+        let p = unsafe { HEAP.alloc(l) };
+        assert!(!p.is_null());
+        unsafe { HEAP.dealloc(p, l) };
+    }
+}

@@ -1,0 +1,132 @@
+//! Runtime form of group selectors (§4.3).
+//!
+//! Identification produces, per group, a logical expression in disjunctive
+//! normal form over monitored call sites. After the rewriter assigns each
+//! monitored site a bit in the shared group-state vector, a selector becomes
+//! a DNF formula over bits. The allocator evaluates selectors in group
+//! popularity order; the first match decides group membership.
+
+use halo_vm::GroupState;
+
+/// One group's membership formula: an OR over AND-lists of group-state bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSelector {
+    /// Index of the group this selector identifies.
+    pub group: usize,
+    /// DNF: the selector matches when *any* conjunction has *all* its bits
+    /// set. An empty conjunction is always true; an empty list never
+    /// matches.
+    pub conjunctions: Vec<Vec<u16>>,
+}
+
+impl GroupSelector {
+    /// Evaluate against the current group state.
+    #[inline]
+    pub fn matches(&self, gs: &GroupState) -> bool {
+        self.conjunctions.iter().any(|c| gs.test_all(c))
+    }
+}
+
+/// All selectors of a synthesised allocator, in evaluation (popularity)
+/// order, plus the number of group-state bits they reference.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectorTable {
+    selectors: Vec<GroupSelector>,
+    num_bits: u16,
+    num_groups: usize,
+}
+
+impl SelectorTable {
+    /// Build a table from selectors already sorted by group popularity.
+    pub fn new(selectors: Vec<GroupSelector>, num_bits: u16) -> Self {
+        let num_groups = selectors
+            .iter()
+            .map(|s| s.group + 1)
+            .max()
+            .unwrap_or(0);
+        SelectorTable { selectors, num_bits, num_groups }
+    }
+
+    /// A table with no groups: every allocation falls through to the
+    /// default allocator.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of group-state bits referenced (the rewriter must provide at
+    /// least this many).
+    pub fn num_bits(&self) -> u16 {
+        self.num_bits
+    }
+
+    /// Largest group index + 1.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// The selectors in evaluation order.
+    pub fn selectors(&self) -> &[GroupSelector] {
+        &self.selectors
+    }
+
+    /// Decide group membership for the current state: the first matching
+    /// selector (most popular group first) wins.
+    #[inline]
+    pub fn classify(&self, gs: &GroupState) -> Option<usize> {
+        self.selectors.iter().find(|s| s.matches(gs)).map(|s| s.group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dnf_semantics() {
+        let sel = GroupSelector { group: 0, conjunctions: vec![vec![1, 2], vec![5]] };
+        let mut gs = GroupState::new(8);
+        assert!(!sel.matches(&gs));
+        gs.set(1);
+        assert!(!sel.matches(&gs), "partial conjunction must not match");
+        gs.set(2);
+        assert!(sel.matches(&gs));
+        gs.reset();
+        gs.set(5);
+        assert!(sel.matches(&gs), "second disjunct suffices");
+    }
+
+    #[test]
+    fn empty_conjunction_always_true_empty_selector_never() {
+        let always = GroupSelector { group: 0, conjunctions: vec![vec![]] };
+        let never = GroupSelector { group: 1, conjunctions: vec![] };
+        let gs = GroupState::new(8);
+        assert!(always.matches(&gs));
+        assert!(!never.matches(&gs));
+    }
+
+    #[test]
+    fn classify_first_match_wins() {
+        let table = SelectorTable::new(
+            vec![
+                GroupSelector { group: 2, conjunctions: vec![vec![0]] },
+                GroupSelector { group: 1, conjunctions: vec![vec![0, 1]] },
+            ],
+            2,
+        );
+        let mut gs = GroupState::new(2);
+        gs.set(0);
+        gs.set(1);
+        // Both match; the more popular (listed first) group 2 wins.
+        assert_eq!(table.classify(&gs), Some(2));
+        gs.clear(0);
+        assert_eq!(table.classify(&gs), None);
+        assert_eq!(table.num_groups(), 3);
+    }
+
+    #[test]
+    fn empty_table_classifies_nothing() {
+        let gs = GroupState::new(8);
+        assert_eq!(SelectorTable::empty().classify(&gs), None);
+        assert_eq!(SelectorTable::empty().num_groups(), 0);
+    }
+}

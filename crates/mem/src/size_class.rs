@@ -1,0 +1,315 @@
+//! A jemalloc-style size-segregated allocator — the paper's baseline.
+//!
+//! "Almost all contemporary general-purpose allocators — including
+//! ptmalloc2, jemalloc, and tcmalloc — are based on size-segregated
+//! allocation schemes … allocations are co-located based primarily on their
+//! size and the order in which they're made" (§2.1, Fig. 1). This allocator
+//! reproduces exactly that placement policy: spaced size classes, slab runs
+//! per class, lowest-address-first slot reuse, and page-granular large
+//! allocations.
+
+use crate::stats::AllocatorStats;
+use crate::vmm::Vmm;
+use halo_vm::{CallSite, GroupState, Memory, VmAllocator, PAGE_SIZE};
+use std::collections::{BTreeSet, HashMap};
+
+/// Largest size served from the small size classes; larger requests are
+/// page-rounded and reserved individually (jemalloc's "large" path).
+pub const SMALL_MAX: u64 = 14336;
+
+/// jemalloc 5.x-style size-class table: 8, 16, 32, 48, 64, then four
+/// linearly spaced classes per power-of-two group up to [`SMALL_MAX`].
+pub static SIZE_CLASSES: &[u64] = &[
+    8, 16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896,
+    1024, 1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096, 5120, 6144, 7168, 8192, 10240, 12288,
+    14336,
+];
+
+fn class_index(size: u64) -> Option<usize> {
+    if size > SMALL_MAX {
+        return None;
+    }
+    SIZE_CLASSES.iter().position(|&c| c >= size)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SlotInfo {
+    Small { class: usize, requested: u64 },
+    Large { pages: u64, requested: u64 },
+}
+
+/// The size-segregated simulated allocator (see module docs).
+#[derive(Debug)]
+pub struct SizeClassAllocator {
+    vmm: Vmm,
+    /// Per class: lowest-address-first set of free slots.
+    free_slots: Vec<BTreeSet<u64>>,
+    /// Per class: bump cursor and end of the current run.
+    runs: Vec<Option<(u64, u64)>>,
+    slots: HashMap<u64, SlotInfo>,
+    live_bytes: u64,
+}
+
+impl SizeClassAllocator {
+    /// Default base address for standalone use.
+    pub const DEFAULT_BASE: u64 = 0x10_0000_0000;
+
+    /// Create an allocator rooted at [`Self::DEFAULT_BASE`].
+    pub fn new() -> Self {
+        Self::with_base(Self::DEFAULT_BASE)
+    }
+
+    /// Create an allocator rooted at `base` (for composition without
+    /// address-range collisions).
+    pub fn with_base(base: u64) -> Self {
+        SizeClassAllocator {
+            vmm: Vmm::new(base, 1 << 38),
+            free_slots: vec![BTreeSet::new(); SIZE_CLASSES.len()],
+            runs: vec![None; SIZE_CLASSES.len()],
+            slots: HashMap::new(),
+            live_bytes: 0,
+        }
+    }
+
+    /// The size class (rounded size) that a request of `size` bytes lands
+    /// in, or `None` for the large path.
+    pub fn class_of(size: u64) -> Option<u64> {
+        class_index(size.max(1)).map(|i| SIZE_CLASSES[i])
+    }
+
+    fn alloc_small(&mut self, class: usize, requested: u64) -> u64 {
+        if let Some(&slot) = self.free_slots[class].iter().next() {
+            self.free_slots[class].remove(&slot);
+            self.slots.insert(slot, SlotInfo::Small { class, requested });
+            return slot;
+        }
+        let csize = SIZE_CLASSES[class];
+        let ptr = match &mut self.runs[class] {
+            Some((cursor, end)) if *cursor + csize <= *end => {
+                let p = *cursor;
+                *cursor += csize;
+                p
+            }
+            run => {
+                // New run: at least 16 KiB or 8 objects, page aligned.
+                let run_bytes =
+                    ((16 * 1024).max(csize * 8) + PAGE_SIZE - 1) / PAGE_SIZE * PAGE_SIZE;
+                let base = self.vmm.reserve(run_bytes, PAGE_SIZE);
+                *run = Some((base + csize, base + run_bytes));
+                base
+            }
+        };
+        self.slots.insert(ptr, SlotInfo::Small { class, requested });
+        ptr
+    }
+
+    fn alloc_large(&mut self, requested: u64) -> u64 {
+        let pages = requested.div_ceil(PAGE_SIZE);
+        let ptr = self.vmm.reserve(pages * PAGE_SIZE, PAGE_SIZE);
+        self.slots.insert(ptr, SlotInfo::Large { pages, requested });
+        ptr
+    }
+
+    /// The rounded (usable) size backing `ptr`, if live.
+    pub fn usable_size(&self, ptr: u64) -> Option<u64> {
+        self.slots.get(&ptr).map(|s| match s {
+            SlotInfo::Small { class, .. } => SIZE_CLASSES[*class],
+            SlotInfo::Large { pages, .. } => pages * PAGE_SIZE,
+        })
+    }
+}
+
+impl Default for SizeClassAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AllocatorStats for SizeClassAllocator {
+    fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    fn live_objects(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl VmAllocator for SizeClassAllocator {
+    fn malloc(&mut self, size: u64, _site: CallSite, _gs: &GroupState, _mem: &mut Memory) -> u64 {
+        let size = size.max(1);
+        let ptr = match class_index(size) {
+            Some(class) => self.alloc_small(class, size),
+            None => self.alloc_large(size),
+        };
+        self.live_bytes += size;
+        ptr
+    }
+
+    fn free(&mut self, ptr: u64, _mem: &mut Memory) {
+        match self.slots.remove(&ptr) {
+            Some(SlotInfo::Small { class, requested }) => {
+                self.live_bytes -= requested;
+                self.free_slots[class].insert(ptr);
+            }
+            Some(SlotInfo::Large { requested, .. }) => {
+                self.live_bytes -= requested;
+                // Large extents are not recycled; reservation bookkeeping
+                // only (the pages can be discarded by the caller if the
+                // experiment models purging).
+            }
+            None => debug_assert!(false, "free of unknown pointer {ptr:#x}"),
+        }
+    }
+
+    fn realloc(
+        &mut self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        let Some(info) = self.slots.get(&ptr).copied() else {
+            return self.malloc(size, site, gs, mem);
+        };
+        let (usable, old_requested) = match info {
+            SlotInfo::Small { class, requested } => (SIZE_CLASSES[class], requested),
+            SlotInfo::Large { pages, requested } => (pages * PAGE_SIZE, requested),
+        };
+        let size = size.max(1);
+        if size <= usable && matches!(info, SlotInfo::Small { .. }) {
+            // Same slot suffices: update requested-size accounting in place.
+            self.live_bytes = self.live_bytes - old_requested + size;
+            if let Some(SlotInfo::Small { requested, .. }) = self.slots.get_mut(&ptr) {
+                *requested = size;
+            }
+            return ptr;
+        }
+        let newp = self.malloc(size, site, gs, mem);
+        mem.copy(newp, ptr, old_requested.min(size));
+        self.free(ptr, mem);
+        newp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> CallSite {
+        CallSite::new(halo_vm::FuncId(0), 0)
+    }
+
+    fn setup() -> (SizeClassAllocator, GroupState, Memory) {
+        (SizeClassAllocator::new(), GroupState::default(), Memory::new())
+    }
+
+    #[test]
+    fn size_class_table_is_sorted_and_capped() {
+        assert!(SIZE_CLASSES.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*SIZE_CLASSES.last().unwrap(), SMALL_MAX);
+        assert_eq!(SizeClassAllocator::class_of(1), Some(8));
+        assert_eq!(SizeClassAllocator::class_of(9), Some(16));
+        assert_eq!(SizeClassAllocator::class_of(128), Some(128));
+        assert_eq!(SizeClassAllocator::class_of(129), Some(160));
+        assert_eq!(SizeClassAllocator::class_of(SMALL_MAX + 1), None);
+    }
+
+    #[test]
+    fn same_class_allocations_pack_contiguously() {
+        let (mut a, gs, mut mem) = setup();
+        // The Fig. 1 behaviour: same-size allocations land next to each
+        // other regardless of what the program means by them.
+        let p1 = a.malloc(4, site(), &gs, &mut mem);
+        let p2 = a.malloc(4, site(), &gs, &mut mem);
+        let p3 = a.malloc(4, site(), &gs, &mut mem);
+        assert_eq!(p2, p1 + 8);
+        assert_eq!(p3, p2 + 8);
+    }
+
+    #[test]
+    fn different_classes_live_in_different_runs() {
+        let (mut a, gs, mut mem) = setup();
+        let small = a.malloc(8, site(), &gs, &mut mem);
+        let big = a.malloc(1000, site(), &gs, &mut mem);
+        // Different runs are at least a run apart.
+        assert!(small.abs_diff(big) >= 16 * 1024);
+    }
+
+    #[test]
+    fn freed_slot_is_reused_lowest_first() {
+        let (mut a, gs, mut mem) = setup();
+        let p1 = a.malloc(32, site(), &gs, &mut mem);
+        let p2 = a.malloc(32, site(), &gs, &mut mem);
+        let p3 = a.malloc(32, site(), &gs, &mut mem);
+        a.free(p3, &mut mem);
+        a.free(p1, &mut mem);
+        a.free(p2, &mut mem);
+        // Reuse picks the lowest address first.
+        assert_eq!(a.malloc(32, site(), &gs, &mut mem), p1);
+        assert_eq!(a.malloc(32, site(), &gs, &mut mem), p2);
+        assert_eq!(a.malloc(32, site(), &gs, &mut mem), p3);
+    }
+
+    #[test]
+    fn large_allocations_are_page_granular() {
+        let (mut a, gs, mut mem) = setup();
+        let p = a.malloc(SMALL_MAX + 1, site(), &gs, &mut mem);
+        assert_eq!(p % PAGE_SIZE, 0);
+        assert_eq!(a.usable_size(p), Some(PAGE_SIZE * 4));
+    }
+
+    #[test]
+    fn live_accounting_tracks_requests() {
+        let (mut a, gs, mut mem) = setup();
+        let p1 = a.malloc(10, site(), &gs, &mut mem);
+        let p2 = a.malloc(20000, site(), &gs, &mut mem);
+        assert_eq!(a.live_bytes(), 20010);
+        assert_eq!(a.live_objects(), 2);
+        a.free(p1, &mut mem);
+        a.free(p2, &mut mem);
+        assert_eq!(a.live_bytes(), 0);
+        assert_eq!(a.live_objects(), 0);
+    }
+
+    #[test]
+    fn realloc_in_place_when_class_allows() {
+        let (mut a, gs, mut mem) = setup();
+        let p = a.malloc(100, site(), &gs, &mut mem); // class 112
+        let q = a.realloc(p, 112, site(), &gs, &mut mem);
+        assert_eq!(p, q);
+        let r = a.realloc(q, 113, site(), &gs, &mut mem); // class 128: move
+        assert_ne!(q, r);
+        assert_eq!(a.live_objects(), 1);
+    }
+
+    #[test]
+    fn realloc_moves_preserve_contents() {
+        let (mut a, gs, mut mem) = setup();
+        let p = a.malloc(16, site(), &gs, &mut mem);
+        mem.write(p, 8, 0xabcd);
+        mem.write(p + 8, 8, 0x1234);
+        let q = a.realloc(p, 4096, site(), &gs, &mut mem);
+        assert_eq!(mem.read(q, 8), 0xabcd);
+        assert_eq!(mem.read(q + 8, 8), 0x1234);
+    }
+
+    #[test]
+    fn interleaved_types_scatter_across_the_heap() {
+        // The motivating pathology (Fig. 3a): A-B-C interleaving in one
+        // class leaves unrelated objects adjacent.
+        let (mut a, gs, mut mem) = setup();
+        let mut a_ptrs = Vec::new();
+        for i in 0..30 {
+            let p = a.malloc(16, site(), &gs, &mut mem);
+            if i % 3 != 2 {
+                a_ptrs.push(p);
+            }
+        }
+        // Hot objects (A/B) are NOT contiguous: every third slot is a C.
+        let contiguous =
+            a_ptrs.windows(2).filter(|w| w[1] == w[0] + 16).count();
+        assert!(contiguous < a_ptrs.len() - 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Common allocator statistics.
+
+/// Live-data accounting implemented by every simulated allocator, used by
+/// tests and the fragmentation experiment (Table 1).
+pub trait AllocatorStats {
+    /// Bytes currently live (as requested by the program, before rounding).
+    fn live_bytes(&self) -> u64;
+
+    /// Number of live allocations.
+    fn live_objects(&self) -> usize;
+}

@@ -1,0 +1,104 @@
+//! Virtual-address reservation: the "OS" handing out `mmap`-style regions.
+
+/// Hands out non-overlapping, aligned reservations from a private span of
+/// the simulated 64-bit address space.
+///
+/// Each allocator instance owns one `Vmm` rooted at a distinct base so that
+/// composed allocators (e.g. the group allocator plus its fallback) can
+/// never collide. Reservation is pure bookkeeping — pages only materialise
+/// when the program touches them (see [`halo_vm::Memory`]), which models
+/// demand paging.
+#[derive(Debug, Clone)]
+pub struct Vmm {
+    base: u64,
+    next: u64,
+    limit: u64,
+}
+
+impl Vmm {
+    /// Create a reservation span `[base, base + span)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is 0 (the null page must stay unmapped) or the span
+    /// overflows.
+    pub fn new(base: u64, span: u64) -> Self {
+        assert!(base > 0, "null page must remain unreserved");
+        let limit = base.checked_add(span).expect("vmm span overflows");
+        Vmm { base, next: base, limit }
+    }
+
+    /// Reserve `size` bytes aligned to `align` (a power of two).
+    /// Returns the base address of the reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or the span is exhausted —
+    /// reservation failure is an experiment-setup bug, not a runtime
+    /// condition (the artefact's note about needing 16 GiB of mappable
+    /// virtual memory applies here too).
+    pub fn reserve(&mut self, size: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        let end = addr.checked_add(size.max(1)).expect("reservation overflows");
+        assert!(end <= self.limit, "virtual address span exhausted");
+        self.next = end;
+        addr
+    }
+
+    /// Bytes reserved so far (including alignment padding).
+    pub fn reserved_bytes(&self) -> u64 {
+        self.next - self.base
+    }
+
+    /// Whether `addr` falls inside any reservation made so far.
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.base..self.next).contains(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_do_not_overlap() {
+        let mut v = Vmm::new(0x1000, 1 << 30);
+        let a = v.reserve(100, 8);
+        let b = v.reserve(100, 8);
+        assert!(a + 100 <= b);
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut v = Vmm::new(0x1000, 1 << 30);
+        v.reserve(3, 8);
+        let b = v.reserve(64, 1 << 20);
+        assert_eq!(b % (1 << 20), 0);
+    }
+
+    #[test]
+    fn contains_tracks_extent() {
+        let mut v = Vmm::new(0x1000, 1 << 20);
+        assert!(!v.contains(0x1000));
+        let a = v.reserve(16, 8);
+        assert!(v.contains(a));
+        assert!(v.contains(a + 15));
+        assert!(!v.contains(a + 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "span exhausted")]
+    fn exhaustion_panics() {
+        let mut v = Vmm::new(0x1000, 100);
+        v.reserve(200, 8);
+    }
+
+    #[test]
+    fn zero_size_reservation_still_advances() {
+        let mut v = Vmm::new(0x1000, 1 << 20);
+        let a = v.reserve(0, 8);
+        let b = v.reserve(0, 8);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,459 @@
+//! The profiler monitor: turns one execution into a [`Profile`].
+
+use crate::objects::ObjectTracker;
+use crate::queue::{AffinityQueue, QueueEntry};
+use crate::shadow::{RawContext, ShadowStack};
+use halo_graph::{AffinityGraph, NodeId};
+use halo_vm::{AllocKind, CallSite, FuncId, Monitor, Program};
+use std::collections::HashMap;
+
+/// Profiling-stage parameters (§4.1 and §5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileConfig {
+    /// The affinity distance `A` in bytes. §5.1 selects 128 from the
+    /// Fig. 12 sweep.
+    pub affinity_distance: u64,
+    /// Objects larger than this are not tracked ("profiled with a maximum
+    /// grouped-object size of 4 KiB").
+    pub max_tracked_size: u64,
+    /// Fraction of accesses the retained contexts must cover; the rest are
+    /// discarded (90% in the paper).
+    pub keep_fraction: f64,
+    /// Enforce the co-allocatability constraint on affinity edges (§4.1).
+    /// Always on in the paper; exposed for the ablation bench.
+    pub enforce_coallocatability: bool,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            affinity_distance: 128,
+            max_tracked_size: 4096,
+            keep_fraction: 0.9,
+            enforce_coallocatability: true,
+        }
+    }
+}
+
+/// Everything recorded about one allocation context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextInfo {
+    /// Graph node / context id.
+    pub id: NodeId,
+    /// Reduced shadow frames, outermost first.
+    pub frames: Vec<(FuncId, CallSite)>,
+    /// Call-site chain (frames' sites plus the allocation site) — the
+    /// "member" fed to identification.
+    pub chain: Vec<CallSite>,
+    /// Human-readable name for reports (Fig. 9 labels).
+    pub name: String,
+    /// Allocations made from this context.
+    pub allocs: u64,
+    /// Macro-accesses to this context's objects.
+    pub accesses: u64,
+    /// Whether the 90% filter discarded this context.
+    pub discarded: bool,
+}
+
+/// The output of a profiling run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// The affinity graph over retained contexts.
+    pub graph: AffinityGraph,
+    /// All contexts ever observed, indexed by [`NodeId`]; discarded ones
+    /// keep their data but are marked.
+    pub contexts: Vec<ContextInfo>,
+    /// Total macro-accesses to tracked heap objects.
+    pub total_accesses: u64,
+    /// Total allocations observed (any size).
+    pub total_allocs: u64,
+    /// Affinity-queue entries inspected during profiling — the overhead
+    /// that grows with the affinity distance (§5.1, Fig. 12 trade-off).
+    pub queue_work: u64,
+}
+
+impl Profile {
+    /// Contexts that survived filtering.
+    pub fn alive_contexts(&self) -> impl Iterator<Item = &ContextInfo> {
+        self.contexts.iter().filter(|c| !c.discarded)
+    }
+
+    /// Look up a context by id.
+    pub fn context(&self, id: NodeId) -> &ContextInfo {
+        &self.contexts[id.index()]
+    }
+}
+
+struct ContextData {
+    info: ContextInfo,
+    alloc_seqs: Vec<u64>,
+}
+
+/// A [`Monitor`] implementing the paper's profiling stage. Drive a program
+/// through it with [`halo_vm::Engine::run`], then call
+/// [`Profiler::finish`].
+pub struct Profiler<'p> {
+    program: &'p Program,
+    config: ProfileConfig,
+    shadow: ShadowStack<'p>,
+    objects: ObjectTracker,
+    queue: AffinityQueue,
+    graph: AffinityGraph,
+    intern: HashMap<RawContext, NodeId>,
+    contexts: Vec<ContextData>,
+    next_seq: u64,
+    total_accesses: u64,
+    total_allocs: u64,
+}
+
+impl<'p> Profiler<'p> {
+    /// Create a profiler for one run of `program`.
+    pub fn new(program: &'p Program, config: ProfileConfig) -> Self {
+        Profiler {
+            program,
+            config,
+            shadow: ShadowStack::new(program),
+            objects: ObjectTracker::new(),
+            queue: AffinityQueue::new(config.affinity_distance),
+            graph: AffinityGraph::new(),
+            intern: HashMap::new(),
+            contexts: Vec::new(),
+            next_seq: 0,
+            total_accesses: 0,
+            total_allocs: 0,
+        }
+    }
+
+    fn intern_context(&mut self, raw: RawContext) -> NodeId {
+        if let Some(&id) = self.intern.get(&raw) {
+            return id;
+        }
+        let id = self.graph.add_node(0);
+        debug_assert_eq!(id.index(), self.contexts.len());
+        let name = self.context_name(&raw);
+        self.contexts.push(ContextData {
+            info: ContextInfo {
+                id,
+                frames: raw.frames.clone(),
+                chain: raw.chain(),
+                name,
+                allocs: 0,
+                accesses: 0,
+                discarded: false,
+            },
+            alloc_seqs: Vec::new(),
+        });
+        self.intern.insert(raw, id);
+        id
+    }
+
+    fn context_name(&self, raw: &RawContext) -> String {
+        let mut parts: Vec<String> =
+            raw.frames.iter().map(|&(f, _)| self.program.function(f).name.clone()).collect();
+        let site_fn = &self.program.function(raw.alloc_site.func).name;
+        parts.push(format!("{}+{}", site_fn, raw.alloc_site.pc));
+        parts.join("→")
+    }
+
+    /// Co-allocatability (§4.1): "no allocations made between u and v
+    /// chronologically can originate from either x or y". Were that
+    /// violated, u and v could not end up adjacent in a shared bump pool.
+    fn coallocatable(&self, x: NodeId, sx: u64, y: NodeId, sy: u64) -> bool {
+        let (lo, hi) = (sx.min(sy), sx.max(sy));
+        let violates = |ctx: NodeId| {
+            let seqs = &self.contexts[ctx.index()].alloc_seqs;
+            let from = seqs.partition_point(|&s| s <= lo);
+            let to = seqs.partition_point(|&s| s < hi);
+            to > from
+        };
+        if violates(x) {
+            return false;
+        }
+        x == y || !violates(y)
+    }
+
+    /// Finish profiling: fix node access counts, apply the 90% filter, and
+    /// emit the [`Profile`].
+    pub fn finish(mut self) -> Profile {
+        for c in &self.contexts {
+            self.graph.add_accesses(c.info.id, c.info.accesses);
+        }
+        self.graph.discard_cold_nodes(self.config.keep_fraction);
+        let graph = self.graph;
+        let contexts: Vec<ContextInfo> = self
+            .contexts
+            .into_iter()
+            .map(|mut c| {
+                c.info.discarded = !graph.is_alive(c.info.id);
+                c.info
+            })
+            .collect();
+        Profile {
+            graph,
+            contexts,
+            total_accesses: self.total_accesses,
+            total_allocs: self.total_allocs,
+            queue_work: self.queue.traversal_work(),
+        }
+    }
+}
+
+impl Monitor for Profiler<'_> {
+    fn on_call(&mut self, site: CallSite, callee: FuncId) {
+        self.shadow.on_call(site, callee);
+    }
+
+    fn on_return(&mut self, callee: FuncId) {
+        self.shadow.on_return(callee);
+    }
+
+    fn on_alloc(&mut self, kind: AllocKind, site: CallSite, size: u64, ptr: u64, old_ptr: u64) {
+        if kind == AllocKind::Realloc && old_ptr != 0 {
+            self.objects.remove(old_ptr);
+        }
+        let raw = self.shadow.capture(site).reduced();
+        let ctx = self.intern_context(raw);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.total_allocs += 1;
+        let data = &mut self.contexts[ctx.index()];
+        data.info.allocs += 1;
+        data.alloc_seqs.push(seq);
+        if size <= self.config.max_tracked_size {
+            self.objects.insert(seq, ptr, size, ctx);
+        }
+    }
+
+    fn on_free(&mut self, _site: CallSite, ptr: u64) {
+        self.objects.remove(ptr);
+    }
+
+    fn on_access(&mut self, addr: u64, width: u8, _store: bool) {
+        let Some(obj) = self.objects.find(addr) else { return };
+        if self.queue.is_consecutive(obj.id) {
+            return; // same macro-access
+        }
+        self.total_accesses += 1;
+        self.contexts[obj.ctx.index()].info.accesses += 1;
+        let entry =
+            QueueEntry { obj: obj.id, ctx: obj.ctx, alloc_seq: obj.id, size: width as u64 };
+        let partners = self.queue.record(entry);
+        for partner in partners {
+            if !self.config.enforce_coallocatability
+                || self.coallocatable(obj.ctx, obj.id, partner.ctx, partner.alloc_seq)
+            {
+                self.graph.add_edge_weight(obj.ctx, partner.ctx, 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_vm::{Engine, EngineLimits, MallocOnlyAllocator, ProgramBuilder, Reg, Width};
+
+    fn r(n: u8) -> Reg {
+        Reg(n)
+    }
+
+    /// Figure 2's shape: create_a/create_b allocate hot objects, create_c
+    /// cold ones; the access loop touches only a/b objects, interleaved.
+    fn fig2_program(rounds: i64) -> halo_vm::Program {
+        let mut pb = ProgramBuilder::new();
+        let create_a = pb.declare("create_a");
+        let create_b = pb.declare("create_b");
+        let create_c = pb.declare("create_c");
+        for f in [create_a, create_b, create_c] {
+            let mut fb = pb.define(f);
+            fb.imm(r(0), 32);
+            fb.malloc(r(0), r(1));
+            fb.ret(Some(r(1)));
+            fb.finish();
+        }
+
+        let mut m = pb.function("main");
+        // r10 = count, r1/r2 heads of 8-object arrays stored to heap slots.
+        // Allocate `rounds` rounds of (a, b, c); link a's and b's through
+        // slot 0; then traverse touching a and b alternately.
+        let list = r(9); // current list head (a/b chained)
+        m.imm(list, 0);
+        m.imm(r(10), 0);
+        m.imm(r(11), rounds);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(halo_vm::Cond::Ge, r(10), r(11), done);
+        m.call(create_a, &[], Some(r(3)));
+        m.store(list, r(3), 0, Width::W8); // a->next = list
+        m.mov(list, r(3));
+        m.call(create_b, &[], Some(r(4)));
+        m.store(list, r(4), 0, Width::W8); // b->next = list
+        m.mov(list, r(4));
+        m.call(create_c, &[], Some(r(5)));
+        m.store(r(10), r(5), 8, Width::W8); // touch c once
+        m.add_imm(r(10), r(10), 1);
+        m.jump(top);
+        m.bind(done);
+        // Traverse the a/b list several times.
+        m.imm(r(12), 0);
+        let sweep = m.label();
+        let sweep_done = m.label();
+        m.bind(sweep);
+        m.branch(halo_vm::Cond::Ge, r(12), r(11), sweep_done);
+        m.mov(r(6), list);
+        let walk = m.label();
+        let walk_done = m.label();
+        m.bind(walk);
+        m.branch(halo_vm::Cond::Eq, r(6), r(13), walk_done); // r13 == 0
+        m.load(r(7), r(6), 8, Width::W8); // touch payload
+        m.load(r(6), r(6), 0, Width::W8); // next
+        m.jump(walk);
+        m.bind(walk_done);
+        m.add_imm(r(12), r(12), 1);
+        m.jump(sweep);
+        m.bind(sweep_done);
+        m.ret(None);
+        let main = m.finish();
+        pb.finish(main)
+    }
+
+    fn profile(p: &halo_vm::Program, cfg: ProfileConfig) -> Profile {
+        let mut prof = Profiler::new(p, cfg);
+        let mut alloc = MallocOnlyAllocator::new();
+        Engine::new(p)
+            .with_limits(EngineLimits { max_instructions: 50_000_000, max_call_depth: 128 })
+            .run(&mut alloc, &mut prof)
+            .expect("program runs");
+        prof.finish()
+    }
+
+    #[test]
+    fn contexts_distinguish_allocation_call_paths() {
+        let p = fig2_program(16);
+        let profile = profile(&p, ProfileConfig { keep_fraction: 1.0, ..Default::default() });
+        // Three contexts: main→create_a, main→create_b, main→create_c.
+        assert_eq!(profile.contexts.len(), 3);
+        let names: Vec<&str> = profile.contexts.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("create_a")));
+        assert!(names.iter().any(|n| n.contains("create_b")));
+        assert!(names.iter().any(|n| n.contains("create_c")));
+        for c in &profile.contexts {
+            assert_eq!(c.allocs, 16);
+            assert_eq!(c.chain.len(), 2, "main-site then alloc-site");
+        }
+    }
+
+    #[test]
+    fn hot_pair_gets_the_strong_edge() {
+        let p = fig2_program(16);
+        let profile = profile(&p, ProfileConfig { keep_fraction: 1.0, ..Default::default() });
+        let by_name = |pat: &str| {
+            profile
+                .contexts
+                .iter()
+                .find(|c| c.name.contains(pat))
+                .map(|c| c.id)
+                .expect("context exists")
+        };
+        let (a, b, c) = (by_name("create_a"), by_name("create_b"), by_name("create_c"));
+        let w_ab = profile.graph.weight(a, b);
+        let w_ac = profile.graph.weight(a, c).max(profile.graph.weight(b, c));
+        assert!(w_ab > 0, "traversal makes a and b affinitive");
+        assert!(w_ab > 4 * w_ac, "a–b dominates any c edge (w_ab={w_ab}, w_c={w_ac})");
+        // a and b are far hotter than c.
+        assert!(profile.context(a).accesses > 4 * profile.context(c).accesses);
+    }
+
+    #[test]
+    fn cold_contexts_are_filtered_at_90_percent() {
+        let p = fig2_program(16);
+        let profile = profile(&p, ProfileConfig::default());
+        let c = profile.contexts.iter().find(|c| c.name.contains("create_c")).unwrap();
+        assert!(c.discarded, "create_c covers <10% of accesses");
+        assert!(!profile.graph.is_alive(c.id));
+        assert_eq!(profile.alive_contexts().count(), 2);
+    }
+
+    #[test]
+    fn coallocatability_blocks_interleaved_contexts() {
+        // Two contexts allocated strictly alternately, accessed together:
+        // every pair (u from x, v from y) has an interleaved allocation
+        // from x or y between them *except* adjacent pairs. With each round
+        // allocating x then y then accessing both, the (x_i, y_i) pair has
+        // nothing between it, but (y_{i-1}, x_i) pairs do not violate
+        // either… exercise the filter through a third noisy context.
+        let mut pb = ProgramBuilder::new();
+        let mk = pb.declare("mk");
+        let mut m = pb.function("main");
+        m.imm(r(10), 0);
+        m.imm(r(11), 8);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(halo_vm::Cond::Ge, r(10), r(11), done);
+        m.call(mk, &[], Some(r(1))); // context P (via site 1)
+        m.call(mk, &[], Some(r(2))); // context Q (via site 2)
+        m.store(r(10), r(1), 0, Width::W8);
+        m.store(r(10), r(2), 0, Width::W8);
+        m.add_imm(r(10), r(10), 1);
+        m.jump(top);
+        m.bind(done);
+        m.ret(None);
+        let main = m.finish();
+        let mut f = pb.define(mk);
+        f.imm(r(0), 16);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        f.finish();
+        let p = pb.finish(main);
+
+        let profile = profile(&p, ProfileConfig { keep_fraction: 1.0, ..Default::default() });
+        assert_eq!(profile.contexts.len(), 2);
+        let (x, y) = (profile.contexts[0].id, profile.contexts[1].id);
+        // P_i and Q_i are adjacent allocations (co-allocatable) and accessed
+        // together → edge exists.
+        assert!(profile.graph.weight(x, y) > 0);
+        // But the access in round i also sees round i-1's objects within the
+        // queue; those pairs are separated by intervening P/Q allocations
+        // and must have been rejected. The observed weight therefore stays
+        // at exactly one increment per round boundary pair.
+        assert!(profile.graph.weight(x, y) <= 16);
+    }
+
+    #[test]
+    fn realloc_moves_object_identity() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main");
+        m.imm(r(0), 16);
+        m.malloc(r(0), r(1));
+        m.store(r(0), r(1), 0, Width::W8);
+        m.imm(r(2), 64);
+        m.realloc(r(1), r(2), r(3));
+        m.store(r(0), r(3), 0, Width::W8);
+        m.ret(None);
+        let main = m.finish();
+        let p = pb.finish(main);
+        let profile = profile(&p, ProfileConfig { keep_fraction: 1.0, ..Default::default() });
+        // Two contexts (malloc site, realloc site), each with one access.
+        assert_eq!(profile.contexts.len(), 2);
+        assert_eq!(profile.total_allocs, 2);
+        assert_eq!(profile.total_accesses, 2);
+    }
+
+    #[test]
+    fn oversized_objects_are_not_tracked() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main");
+        m.imm(r(0), 100_000);
+        m.malloc(r(0), r(1));
+        m.store(r(0), r(1), 0, Width::W8);
+        m.ret(None);
+        let main = m.finish();
+        let p = pb.finish(main);
+        let profile = profile(&p, ProfileConfig { keep_fraction: 1.0, ..Default::default() });
+        assert_eq!(profile.total_allocs, 1);
+        assert_eq!(profile.total_accesses, 0, "accesses to untracked objects ignored");
+        assert_eq!(profile.contexts[0].accesses, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The affinity queue (§4.1, Fig. 5).
+//!
+//! Holds the most recently accessed heap objects; a new access is
+//! *affinitive* to a previous one when the access bytes between them sum to
+//! less than the affinity distance `A` (by which the queue is implicitly
+//! sized). Candidate enumeration applies three of the paper's four
+//! constraints — deduplication, no self-affinity, no double counting; the
+//! fourth (co-allocatability) needs allocation history, so the profiler
+//! applies it to the returned candidates.
+
+use halo_graph::NodeId;
+use std::collections::{HashSet, VecDeque};
+
+/// One recorded macro-access in the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// Accessed object.
+    pub obj: u64,
+    /// The object's allocation context.
+    pub ctx: NodeId,
+    /// The object's allocation sequence number.
+    pub alloc_seq: u64,
+    /// Access width in bytes.
+    pub size: u64,
+}
+
+/// The affinity queue. See module docs.
+#[derive(Debug)]
+pub struct AffinityQueue {
+    distance: u64,
+    entries: VecDeque<QueueEntry>,
+    total_bytes: u64,
+    work: u64,
+}
+
+impl AffinityQueue {
+    /// Create a queue with affinity distance `A` bytes.
+    pub fn new(distance: u64) -> Self {
+        AffinityQueue { distance, entries: VecDeque::new(), total_bytes: 0, work: 0 }
+    }
+
+    /// Total queue entries inspected across all traversals — the profiling
+    /// cost that grows with the affinity distance (the overhead axis of
+    /// the paper's Fig. 12 trade-off).
+    pub fn traversal_work(&self) -> u64 {
+        self.work
+    }
+
+    /// The affinity distance `A`.
+    pub fn distance(&self) -> u64 {
+        self.distance
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether an access to `obj` continues the current macro-access
+    /// (deduplication: "consecutive machine-level accesses to a single
+    /// object are considered to be part of the same macro-level access").
+    pub fn is_consecutive(&self, obj: u64) -> bool {
+        self.entries.back().is_some_and(|e| e.obj == obj)
+    }
+
+    /// Enumerate the affinitive partners of a new access to `entry.obj`,
+    /// then push the entry.
+    ///
+    /// Walking back from the newest entry, byte sizes accumulate; an entry
+    /// is within range while the accumulated size (including its own) stays
+    /// below `A`. Applies dedup (returns empty without pushing when the
+    /// access is consecutive), no self-affinity, and no double counting.
+    /// The caller must still apply co-allocatability before counting an
+    /// edge.
+    pub fn record(&mut self, entry: QueueEntry) -> Vec<QueueEntry> {
+        if self.is_consecutive(entry.obj) {
+            return Vec::new();
+        }
+        let mut partners = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut accumulated = 0u64;
+        for e in self.entries.iter().rev() {
+            self.work += 1;
+            accumulated += e.size;
+            if accumulated >= self.distance {
+                break;
+            }
+            // No self-affinity: "objects cannot be affinitive to
+            // themselves (u ≠ v)".
+            if e.obj == entry.obj {
+                continue;
+            }
+            // No double counting: "each unique object v can be affinitive
+            // with u at most once within a single queue traversal".
+            if seen.insert(e.obj) {
+                partners.push(*e);
+            }
+        }
+        self.push(entry);
+        partners
+    }
+
+    fn push(&mut self, entry: QueueEntry) {
+        self.total_bytes += entry.size;
+        self.entries.push_back(entry);
+        // Implicit sizing: keep only the last A bytes worth of accesses.
+        while self.total_bytes > self.distance {
+            match self.entries.pop_front() {
+                Some(old) => self.total_bytes -= old.size,
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(obj: u64, ctx: u32, size: u64) -> QueueEntry {
+        QueueEntry { obj, ctx: NodeId(ctx), alloc_seq: obj, size }
+    }
+
+    #[test]
+    fn figure5_example_seven_partners() {
+        // "a program iterates over 10 objects making 4-byte accesses …
+        // with A = 32, the newest element would be considered affinitive to
+        // the seven others to its left."
+        let mut q = AffinityQueue::new(32);
+        for i in 0..9 {
+            q.record(e(i, i as u32, 4));
+        }
+        let partners = q.record(e(9, 9, 4));
+        assert_eq!(partners.len(), 7);
+        // The partners are the immediately preceding seven objects.
+        let ids: Vec<u64> = partners.iter().map(|p| p.obj).collect();
+        assert_eq!(ids, vec![8, 7, 6, 5, 4, 3, 2]);
+    }
+
+    #[test]
+    fn dedup_consecutive_same_object() {
+        let mut q = AffinityQueue::new(64);
+        q.record(e(1, 0, 8));
+        q.record(e(2, 1, 8));
+        // Second consecutive access to object 2: same macro access.
+        let partners = q.record(e(2, 1, 8));
+        assert!(partners.is_empty());
+        assert_eq!(q.len(), 2, "no duplicate entry enqueued");
+    }
+
+    #[test]
+    fn no_self_affinity_through_interleaving() {
+        let mut q = AffinityQueue::new(64);
+        q.record(e(1, 0, 8));
+        q.record(e(2, 1, 8));
+        // Object 1 again (not consecutive → traversed): object 1 deeper in
+        // the queue must not appear as its own partner.
+        let partners = q.record(e(1, 0, 8));
+        assert_eq!(partners.len(), 1);
+        assert_eq!(partners[0].obj, 2);
+    }
+
+    #[test]
+    fn no_double_counting_of_one_partner() {
+        let mut q = AffinityQueue::new(128);
+        q.record(e(2, 1, 8));
+        q.record(e(1, 0, 8));
+        q.record(e(2, 1, 8));
+        // Object 2 appears twice within range; counted once.
+        let partners = q.record(e(3, 2, 8));
+        let twos = partners.iter().filter(|p| p.obj == 2).count();
+        assert_eq!(twos, 1);
+        assert_eq!(partners.len(), 2);
+    }
+
+    #[test]
+    fn distance_bounds_partners_by_bytes_not_count() {
+        let mut q = AffinityQueue::new(32);
+        q.record(e(1, 0, 16));
+        q.record(e(2, 1, 16));
+        // 16 + 16 = 32 ≥ A: only the nearest previous entry qualifies.
+        let partners = q.record(e(3, 2, 4));
+        assert_eq!(partners.len(), 1);
+        assert_eq!(partners[0].obj, 2);
+    }
+
+    #[test]
+    fn queue_is_implicitly_sized_by_a() {
+        let mut q = AffinityQueue::new(32);
+        for i in 0..100 {
+            q.record(e(i, 0, 8));
+        }
+        // At 8 bytes per entry and A = 32, at most 4 entries survive.
+        assert!(q.len() <= 4);
+    }
+
+    #[test]
+    fn empty_queue_has_no_partners() {
+        let mut q = AffinityQueue::new(32);
+        assert!(q.record(e(1, 0, 8)).is_empty());
+    }
+}

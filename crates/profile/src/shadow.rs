@@ -1,0 +1,224 @@
+//! The shadow call stack (§4.1).
+//!
+//! "For each call instruction (or other cross-function control transfer),
+//! we add an entry to this stack only if the target of the call is
+//! statically linked into the main binary, or is one of a handful of
+//! externally traceable routines like malloc or free. … call sites may be
+//! indirect, and are traced back to their nearest points of origin in the
+//! main executable. In addition, stacks containing recursive calls are
+//! transformed into a canonical 'reduced' form in which only the most
+//! recent of any (function, call site) pair is retained."
+
+use halo_vm::{CallSite, FuncId, Program};
+use std::collections::HashSet;
+
+#[derive(Debug, Clone, Copy)]
+struct RealFrame {
+    func: FuncId,
+    external: bool,
+    /// Nearest main-executable call site that led into this frame
+    /// (`None` only for the entry function).
+    origin: Option<CallSite>,
+    /// Whether this frame contributed a shadow-stack entry.
+    shadowed: bool,
+}
+
+/// A raw (unreduced) allocation context captured from the shadow stack.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RawContext {
+    /// Shadow frames outermost-first: `(function entered, from call site)`.
+    /// The entry function contributes no frame (it was not called from
+    /// anywhere).
+    pub frames: Vec<(FuncId, CallSite)>,
+    /// The allocation-routine call site, origin-traced like any other.
+    pub alloc_site: CallSite,
+}
+
+impl RawContext {
+    /// Canonical reduced form: only the most recent occurrence of each
+    /// `(function, call site)` pair survives, preserving relative order.
+    pub fn reduced(&self) -> RawContext {
+        let mut seen: HashSet<(FuncId, CallSite)> = HashSet::new();
+        let mut kept: Vec<(FuncId, CallSite)> = Vec::with_capacity(self.frames.len());
+        for &frame in self.frames.iter().rev() {
+            if seen.insert(frame) {
+                kept.push(frame);
+            }
+        }
+        kept.reverse();
+        RawContext { frames: kept, alloc_site: self.alloc_site }
+    }
+
+    /// The call-site chain used by identification (Fig. 10): every frame's
+    /// call site plus the allocation site, outermost first.
+    pub fn chain(&self) -> Vec<CallSite> {
+        let mut chain: Vec<CallSite> = self.frames.iter().map(|&(_, s)| s).collect();
+        chain.push(self.alloc_site);
+        chain
+    }
+}
+
+/// Maintains the real and shadow stacks from engine call/return events.
+#[derive(Debug)]
+pub struct ShadowStack<'p> {
+    program: &'p Program,
+    real: Vec<RealFrame>,
+}
+
+impl<'p> ShadowStack<'p> {
+    /// Create a shadow stack for a program about to start at its entry.
+    pub fn new(program: &'p Program) -> Self {
+        let entry_external = program.function(program.entry).external;
+        ShadowStack {
+            program,
+            real: vec![RealFrame {
+                func: program.entry,
+                external: entry_external,
+                origin: None,
+                shadowed: false,
+            }],
+        }
+    }
+
+    /// Record a call from `site` into `callee`.
+    pub fn on_call(&mut self, site: CallSite, callee: FuncId) {
+        let caller = self.real.last().copied();
+        // A call made from library code inherits the origin that led into
+        // the library; a call from the main binary *is* an origin.
+        let origin = match caller {
+            Some(c) if c.external => c.origin,
+            _ => Some(site),
+        };
+        let external = self.program.function(callee).external;
+        self.real.push(RealFrame { func: callee, external, origin, shadowed: !external });
+    }
+
+    /// Record a return from `callee`.
+    pub fn on_return(&mut self, callee: FuncId) {
+        let popped = self.real.pop();
+        debug_assert_eq!(popped.map(|f| f.func), Some(callee), "unbalanced return");
+    }
+
+    /// Current stack depth (real frames).
+    pub fn depth(&self) -> usize {
+        self.real.len()
+    }
+
+    /// Capture the raw context of an allocation happening now at
+    /// `alloc_site` (the location of the allocation instruction).
+    pub fn capture(&self, alloc_site: CallSite) -> RawContext {
+        let frames = self
+            .real
+            .iter()
+            .filter(|f| f.shadowed)
+            .map(|f| (f.func, f.origin.expect("shadowed frames always have an origin")))
+            .collect();
+        // An allocation made inside library code is attributed to the call
+        // site in the main executable that entered the library.
+        let alloc_site = match self.real.last() {
+            Some(f) if f.external => f.origin.unwrap_or(alloc_site),
+            _ => alloc_site,
+        };
+        RawContext { frames, alloc_site }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_vm::ProgramBuilder;
+
+    fn site(f: u32, pc: u32) -> CallSite {
+        CallSite::new(FuncId(f), pc)
+    }
+
+    /// main(0) → wrapper(1) → libfn(2, external) → helper(3)
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut main = pb.function("main");
+        main.ret(None);
+        let main = main.finish();
+        let mut w = pb.function("wrapper");
+        w.ret(None);
+        w.finish();
+        let mut l = pb.function("libfn");
+        l.external().ret(None);
+        l.finish();
+        let mut h = pb.function("helper");
+        h.ret(None);
+        h.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn main_binary_frames_are_shadowed() {
+        let p = program();
+        let mut s = ShadowStack::new(&p);
+        s.on_call(site(0, 5), FuncId(1)); // main calls wrapper
+        let ctx = s.capture(site(1, 2));
+        assert_eq!(ctx.frames, vec![(FuncId(1), site(0, 5))]);
+        assert_eq!(ctx.alloc_site, site(1, 2));
+    }
+
+    #[test]
+    fn library_frames_are_skipped_and_origin_traced() {
+        let p = program();
+        let mut s = ShadowStack::new(&p);
+        s.on_call(site(0, 5), FuncId(2)); // main calls libfn (external)
+        // Allocation inside the library: attributed to the main-binary site.
+        let ctx = s.capture(site(2, 1));
+        assert!(ctx.frames.is_empty(), "library frame not shadowed");
+        assert_eq!(ctx.alloc_site, site(0, 5), "traced to origin");
+        // Library calls back into the main binary (e.g. a callback): the
+        // callback frame is shadowed with the origin site.
+        s.on_call(site(2, 3), FuncId(3));
+        let ctx2 = s.capture(site(3, 0));
+        assert_eq!(ctx2.frames, vec![(FuncId(3), site(0, 5))]);
+        assert_eq!(ctx2.alloc_site, site(3, 0));
+    }
+
+    #[test]
+    fn returns_unwind_both_stacks() {
+        let p = program();
+        let mut s = ShadowStack::new(&p);
+        s.on_call(site(0, 1), FuncId(1));
+        s.on_call(site(1, 1), FuncId(3));
+        assert_eq!(s.depth(), 3);
+        s.on_return(FuncId(3));
+        s.on_return(FuncId(1));
+        assert_eq!(s.depth(), 1);
+        let ctx = s.capture(site(0, 9));
+        assert!(ctx.frames.is_empty());
+        assert_eq!(ctx.alloc_site, site(0, 9));
+    }
+
+    #[test]
+    fn reduction_keeps_most_recent_of_each_pair() {
+        // Stack: A (from s1), B (from s2), A (from s1) — recursion.
+        let a = (FuncId(1), site(0, 1));
+        let b = (FuncId(2), site(1, 2));
+        let raw = RawContext { frames: vec![a, b, a], alloc_site: site(1, 7) };
+        let red = raw.reduced();
+        assert_eq!(red.frames, vec![b, a], "most recent A retained, order preserved");
+        // Same function from a *different* site is a different pair.
+        let a2 = (FuncId(1), site(2, 3));
+        let raw2 = RawContext { frames: vec![a, b, a2], alloc_site: site(1, 7) };
+        assert_eq!(raw2.reduced().frames, vec![a, b, a2]);
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let a = (FuncId(1), site(0, 1));
+        let b = (FuncId(2), site(1, 2));
+        let raw = RawContext { frames: vec![a, b, a, b, a], alloc_site: site(9, 9) };
+        let once = raw.reduced();
+        assert_eq!(once.reduced(), once);
+    }
+
+    #[test]
+    fn chain_appends_alloc_site() {
+        let a = (FuncId(1), site(0, 1));
+        let raw = RawContext { frames: vec![a], alloc_site: site(1, 4) };
+        assert_eq!(raw.chain(), vec![site(0, 1), site(1, 4)]);
+    }
+}

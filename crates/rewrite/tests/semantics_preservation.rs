@@ -1,0 +1,217 @@
+//! Property test: instrumenting arbitrary call-site subsets of randomly
+//! generated programs never changes observable behaviour.
+//!
+//! Programs are generated terminating-by-construction: straight-line
+//! arithmetic with forward-only branches, calls into a small helper that
+//! allocates/touches/frees memory, and a bounded trailing loop. The oracle
+//! compares the full event stream (calls, returns, allocations, frees,
+//! accesses with addresses) and the return value before and after
+//! rewriting.
+
+use halo_rewrite::instrument;
+use halo_vm::{
+    AllocKind, CallSite, Cond, Engine, FuncId, MallocOnlyAllocator, Monitor, ProgramBuilder,
+    Reg, Width,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Imm(u8, i64),
+    Add(u8, u8, u8),
+    Mul(u8, u8, u8),
+    Xor(u8, u8, u8),
+    StoreScratch(u8, i64),
+    LoadScratch(u8, i64),
+    CallHelper(u8),
+    ForwardBranch(u8, u8, u8),
+    Compute(u8),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0u8..10, -100i64..100).prop_map(|(r, v)| GenOp::Imm(r, v)),
+        (0u8..10, 0u8..10, 0u8..10).prop_map(|(a, b, c)| GenOp::Add(a, b, c)),
+        (0u8..10, 0u8..10, 0u8..10).prop_map(|(a, b, c)| GenOp::Mul(a, b, c)),
+        (0u8..10, 0u8..10, 0u8..10).prop_map(|(a, b, c)| GenOp::Xor(a, b, c)),
+        (0u8..10, 0i64..32).prop_map(|(r, o)| GenOp::StoreScratch(r, o)),
+        (0u8..10, 0i64..32).prop_map(|(r, o)| GenOp::LoadScratch(r, o)),
+        (0u8..10).prop_map(GenOp::CallHelper),
+        (0u8..10, 0u8..10, 1u8..4).prop_map(|(a, b, skip)| GenOp::ForwardBranch(a, b, skip)),
+        (1u8..20).prop_map(GenOp::Compute),
+    ]
+}
+
+/// Build a program from the generated op list; returns the program and all
+/// its call sites.
+fn build(ops: &[GenOp]) -> (halo_vm::Program, Vec<CallSite>) {
+    let mut pb = ProgramBuilder::new();
+    let helper = pb.declare("helper");
+
+    let mut m = pb.function("main");
+    let mut sites = Vec::new();
+    // r15 = scratch buffer base.
+    m.imm(Reg(15), 256);
+    let s = m.malloc(Reg(15), Reg(15));
+    sites.push(s);
+    // Pending forward branches: (remaining ops to skip, label).
+    let mut pending: Vec<(u8, halo_vm::Label)> = Vec::new();
+    for op in ops {
+        match *op {
+            GenOp::Imm(r, v) => {
+                m.imm(Reg(r), v);
+            }
+            GenOp::Add(a, b, c) => {
+                m.add(Reg(a), Reg(b), Reg(c));
+            }
+            GenOp::Mul(a, b, c) => {
+                m.mul(Reg(a), Reg(b), Reg(c));
+            }
+            GenOp::Xor(a, b, c) => {
+                m.xor(Reg(a), Reg(b), Reg(c));
+            }
+            GenOp::StoreScratch(r, off) => {
+                m.store(Reg(r), Reg(15), off * 8, Width::W8);
+            }
+            GenOp::LoadScratch(r, off) => {
+                m.load(Reg(r), Reg(15), off * 8, Width::W8);
+            }
+            GenOp::CallHelper(r) => {
+                let site = m.call(helper, &[Reg(r)], Some(Reg(r)));
+                sites.push(site);
+            }
+            GenOp::ForwardBranch(a, b, skip) => {
+                let l = m.label();
+                m.branch(Cond::Lt, Reg(a), Reg(b), l);
+                pending.push((skip, l));
+            }
+            GenOp::Compute(n) => {
+                m.compute(n as u64);
+            }
+        }
+        // Bind labels whose skip distance expired.
+        for entry in &mut pending {
+            entry.0 = entry.0.saturating_sub(1);
+        }
+        let expired: Vec<halo_vm::Label> = pending
+            .iter()
+            .filter(|(n, _)| *n == 0)
+            .map(|&(_, l)| l)
+            .collect();
+        pending.retain(|(n, _)| *n != 0);
+        for l in expired {
+            m.bind(l);
+        }
+    }
+    for (_, l) in pending {
+        m.bind(l);
+    }
+    // A bounded trailing loop exercising backward-branch fixups.
+    m.imm(Reg(11), 0);
+    m.imm(Reg(12), 5);
+    let top = m.label();
+    let done = m.label();
+    m.bind(top);
+    m.branch(Cond::Ge, Reg(11), Reg(12), done);
+    let s = m.call(helper, &[Reg(11)], Some(Reg(13)));
+    sites.push(s);
+    m.add_imm(Reg(11), Reg(11), 1);
+    m.jump(top);
+    m.bind(done);
+    m.ret(Some(Reg(0)));
+    let main = m.finish();
+
+    let mut h = pb.define(helper);
+    h.argc(1);
+    h.imm(Reg(1), 24);
+    let s = h.malloc(Reg(1), Reg(2));
+    sites.push(s);
+    h.store(Reg(0), Reg(2), 0, Width::W8);
+    h.load(Reg(3), Reg(2), 0, Width::W8);
+    let s = h.free(Reg(2));
+    sites.push(s);
+    h.add_imm(Reg(3), Reg(3), 1);
+    h.ret(Some(Reg(3)));
+    h.finish();
+
+    (pb.finish(main), sites)
+}
+
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Trace(Vec<String>);
+
+impl Monitor for Trace {
+    fn on_call(&mut self, _site: CallSite, callee: FuncId) {
+        self.0.push(format!("c{callee}"));
+    }
+    fn on_return(&mut self, callee: FuncId) {
+        self.0.push(format!("r{callee}"));
+    }
+    fn on_alloc(&mut self, kind: AllocKind, _s: CallSite, size: u64, ptr: u64, old: u64) {
+        self.0.push(format!("a{kind:?}:{size}:{ptr}:{old}"));
+    }
+    fn on_free(&mut self, _s: CallSite, ptr: u64) {
+        self.0.push(format!("f{ptr}"));
+    }
+    fn on_access(&mut self, addr: u64, width: u8, store: bool) {
+        self.0.push(format!("m{addr}:{width}:{store}"));
+    }
+}
+
+fn run(p: &halo_vm::Program) -> (Option<i64>, Trace) {
+    let mut alloc = MallocOnlyAllocator::new();
+    let mut trace = Trace::default();
+    let stats = Engine::new(p).run(&mut alloc, &mut trace).expect("generated programs terminate");
+    (stats.return_value, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn instrumentation_preserves_semantics(
+        ops in proptest::collection::vec(gen_op(), 0..60),
+        site_selector in proptest::collection::vec(any::<bool>(), 64),
+        bit_base in 0u16..32,
+    ) {
+        let (program, sites) = build(&ops);
+        prop_assert!(program.validate().is_ok());
+        // Instrument a random subset of call sites.
+        let site_bits: HashMap<CallSite, u16> = sites
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| site_selector[i % site_selector.len()])
+            .map(|(i, &s)| (s, bit_base + (i as u16 % 8)))
+            .collect();
+        let (rewritten, report) = instrument(&program, &site_bits);
+        prop_assert!(rewritten.validate().is_ok(), "rewritten program stays valid");
+        prop_assert_eq!(report.instructions_added, report.sites_instrumented * 2);
+
+        let (v1, t1) = run(&program);
+        let (v2, t2) = run(&rewritten);
+        prop_assert_eq!(v1, v2, "return value changed");
+        prop_assert_eq!(t1, t2, "event stream changed");
+    }
+
+    #[test]
+    fn double_instrumentation_is_cumulative_and_safe(
+        ops in proptest::collection::vec(gen_op(), 0..30),
+    ) {
+        // Instrument all sites, then instrument the result at its *new*
+        // call-site locations: still valid, still semantics preserving.
+        let (program, sites) = build(&ops);
+        let bits: HashMap<CallSite, u16> =
+            sites.iter().enumerate().map(|(i, &s)| (s, i as u16 % 16)).collect();
+        let (once, _) = instrument(&program, &bits);
+        let second_bits: HashMap<CallSite, u16> =
+            once.call_sites().into_iter().map(|s| (s, 63)).collect();
+        let (twice, report2) = instrument(&once, &second_bits);
+        prop_assert!(twice.validate().is_ok());
+        prop_assert_eq!(report2.sites_instrumented, once.call_sites().len());
+        let (v1, t1) = run(&program);
+        let (v2, t2) = run(&twice);
+        prop_assert_eq!(v1, v2);
+        prop_assert_eq!(t1, t2);
+    }
+}

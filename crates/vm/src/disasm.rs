@@ -1,0 +1,198 @@
+//! Disassembly: human-readable listings of simulated binaries.
+//!
+//! Primarily a debugging aid for the rewriting pass — `halo-rewrite`'s
+//! inserted `gset`/`gclr` instructions and fixed-up branch targets are
+//! easiest to audit in a listing. [`Program::disassemble`] renders the
+//! whole binary; [`Op`] implements [`std::fmt::Display`] for single
+//! instructions.
+
+use crate::ids::Cond;
+use crate::op::Op;
+use crate::program::{Function, Program};
+use std::fmt;
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Imm(d, v) => write!(f, "imm   {d}, {v}"),
+            Op::Mov(d, s) => write!(f, "mov   {d}, {s}"),
+            Op::Add(d, a, b) => write!(f, "add   {d}, {a}, {b}"),
+            Op::AddImm(d, a, v) => write!(f, "addi  {d}, {a}, {v}"),
+            Op::Sub(d, a, b) => write!(f, "sub   {d}, {a}, {b}"),
+            Op::Mul(d, a, b) => write!(f, "mul   {d}, {a}, {b}"),
+            Op::MulImm(d, a, v) => write!(f, "muli  {d}, {a}, {v}"),
+            Op::Div(d, a, b) => write!(f, "div   {d}, {a}, {b}"),
+            Op::Rem(d, a, b) => write!(f, "rem   {d}, {a}, {b}"),
+            Op::And(d, a, b) => write!(f, "and   {d}, {a}, {b}"),
+            Op::Or(d, a, b) => write!(f, "or    {d}, {a}, {b}"),
+            Op::Xor(d, a, b) => write!(f, "xor   {d}, {a}, {b}"),
+            Op::Load { dst, base, offset, width } => {
+                write!(f, "ld{}   {dst}, [{base}{offset:+}]", width.bytes())
+            }
+            Op::Store { src, base, offset, width } => {
+                write!(f, "st{}   {src}, [{base}{offset:+}]", width.bytes())
+            }
+            Op::Call { func, args, dst } => {
+                write!(f, "call  {func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")?;
+                if let Some(d) = dst {
+                    write!(f, " -> {d}")?;
+                }
+                Ok(())
+            }
+            Op::CallIndirect { target, args, dst } => {
+                write!(f, "calli [{target}](")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")?;
+                if let Some(d) = dst {
+                    write!(f, " -> {d}")?;
+                }
+                Ok(())
+            }
+            Op::Malloc { size, dst } => write!(f, "mallc {dst}, {size}"),
+            Op::Calloc { count, size, dst } => write!(f, "callc {dst}, {count}, {size}"),
+            Op::Realloc { ptr, size, dst } => write!(f, "reall {dst}, {ptr}, {size}"),
+            Op::Free { ptr } => write!(f, "free  {ptr}"),
+            Op::Jump(t) => write!(f, "jmp   @{t}"),
+            Op::Branch { cond, a, b, target } => write!(f, "b.{cond}  {a}, {b}, @{target}"),
+            Op::Compute(n) => write!(f, "work  {n}"),
+            Op::Rand { dst, bound } => write!(f, "rand  {dst}, {bound}"),
+            Op::Ret(Some(r)) => write!(f, "ret   {r}"),
+            Op::Ret(None) => write!(f, "ret"),
+            Op::GroupSet(b) => write!(f, "gset  #{b}"),
+            Op::GroupClear(b) => write!(f, "gclr  #{b}"),
+            Op::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+impl Function {
+    /// Render this function as an assembly-style listing.
+    pub fn disassemble(&self, out: &mut String) {
+        use fmt::Write;
+        let tag = if self.external { " [external]" } else { "" };
+        let _ = writeln!(out, "{}({} args){}:", self.name, self.argc, tag);
+        for (pc, op) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "  {pc:>4}: {op}");
+        }
+    }
+}
+
+impl Program {
+    /// Render the whole binary as an assembly-style listing.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, func) in self.functions.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            func.disassemble(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ids::{Reg, Width};
+
+    #[test]
+    fn listing_contains_every_instruction_form() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee");
+        let mut m = pb.function("main");
+        let r = Reg;
+        m.imm(r(0), 42);
+        m.malloc(r(0), r(1));
+        m.store(r(0), r(1), 8, Width::W4);
+        m.load(r(2), r(1), 8, Width::W4);
+        m.call(callee, &[r(2)], Some(r(3)));
+        m.free(r(1));
+        let top = m.label();
+        m.bind(top);
+        m.branch(crate::ids::Cond::Lt, r(3), r(0), top);
+        m.compute(7);
+        m.raw(Op::GroupSet(5));
+        m.ret(Some(r(3)));
+        let main = m.finish();
+        let mut c = pb.define(callee);
+        c.argc(1).ret(Some(r(0)));
+        c.finish();
+        let p = pb.finish(main);
+
+        let listing = p.disassemble();
+        for needle in [
+            "main(0 args):",
+            "callee(1 args):",
+            "imm   r0, 42",
+            "mallc r1, r0",
+            "st4   r0, [r1+8]",
+            "ld4   r2, [r1+8]",
+            "call  fn#0(r2) -> r3",
+            "free  r1",
+            "b.lt  r3, r0, @6",
+            "work  7",
+            "gset  #5",
+            "ret   r3",
+        ] {
+            assert!(listing.contains(needle), "missing {needle:?} in:\n{listing}");
+        }
+    }
+
+    #[test]
+    fn external_functions_are_marked() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("operator_new");
+        f.external().ret(None);
+        let id = f.finish();
+        let p = pb.finish(id);
+        assert!(p.disassemble().contains("[external]"));
+    }
+
+    #[test]
+    fn rewritten_binaries_show_instrumentation() {
+        // The primary use case: auditing the rewriter's output.
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main");
+        m.imm(Reg(0), 8);
+        let site = m.malloc(Reg(0), Reg(1));
+        m.ret(None);
+        let main = m.finish();
+        let p = pb.finish(main);
+        let mut before = p.clone();
+        before.functions[0].code.insert(site.pc as usize, Op::GroupSet(3));
+        before.functions[0].code.insert(site.pc as usize + 2, Op::GroupClear(3));
+        let listing = before.disassemble();
+        let gset_line = listing.lines().position(|l| l.contains("gset")).unwrap();
+        let mallc_line = listing.lines().position(|l| l.contains("mallc")).unwrap();
+        let gclr_line = listing.lines().position(|l| l.contains("gclr")).unwrap();
+        assert!(gset_line < mallc_line && mallc_line < gclr_line);
+    }
+}

@@ -1,0 +1,868 @@
+//! The interpreter: executes a [`Program`] against a pluggable allocator
+//! while streaming events to a [`Monitor`].
+
+use crate::group_state::GroupState;
+use crate::ids::{CallSite, FuncId, Reg};
+use crate::memory::Memory;
+use crate::op::Op;
+use crate::program::{Program, NUM_REGS};
+use crate::rng::SplitMix64;
+
+/// Which allocation routine an [`Monitor::on_alloc`] event came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocKind {
+    /// `malloc(size)`
+    Malloc,
+    /// `calloc(count, size)`
+    Calloc,
+    /// `realloc(ptr, size)`
+    Realloc,
+}
+
+/// Receives the event stream of an execution. This is the role Intel Pin
+/// plays in the paper: the profiler, the cache simulator, and test oracles
+/// are all monitors.
+///
+/// All methods default to no-ops so monitors implement only what they need.
+pub trait Monitor {
+    /// A call instruction at `site` is transferring control to `callee`.
+    /// Fired for direct and indirect calls, before the callee's first
+    /// instruction.
+    fn on_call(&mut self, site: CallSite, callee: FuncId) {
+        let _ = (site, callee);
+    }
+
+    /// `callee` is returning to its caller.
+    fn on_return(&mut self, callee: FuncId) {
+        let _ = callee;
+    }
+
+    /// An allocation routine was invoked at `site` and returned `ptr`.
+    /// For `realloc`, `old_ptr` is the original pointer (0 otherwise).
+    fn on_alloc(&mut self, kind: AllocKind, site: CallSite, size: u64, ptr: u64, old_ptr: u64) {
+        let _ = (kind, site, size, ptr, old_ptr);
+    }
+
+    /// `free(ptr)` was invoked at `site` (`ptr != 0`).
+    fn on_free(&mut self, site: CallSite, ptr: u64) {
+        let _ = (site, ptr);
+    }
+
+    /// A data access of `width` bytes at `addr`; `store` distinguishes
+    /// writes from reads.
+    fn on_access(&mut self, addr: u64, width: u8, store: bool) {
+        let _ = (addr, width, store);
+    }
+
+    /// `amount` instructions of non-memory work.
+    fn on_compute(&mut self, amount: u64) {
+        let _ = amount;
+    }
+
+    /// One instruction retired (fired for every executed op, including the
+    /// ops that also fire a more specific event).
+    fn on_instruction(&mut self) {}
+}
+
+/// A monitor that ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {}
+
+/// The allocator plugged into the engine — the runtime half of HALO, and
+/// of every baseline it is compared against.
+///
+/// `site` is the static call site of the allocation instruction (the
+/// "immediate call site" used by the hot-data-streams comparison) and `gs`
+/// is the shared group-state vector maintained by rewritten binaries
+/// (all-zero when running unrewritten programs).
+pub trait VmAllocator {
+    /// Allocate `size` bytes and return the address (never 0 on success).
+    fn malloc(&mut self, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory) -> u64;
+
+    /// Release a pointer previously returned by this allocator. Never
+    /// called with 0.
+    fn free(&mut self, ptr: u64, mem: &mut Memory);
+
+    /// Resize an allocation, moving it if necessary, and return the new
+    /// address. Called with `ptr != 0` and `size > 0`.
+    fn realloc(&mut self, ptr: u64, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory)
+        -> u64;
+
+    /// Allocate and zero `count * size` bytes. The default forwards to
+    /// [`VmAllocator::malloc`] and zeroes the region.
+    fn calloc(
+        &mut self,
+        count: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        let total = count.saturating_mul(size);
+        let ptr = self.malloc(total, site, gs, mem);
+        if ptr != 0 {
+            mem.zero(ptr, total);
+        }
+        ptr
+    }
+}
+
+/// Execution limits protecting against runaway workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineLimits {
+    /// Maximum number of retired instructions before [`VmError::FuelExhausted`].
+    pub max_instructions: u64,
+    /// Maximum call depth before [`VmError::CallDepthExceeded`].
+    pub max_call_depth: usize,
+}
+
+impl Default for EngineLimits {
+    fn default() -> Self {
+        EngineLimits { max_instructions: 50_000_000_000, max_call_depth: 4096 }
+    }
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// `Div`/`Rem` with a zero divisor.
+    DivisionByZero {
+        /// Location of the faulting instruction.
+        at: CallSite,
+    },
+    /// An indirect call through a register that does not hold a valid
+    /// function id.
+    BadIndirectTarget {
+        /// Location of the faulting instruction.
+        at: CallSite,
+        /// The register value that failed to resolve.
+        value: i64,
+    },
+    /// The call stack exceeded [`EngineLimits::max_call_depth`].
+    CallDepthExceeded,
+    /// More instructions retired than [`EngineLimits::max_instructions`].
+    FuelExhausted,
+    /// The allocator returned 0 for an allocation request.
+    AllocationFailed {
+        /// Location of the faulting allocation.
+        at: CallSite,
+        /// Requested size in bytes.
+        size: u64,
+    },
+    /// `Rand` with a non-positive bound.
+    BadRandBound {
+        /// Location of the faulting instruction.
+        at: CallSite,
+    },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::DivisionByZero { at } => write!(f, "division by zero at {at}"),
+            VmError::BadIndirectTarget { at, value } => {
+                write!(f, "indirect call at {at} through invalid target {value}")
+            }
+            VmError::CallDepthExceeded => write!(f, "call depth limit exceeded"),
+            VmError::FuelExhausted => write!(f, "instruction limit exceeded"),
+            VmError::AllocationFailed { at, size } => {
+                write!(f, "allocation of {size} bytes failed at {at}")
+            }
+            VmError::BadRandBound { at } => write!(f, "rand with non-positive bound at {at}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Summary counters for a completed execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExitStats {
+    /// Instructions retired (`Compute(n)` counts as `n`).
+    pub instructions: u64,
+    /// Value returned by the entry function, if any.
+    pub return_value: Option<i64>,
+    /// Deepest call stack observed.
+    pub max_depth: usize,
+    /// malloc + calloc + realloc invocations.
+    pub allocs: u64,
+    /// free invocations (with non-null pointers).
+    pub frees: u64,
+    /// Load instructions executed.
+    pub loads: u64,
+    /// Store instructions executed.
+    pub stores: u64,
+}
+
+struct Frame {
+    func: FuncId,
+    pc: u32,
+    regs: [i64; NUM_REGS],
+    ret_dst: Option<Reg>,
+}
+
+/// The interpreter for simulated binaries. See the [crate docs](crate) for
+/// an end-to-end example.
+pub struct Engine<'p> {
+    program: &'p Program,
+    limits: EngineLimits,
+    seed: u64,
+    entry_arg: i64,
+    memory: Memory,
+    group_state: GroupState,
+}
+
+impl<'p> Engine<'p> {
+    /// Create an engine for `program` with default limits and seed 0.
+    pub fn new(program: &'p Program) -> Self {
+        let max_bit = program
+            .functions
+            .iter()
+            .flat_map(|f| f.code.iter())
+            .filter_map(|op| match op {
+                Op::GroupSet(b) | Op::GroupClear(b) => Some(*b),
+                _ => None,
+            })
+            .max()
+            .map(|b| b as usize + 1)
+            .unwrap_or(64);
+        Engine {
+            program,
+            limits: EngineLimits::default(),
+            seed: 0,
+            entry_arg: 0,
+            memory: Memory::new(),
+            group_state: GroupState::new(max_bit),
+        }
+    }
+
+    /// Set the seed feeding [`Op::Rand`].
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pass a scale argument to the entry function in `r0` (how workloads
+    /// distinguish *train* from *ref* inputs without changing the binary).
+    pub fn with_entry_arg(mut self, arg: i64) -> Self {
+        self.entry_arg = arg;
+        self
+    }
+
+    /// Override the execution limits.
+    pub fn with_limits(mut self, limits: EngineLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The simulated memory (inspectable after a run).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The group-state vector (inspectable after a run).
+    pub fn group_state(&self) -> &GroupState {
+        &self.group_state
+    }
+
+    /// Run the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the program traps or exceeds a limit.
+    pub fn run<A: VmAllocator, M: Monitor>(
+        &mut self,
+        alloc: &mut A,
+        monitor: &mut M,
+    ) -> Result<ExitStats, VmError> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut stats = ExitStats::default();
+        let mut stack: Vec<Frame> = Vec::with_capacity(64);
+        let mut entry_regs = [0i64; NUM_REGS];
+        entry_regs[0] = self.entry_arg;
+        stack.push(Frame {
+            func: self.program.entry,
+            pc: 0,
+            regs: entry_regs,
+            ret_dst: None,
+        });
+        stats.max_depth = 1;
+
+        'outer: loop {
+            let frame = stack.last_mut().expect("non-empty stack");
+            let func = self.program.function(frame.func);
+            let op = &func.code[frame.pc as usize];
+            let here = CallSite::new(frame.func, frame.pc);
+
+            stats.instructions += 1;
+            monitor.on_instruction();
+            if stats.instructions > self.limits.max_instructions {
+                return Err(VmError::FuelExhausted);
+            }
+
+            let mut next_pc = frame.pc + 1;
+            match op {
+                Op::Imm(d, v) => frame.regs[d.0 as usize] = *v,
+                Op::Mov(d, s) => frame.regs[d.0 as usize] = frame.regs[s.0 as usize],
+                Op::Add(d, a, b) => {
+                    frame.regs[d.0 as usize] =
+                        frame.regs[a.0 as usize].wrapping_add(frame.regs[b.0 as usize])
+                }
+                Op::AddImm(d, a, v) => {
+                    frame.regs[d.0 as usize] = frame.regs[a.0 as usize].wrapping_add(*v)
+                }
+                Op::Sub(d, a, b) => {
+                    frame.regs[d.0 as usize] =
+                        frame.regs[a.0 as usize].wrapping_sub(frame.regs[b.0 as usize])
+                }
+                Op::Mul(d, a, b) => {
+                    frame.regs[d.0 as usize] =
+                        frame.regs[a.0 as usize].wrapping_mul(frame.regs[b.0 as usize])
+                }
+                Op::MulImm(d, a, v) => {
+                    frame.regs[d.0 as usize] = frame.regs[a.0 as usize].wrapping_mul(*v)
+                }
+                Op::Div(d, a, b) => {
+                    let bv = frame.regs[b.0 as usize];
+                    if bv == 0 {
+                        return Err(VmError::DivisionByZero { at: here });
+                    }
+                    frame.regs[d.0 as usize] = frame.regs[a.0 as usize].wrapping_div(bv);
+                }
+                Op::Rem(d, a, b) => {
+                    let bv = frame.regs[b.0 as usize];
+                    if bv == 0 {
+                        return Err(VmError::DivisionByZero { at: here });
+                    }
+                    frame.regs[d.0 as usize] = frame.regs[a.0 as usize].wrapping_rem(bv);
+                }
+                Op::And(d, a, b) => {
+                    frame.regs[d.0 as usize] =
+                        frame.regs[a.0 as usize] & frame.regs[b.0 as usize]
+                }
+                Op::Or(d, a, b) => {
+                    frame.regs[d.0 as usize] =
+                        frame.regs[a.0 as usize] | frame.regs[b.0 as usize]
+                }
+                Op::Xor(d, a, b) => {
+                    frame.regs[d.0 as usize] =
+                        frame.regs[a.0 as usize] ^ frame.regs[b.0 as usize]
+                }
+                Op::Load { dst, base, offset, width } => {
+                    let addr = (frame.regs[base.0 as usize].wrapping_add(*offset)) as u64;
+                    let v = self.memory.read(addr, width.bytes());
+                    frame.regs[dst.0 as usize] = v as i64;
+                    stats.loads += 1;
+                    monitor.on_access(addr, width.bytes() as u8, false);
+                }
+                Op::Store { src, base, offset, width } => {
+                    let addr = (frame.regs[base.0 as usize].wrapping_add(*offset)) as u64;
+                    self.memory.write(addr, width.bytes(), frame.regs[src.0 as usize] as u64);
+                    stats.stores += 1;
+                    monitor.on_access(addr, width.bytes() as u8, true);
+                }
+                Op::Call { func: callee, args, dst } => {
+                    let mut regs = [0i64; NUM_REGS];
+                    for (i, a) in args.iter().enumerate() {
+                        regs[i] = frame.regs[a.0 as usize];
+                    }
+                    frame.pc = next_pc;
+                    let ret_dst = *dst;
+                    monitor.on_call(here, *callee);
+                    stack.push(Frame { func: *callee, pc: 0, regs, ret_dst });
+                    stats.max_depth = stats.max_depth.max(stack.len());
+                    if stack.len() > self.limits.max_call_depth {
+                        return Err(VmError::CallDepthExceeded);
+                    }
+                    continue 'outer;
+                }
+                Op::CallIndirect { target, args, dst } => {
+                    let tv = frame.regs[target.0 as usize];
+                    if tv < 0 || tv as usize >= self.program.functions.len() {
+                        return Err(VmError::BadIndirectTarget { at: here, value: tv });
+                    }
+                    let callee = FuncId(tv as u32);
+                    let mut regs = [0i64; NUM_REGS];
+                    for (i, a) in args.iter().enumerate() {
+                        regs[i] = frame.regs[a.0 as usize];
+                    }
+                    frame.pc = next_pc;
+                    let ret_dst = *dst;
+                    monitor.on_call(here, callee);
+                    stack.push(Frame { func: callee, pc: 0, regs, ret_dst });
+                    stats.max_depth = stats.max_depth.max(stack.len());
+                    if stack.len() > self.limits.max_call_depth {
+                        return Err(VmError::CallDepthExceeded);
+                    }
+                    continue 'outer;
+                }
+                Op::Malloc { size, dst } => {
+                    let sz = frame.regs[size.0 as usize] as u64;
+                    let ptr = alloc.malloc(sz, here, &self.group_state, &mut self.memory);
+                    if ptr == 0 {
+                        return Err(VmError::AllocationFailed { at: here, size: sz });
+                    }
+                    frame.regs[dst.0 as usize] = ptr as i64;
+                    stats.allocs += 1;
+                    monitor.on_alloc(AllocKind::Malloc, here, sz, ptr, 0);
+                }
+                Op::Calloc { count, size, dst } => {
+                    let c = frame.regs[count.0 as usize] as u64;
+                    let sz = frame.regs[size.0 as usize] as u64;
+                    let total = c.saturating_mul(sz);
+                    let ptr = alloc.calloc(c, sz, here, &self.group_state, &mut self.memory);
+                    if ptr == 0 {
+                        return Err(VmError::AllocationFailed { at: here, size: total });
+                    }
+                    frame.regs[dst.0 as usize] = ptr as i64;
+                    stats.allocs += 1;
+                    monitor.on_alloc(AllocKind::Calloc, here, total, ptr, 0);
+                }
+                Op::Realloc { ptr, size, dst } => {
+                    let old = frame.regs[ptr.0 as usize] as u64;
+                    let sz = frame.regs[size.0 as usize] as u64;
+                    let newp = if old == 0 {
+                        alloc.malloc(sz, here, &self.group_state, &mut self.memory)
+                    } else {
+                        alloc.realloc(old, sz, here, &self.group_state, &mut self.memory)
+                    };
+                    if newp == 0 {
+                        return Err(VmError::AllocationFailed { at: here, size: sz });
+                    }
+                    frame.regs[dst.0 as usize] = newp as i64;
+                    stats.allocs += 1;
+                    monitor.on_alloc(AllocKind::Realloc, here, sz, newp, old);
+                }
+                Op::Free { ptr } => {
+                    let p = frame.regs[ptr.0 as usize] as u64;
+                    if p != 0 {
+                        monitor.on_free(here, p);
+                        alloc.free(p, &mut self.memory);
+                        stats.frees += 1;
+                    }
+                }
+                Op::Jump(t) => next_pc = *t,
+                Op::Branch { cond, a, b, target } => {
+                    if cond.eval(frame.regs[a.0 as usize], frame.regs[b.0 as usize]) {
+                        next_pc = *target;
+                    }
+                }
+                Op::Compute(n) => {
+                    // One instruction was already counted for the op itself;
+                    // account for the remaining n-1 modelled instructions.
+                    stats.instructions += n.saturating_sub(1);
+                    monitor.on_compute(*n);
+                    if stats.instructions > self.limits.max_instructions {
+                        return Err(VmError::FuelExhausted);
+                    }
+                }
+                Op::Rand { dst, bound } => {
+                    let b = frame.regs[bound.0 as usize];
+                    if b <= 0 {
+                        return Err(VmError::BadRandBound { at: here });
+                    }
+                    frame.regs[dst.0 as usize] = rng.next_below(b as u64) as i64;
+                }
+                Op::Ret(v) => {
+                    let value = v.map(|r| frame.regs[r.0 as usize]);
+                    let returning = frame.func;
+                    let ret_dst = frame.ret_dst;
+                    stack.pop();
+                    monitor.on_return(returning);
+                    match stack.last_mut() {
+                        Some(caller) => {
+                            if let (Some(dst), Some(val)) = (ret_dst, value) {
+                                caller.regs[dst.0 as usize] = val;
+                            }
+                            continue 'outer;
+                        }
+                        None => {
+                            stats.return_value = value;
+                            return Ok(stats);
+                        }
+                    }
+                }
+                Op::GroupSet(b) => self.group_state.set(*b),
+                Op::GroupClear(b) => self.group_state.clear(*b),
+                Op::Nop => {}
+            }
+            frame.pc = next_pc;
+        }
+    }
+}
+
+/// A trivial bump allocator with `realloc` support, for tests, doctests,
+/// and semantics-preservation oracles. It never reuses memory.
+#[derive(Debug)]
+pub struct MallocOnlyAllocator {
+    next: u64,
+    sizes: std::collections::HashMap<u64, u64>,
+}
+
+impl MallocOnlyAllocator {
+    /// Heap base address used by this allocator.
+    pub const BASE: u64 = 0x1000_0000;
+
+    /// Create an allocator bumping from [`Self::BASE`].
+    pub fn new() -> Self {
+        MallocOnlyAllocator { next: Self::BASE, sizes: std::collections::HashMap::new() }
+    }
+
+    /// Total bytes handed out.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - Self::BASE
+    }
+}
+
+impl Default for MallocOnlyAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VmAllocator for MallocOnlyAllocator {
+    fn malloc(&mut self, size: u64, _site: CallSite, _gs: &GroupState, _mem: &mut Memory) -> u64 {
+        let size = size.max(1);
+        let ptr = self.next;
+        self.next += (size + 7) & !7;
+        self.sizes.insert(ptr, size);
+        ptr
+    }
+
+    fn free(&mut self, ptr: u64, _mem: &mut Memory) {
+        self.sizes.remove(&ptr);
+    }
+
+    fn realloc(
+        &mut self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        let old_size = self.sizes.get(&ptr).copied().unwrap_or(0);
+        let newp = self.malloc(size, site, gs, mem);
+        mem.copy(newp, ptr, old_size.min(size));
+        self.sizes.remove(&ptr);
+        newp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ids::{Cond, Width};
+
+    fn r(n: u8) -> Reg {
+        Reg(n)
+    }
+
+    /// Records the full event stream for oracle comparisons.
+    #[derive(Debug, Default, PartialEq, Eq, Clone)]
+    pub struct RecordingMonitor {
+        pub events: Vec<String>,
+    }
+
+    impl Monitor for RecordingMonitor {
+        fn on_call(&mut self, site: CallSite, callee: FuncId) {
+            self.events.push(format!("call {site} -> {callee}"));
+        }
+        fn on_return(&mut self, callee: FuncId) {
+            self.events.push(format!("ret {callee}"));
+        }
+        fn on_alloc(&mut self, kind: AllocKind, site: CallSite, size: u64, ptr: u64, old: u64) {
+            self.events.push(format!("alloc {kind:?} {site} {size} -> {ptr} (old {old})"));
+        }
+        fn on_free(&mut self, site: CallSite, ptr: u64) {
+            self.events.push(format!("free {site} {ptr}"));
+        }
+        fn on_access(&mut self, addr: u64, width: u8, store: bool) {
+            self.events.push(format!("access {addr} w{width} store={store}"));
+        }
+    }
+
+    fn run_program(p: &Program) -> (ExitStats, RecordingMonitor) {
+        let mut alloc = MallocOnlyAllocator::new();
+        let mut mon = RecordingMonitor::default();
+        let stats = Engine::new(p).run(&mut alloc, &mut mon).expect("run ok");
+        (stats, mon)
+    }
+
+    #[test]
+    fn arithmetic_and_return_value() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 21).imm(r(1), 2).mul(r(2), r(0), r(1)).ret(Some(r(2)));
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (stats, _) = run_program(&p);
+        assert_eq!(stats.return_value, Some(42));
+        assert_eq!(stats.instructions, 4);
+    }
+
+    #[test]
+    fn loops_branches_and_fuel_accounting() {
+        // Sum 0..10 with a loop.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let top = f.label();
+        let done = f.label();
+        f.imm(r(0), 0).imm(r(1), 0).imm(r(2), 10);
+        f.bind(top);
+        f.branch(Cond::Ge, r(1), r(2), done);
+        f.add(r(0), r(0), r(1));
+        f.add_imm(r(1), r(1), 1);
+        f.jump(top);
+        f.bind(done);
+        f.ret(Some(r(0)));
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (stats, _) = run_program(&p);
+        assert_eq!(stats.return_value, Some(45));
+    }
+
+    #[test]
+    fn calls_pass_args_and_return_values() {
+        let mut pb = ProgramBuilder::new();
+        let add2 = pb.declare("add2");
+        let mut f = pb.function("main");
+        f.imm(r(0), 40).imm(r(1), 2);
+        f.call(add2, &[r(0), r(1)], Some(r(5)));
+        f.ret(Some(r(5)));
+        let main = f.finish();
+        let mut g = pb.define(add2);
+        g.argc(2);
+        g.add(r(2), r(0), r(1));
+        g.ret(Some(r(2)));
+        g.finish();
+        let p = pb.finish(main);
+        let (stats, mon) = run_program(&p);
+        assert_eq!(stats.return_value, Some(42));
+        // add2 was declared first, so it is fn#0 and main is fn#1.
+        assert!(mon.events.iter().any(|e| e.starts_with("call fn#1+2 -> fn#0")));
+        assert!(mon.events.iter().any(|e| e == "ret fn#0"));
+    }
+
+    #[test]
+    fn recursion_until_depth_limit_errors() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let self_id = f.id();
+        f.call(self_id, &[], None);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let mut alloc = MallocOnlyAllocator::new();
+        let mut mon = NullMonitor;
+        let err = Engine::new(&p)
+            .with_limits(EngineLimits { max_instructions: 1_000_000, max_call_depth: 32 })
+            .run(&mut alloc, &mut mon)
+            .unwrap_err();
+        assert_eq!(err, VmError::CallDepthExceeded);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let top = f.label();
+        f.bind(top);
+        f.jump(top);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let mut alloc = MallocOnlyAllocator::new();
+        let err = Engine::new(&p)
+            .with_limits(EngineLimits { max_instructions: 1000, max_call_depth: 16 })
+            .run(&mut alloc, &mut NullMonitor)
+            .unwrap_err();
+        assert_eq!(err, VmError::FuelExhausted);
+    }
+
+    #[test]
+    fn division_by_zero_traps_with_location() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 1).imm(r(1), 0).div(r(2), r(0), r(1)).ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let mut alloc = MallocOnlyAllocator::new();
+        let err = Engine::new(&p).run(&mut alloc, &mut NullMonitor).unwrap_err();
+        assert_eq!(err, VmError::DivisionByZero { at: CallSite::new(main, 2) });
+    }
+
+    #[test]
+    fn heap_roundtrip_through_memory() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 64);
+        f.malloc(r(0), r(1));
+        f.imm(r(2), 7);
+        f.store(r(2), r(1), 16, Width::W4);
+        f.load(r(3), r(1), 16, Width::W4);
+        f.free(r(1));
+        f.ret(Some(r(3)));
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (stats, mon) = run_program(&p);
+        assert_eq!(stats.return_value, Some(7));
+        assert_eq!(stats.allocs, 1);
+        assert_eq!(stats.frees, 1);
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(
+            mon.events.iter().filter(|e| e.starts_with("access")).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn calloc_zeroes_memory() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 4).imm(r(1), 8);
+        f.calloc(r(0), r(1), r(2));
+        f.load(r(3), r(2), 24, Width::W8);
+        f.ret(Some(r(3)));
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (stats, _) = run_program(&p);
+        assert_eq!(stats.return_value, Some(0));
+    }
+
+    #[test]
+    fn realloc_preserves_contents() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 8);
+        f.malloc(r(0), r(1));
+        f.imm(r(2), 0x1234);
+        f.store(r(2), r(1), 0, Width::W8);
+        f.imm(r(0), 128);
+        f.realloc(r(1), r(0), r(4));
+        f.load(r(5), r(4), 0, Width::W8);
+        f.ret(Some(r(5)));
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (stats, _) = run_program(&p);
+        assert_eq!(stats.return_value, Some(0x1234));
+    }
+
+    #[test]
+    fn realloc_of_null_acts_as_malloc() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 16).imm(r(1), 0);
+        f.realloc(r(1), r(0), r(2));
+        f.ret(Some(r(2)));
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (stats, _) = run_program(&p);
+        assert!(stats.return_value.unwrap() >= MallocOnlyAllocator::BASE as i64);
+    }
+
+    #[test]
+    fn free_null_is_noop() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 0);
+        f.free(r(0));
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (stats, mon) = run_program(&p);
+        assert_eq!(stats.frees, 0);
+        assert!(!mon.events.iter().any(|e| e.starts_with("free")));
+    }
+
+    #[test]
+    fn indirect_call_resolves_function_ids() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.declare("a");
+        let b = pb.declare("b");
+        let mut f = pb.function("main");
+        // Call b through a register.
+        f.imm(r(0), b.0 as i64);
+        f.call_indirect(r(0), &[], Some(r(1)));
+        f.ret(Some(r(1)));
+        let main = f.finish();
+        let mut fa = pb.define(a);
+        fa.imm(r(0), 1).ret(Some(r(0)));
+        fa.finish();
+        let mut fb = pb.define(b);
+        fb.imm(r(0), 2).ret(Some(r(0)));
+        fb.finish();
+        let p = pb.finish(main);
+        let (stats, _) = run_program(&p);
+        assert_eq!(stats.return_value, Some(2));
+    }
+
+    #[test]
+    fn indirect_call_to_garbage_traps() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 999);
+        f.call_indirect(r(0), &[], None);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let mut alloc = MallocOnlyAllocator::new();
+        let err = Engine::new(&p).run(&mut alloc, &mut NullMonitor).unwrap_err();
+        assert!(matches!(err, VmError::BadIndirectTarget { value: 999, .. }));
+    }
+
+    #[test]
+    fn group_set_clear_visible_in_state() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.raw(Op::GroupSet(3));
+        f.raw(Op::GroupSet(9));
+        f.raw(Op::GroupClear(3));
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let mut alloc = MallocOnlyAllocator::new();
+        let mut engine = Engine::new(&p);
+        engine.run(&mut alloc, &mut NullMonitor).unwrap();
+        assert!(!engine.group_state().test(3));
+        assert!(engine.group_state().test(9));
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_seed() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 1000);
+        f.rand(r(1), r(0));
+        f.ret(Some(r(1)));
+        let main = f.finish();
+        let p = pb.finish(main);
+        let run = |seed| {
+            let mut alloc = MallocOnlyAllocator::new();
+            Engine::new(&p)
+                .with_seed(seed)
+                .run(&mut alloc, &mut NullMonitor)
+                .unwrap()
+                .return_value
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn compute_counts_instructions() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.compute(100);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (stats, _) = run_program(&p);
+        // Compute(100) = 100 instructions, plus the Ret.
+        assert_eq!(stats.instructions, 101);
+    }
+}

@@ -1,0 +1,123 @@
+//! The shared group-state bit vector (§4.3).
+//!
+//! HALO's rewriting pass inserts instructions "setting and then unsetting a
+//! single bit in a shared 'group state' bit vector to indicate whether the
+//! flow of control has passed through this point". The specialised allocator
+//! then evaluates group selectors against this vector on every allocation.
+
+/// A fixed-capacity bit vector indexed by monitored-call-site bit number.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupState {
+    words: Vec<u64>,
+}
+
+impl GroupState {
+    /// Create a state vector able to hold at least `bits` bits, all clear.
+    pub fn new(bits: usize) -> Self {
+        GroupState { words: vec![0; bits.div_ceil(64).max(1)] }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Set bit `bit`. Out-of-range bits grow the vector (the rewriter sizes
+    /// it up front; growth only happens in hand-built tests).
+    #[inline]
+    pub fn set(&mut self, bit: u16) {
+        let w = bit as usize / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (bit % 64);
+    }
+
+    /// Clear bit `bit` (no-op when out of range).
+    #[inline]
+    pub fn clear(&mut self, bit: u16) {
+        let w = bit as usize / 64;
+        if let Some(word) = self.words.get_mut(w) {
+            *word &= !(1u64 << (bit % 64));
+        }
+    }
+
+    /// Test bit `bit` (out-of-range bits read as clear).
+    #[inline]
+    pub fn test(&self, bit: u16) -> bool {
+        let w = bit as usize / 64;
+        self.words.get(w).is_some_and(|word| word & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Whether every bit in `mask` (a list of bit indices) is set. This is
+    /// the conjunctive-expression evaluation used by group selectors.
+    #[inline]
+    pub fn test_all(&self, mask: &[u16]) -> bool {
+        mask.iter().all(|&b| self.test(b))
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Clear every bit.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+impl Default for GroupState {
+    fn default() -> Self {
+        GroupState::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_test_clear() {
+        let mut g = GroupState::new(128);
+        assert!(!g.test(5));
+        g.set(5);
+        assert!(g.test(5));
+        g.clear(5);
+        assert!(!g.test(5));
+    }
+
+    #[test]
+    fn bits_are_independent_across_words() {
+        let mut g = GroupState::new(128);
+        g.set(0);
+        g.set(63);
+        g.set(64);
+        g.set(127);
+        assert_eq!(g.count_ones(), 4);
+        g.clear(64);
+        assert!(g.test(63));
+        assert!(!g.test(64));
+        assert_eq!(g.count_ones(), 3);
+    }
+
+    #[test]
+    fn test_all_is_conjunction() {
+        let mut g = GroupState::new(64);
+        g.set(1);
+        g.set(2);
+        assert!(g.test_all(&[1, 2]));
+        assert!(!g.test_all(&[1, 2, 3]));
+        assert!(g.test_all(&[])); // empty conjunction is true
+    }
+
+    #[test]
+    fn out_of_range_grows_on_set_and_reads_clear() {
+        let mut g = GroupState::new(1);
+        assert!(!g.test(300));
+        g.set(300);
+        assert!(g.test(300));
+        g.reset();
+        assert_eq!(g.count_ones(), 0);
+    }
+}

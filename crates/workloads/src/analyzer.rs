@@ -1,0 +1,108 @@
+//! `analyzer` (FreeBench): circuit timing analyzer.
+//!
+//! Parses a netlist into net and gate records allocated alternately from
+//! distinct direct sites (with cold label strings interleaved), then runs
+//! timing passes that chase net → gate pointers. Another direct-site
+//! benchmark where both techniques find material.
+
+use crate::util::{counted_loop, list_push, r, walk_list};
+use crate::{RunSpec, Workload};
+use halo_vm::{ProgramBuilder, Width};
+
+const TIMING_PASSES: i64 = 14;
+
+/// Build the analyzer workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let alloc_net = pb.declare("alloc_net");
+    let alloc_gate = pb.declare("alloc_gate");
+    let alloc_label = pb.declare("alloc_label");
+
+    {
+        // Net: [next:8][gate:8][delay:8][slack:8][fanout:8][pad] = 48.
+        let mut f = pb.define(alloc_net);
+        f.imm(r(0), 48);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        f.finish();
+    }
+    {
+        // Gate: [kind:8][delay:8][drive:8][pad:8] = 32.
+        let mut f = pb.define(alloc_gate);
+        f.imm(r(0), 32);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        f.finish();
+    }
+    {
+        // Label: 48 bytes, written once (pollutes the net size class).
+        let mut f = pb.define(alloc_label);
+        f.imm(r(0), 48);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        f.finish();
+    }
+
+    let mut m = pb.function("main");
+    m.argc(1);
+    let nets = r(20);
+    m.mov(nets, r(0));
+    let list = r(9);
+    m.imm(list, 0);
+    // Parse: net + gate + label per element.
+    counted_loop(&mut m, r(22), nets, |m| {
+        m.call(alloc_net, &[], Some(r(1)));
+        m.call(alloc_gate, &[], Some(r(2)));
+        m.store(r(2), r(1), 8, Width::W8); // net.gate
+        m.imm(r(3), 2);
+        m.store(r(3), r(2), 8, Width::W8); // gate.delay
+        m.store(r(3), r(1), 16, Width::W8); // net.delay
+        list_push(m, list, r(1));
+        m.call(alloc_label, &[], Some(r(4)));
+        m.store(r(22), r(4), 0, Width::W8); // label written once
+    });
+    // Timing analysis: walk nets, chase into gates, update slack.
+    m.imm(r(23), TIMING_PASSES);
+    counted_loop(&mut m, r(24), r(23), |m| {
+        walk_list(m, list, r(6), |m| {
+            m.load(r(1), r(6), 8, Width::W8); // gate ptr
+            m.load(r(2), r(6), 16, Width::W8); // net.delay
+            m.load(r(3), r(1), 8, Width::W8); // gate.delay
+            m.add(r(4), r(2), r(3));
+            m.store(r(4), r(6), 24, Width::W8); // net.slack
+            m.store(r(4), r(1), 16, Width::W8); // gate.drive
+            m.compute(60); // arrival-time arithmetic
+        });
+    });
+    m.ret(None);
+    let main = m.finish();
+
+    Workload {
+        name: "analyzer",
+        program: pb.finish(main),
+        train: RunSpec { seed: 707, arg: 900 },
+        reference: RunSpec { seed: 808, arg: 9000 },
+        note: "net/gate record pairs from direct sites, cold labels in the \
+               net size class",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_vm::{Engine, EngineLimits, MallocOnlyAllocator, NullMonitor};
+
+    #[test]
+    fn analyzer_parses_and_analyzes() {
+        let w = build();
+        let mut alloc = MallocOnlyAllocator::new();
+        let stats = Engine::new(&w.program)
+            .with_seed(w.train.seed)
+            .with_entry_arg(w.train.arg)
+            .with_limits(EngineLimits { max_instructions: 100_000_000, max_call_depth: 64 })
+            .run(&mut alloc, &mut NullMonitor)
+            .expect("runs");
+        assert_eq!(stats.allocs, 3 * w.train.arg as u64);
+        assert!(stats.loads > 10_000);
+    }
+}

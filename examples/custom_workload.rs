@@ -1,0 +1,131 @@
+//! Bring your own program: build a simulated binary with the assembler,
+//! then let HALO optimise it.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! The program models a simple order-matching engine: orders and fills are
+//! allocated from separate helpers as requests arrive (interleaved with
+//! audit records that are written once), and the settlement loop then walks
+//! orders and their fills together. Exactly the shape HALO exists for.
+
+use halo::core::{measure, Halo, HaloConfig, MeasureConfig};
+use halo::mem::SizeClassAllocator;
+use halo::vm::{Cond, ProgramBuilder, Reg, Width};
+
+fn build_program() -> halo::vm::Program {
+    let r = Reg;
+    let mut pb = ProgramBuilder::new();
+    let new_order = pb.declare("new_order");
+    let new_fill = pb.declare("new_fill");
+    let audit = pb.declare("audit");
+
+    {
+        // Order: [next:8][qty:8][px:8][fill:8][flags:8] = 40.
+        let mut f = pb.define(new_order);
+        f.imm(r(0), 40);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        f.finish();
+    }
+    {
+        // Fill: [qty:8][px:8][ts:8] = 24.
+        let mut f = pb.define(new_fill);
+        f.imm(r(0), 24);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        f.finish();
+    }
+    {
+        // Audit record: 40 bytes (the order size class), written once.
+        let mut f = pb.define(audit);
+        f.argc(1);
+        f.imm(r(2), 40);
+        f.malloc(r(2), r(1));
+        f.store(r(0), r(1), 0, Width::W8);
+        f.ret(None);
+        f.finish();
+    }
+
+    let mut m = pb.function("main");
+    m.argc(1);
+    let n = r(20);
+    m.mov(n, r(0));
+    let book = r(9);
+    m.imm(book, 0);
+    // Intake: order + fill + audit per request.
+    m.imm(r(21), 0);
+    let top = m.label();
+    let done = m.label();
+    m.bind(top);
+    m.branch(Cond::Ge, r(21), n, done);
+    m.call(new_order, &[], Some(r(1)));
+    m.call(new_fill, &[], Some(r(2)));
+    m.store(r(2), r(1), 24, Width::W8); // order.fill
+    m.store(r(21), r(2), 0, Width::W8); // fill.qty
+    m.store(book, r(1), 0, Width::W8); // order.next
+    m.mov(book, r(1));
+    m.call(audit, &[r(21)], None);
+    m.add_imm(r(21), r(21), 1);
+    m.jump(top);
+    m.bind(done);
+    // Settlement: twelve passes over the book, touching order + fill.
+    m.imm(r(22), 0);
+    m.imm(r(23), 12);
+    let sweep = m.label();
+    let sdone = m.label();
+    m.bind(sweep);
+    m.branch(Cond::Ge, r(22), r(23), sdone);
+    m.mov(r(5), book);
+    let walk = m.label();
+    let wdone = m.label();
+    m.bind(walk);
+    m.branch(Cond::Eq, r(5), r(31), wdone);
+    m.load(r(6), r(5), 24, Width::W8); // fill ptr
+    m.load(r(7), r(6), 0, Width::W8); // fill.qty
+    m.store(r(7), r(5), 8, Width::W8); // order.qty
+    m.load(r(5), r(5), 0, Width::W8); // next order
+    m.jump(walk);
+    m.bind(wdone);
+    m.add_imm(r(22), r(22), 1);
+    m.jump(sweep);
+    m.bind(sdone);
+    m.ret(None);
+    let main = m.finish();
+    pb.finish(main)
+}
+
+fn main() {
+    let program = build_program();
+    let halo = Halo::new(HaloConfig::default());
+    // Profile at small scale...
+    let optimised = halo.optimise_with_arg(&program, 1, 500).expect("pipeline runs");
+    println!("groups found:");
+    for g in &optimised.groups {
+        let names: Vec<&str> =
+            g.members.iter().map(|&m| optimised.profile.context(m).name.as_str()).collect();
+        println!("  weight {}: {names:?}", g.weight);
+    }
+    // ...measure at 10× scale.
+    let cfg = MeasureConfig { seed: 2, entry_arg: 5000, ..MeasureConfig::default() };
+    let mut base_alloc = SizeClassAllocator::new();
+    let base = measure(&program, &mut base_alloc, &cfg).expect("baseline");
+    let mut halo_alloc = halo.make_allocator(&optimised);
+    let opt = measure(&optimised.program, &mut halo_alloc, &cfg).expect("optimised");
+    println!(
+        "\nbaseline: {} L1D misses, {:.2} Mcycles",
+        base.stats.l1_misses,
+        base.cycles / 1e6
+    );
+    println!(
+        "HALO:     {} L1D misses, {:.2} Mcycles",
+        opt.stats.l1_misses,
+        opt.cycles / 1e6
+    );
+    println!(
+        "miss reduction {:.1}%, speedup {:.1}%",
+        opt.miss_reduction_vs(&base) * 100.0,
+        opt.speedup_vs(&base) * 100.0
+    );
+}

@@ -1,0 +1,41 @@
+//! # HALO — post-link heap-layout optimisation (CGO 2020 reproduction)
+//!
+//! This facade crate re-exports the full reproduction of
+//! *HALO: Post-Link Heap-Layout Optimisation* (Savage & Jones, CGO 2020):
+//!
+//! * [`vm`] — the simulated binary format and interpreter.
+//! * [`cache`] — the memory-hierarchy simulator and timing model.
+//! * [`mem`] — baseline allocators and HALO's specialised group allocator.
+//! * [`graph`] — the affinity graph and grouping algorithms (Figs. 6–8).
+//! * [`profile`] — the Pin-equivalent profiler (§4.1).
+//! * [`ident`] — selector construction (Fig. 10).
+//! * [`rewrite`] — the BOLT-equivalent instrumentation pass (§4.3).
+//! * [`hds`] — the hot-data-streams comparison technique (Chilimbi & Shaham).
+//! * [`core`] — pipeline orchestration and the measurement harness.
+//! * [`workloads`] — the 11 evaluated benchmark models.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduced
+//! results. The quickest entry point:
+//!
+//! ```
+//! use halo::core::{Halo, HaloConfig};
+//! use halo::workloads::toy;
+//!
+//! let workload = toy::build();
+//! let pipeline = Halo::new(HaloConfig::default());
+//! let optimised = pipeline
+//!     .optimise_with_arg(&workload.program, workload.train.seed, workload.train.arg)
+//!     .unwrap();
+//! assert!(!optimised.groups.is_empty());
+//! ```
+
+pub use halo_cache as cache;
+pub use halo_core as core;
+pub use halo_graph as graph;
+pub use halo_hds as hds;
+pub use halo_ident as ident;
+pub use halo_mem as mem;
+pub use halo_profile as profile;
+pub use halo_rewrite as rewrite;
+pub use halo_vm as vm;
+pub use halo_workloads as workloads;

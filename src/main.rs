@@ -1,0 +1,344 @@
+//! The `halo` command-line tool, mirroring the paper artefact's workflow
+//! (§A.5): `halo baseline`, `halo run`, and `halo plot`, with the §A.8
+//! per-benchmark flags (`--chunk-size`, `--max-spare-chunks`,
+//! `--max-groups`, …).
+//!
+//! ```text
+//! halo list
+//! halo baseline --benchmark povray
+//! halo run --benchmark povray --affinity-distance 128 --json
+//! halo run --benchmark omnetpp --chunk-size 131072 --max-spare-chunks 0
+//! halo plot
+//! ```
+
+use halo::core::{evaluate_with_arg, measure, EvalConfig, EvalResult};
+use halo::mem::SizeClassAllocator;
+use halo::workloads::{all, Workload};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "baseline" => cmd_baseline(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "plot" => cmd_plot(&args[1..]),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "halo — post-link heap-layout optimisation (CGO 2020 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \thalo list\n\
+         \thalo baseline --benchmark <name>\n\
+         \thalo run --benchmark <name|all> [options]\n\
+         \thalo plot [--metric misses|speedup]\n\
+         \n\
+         RUN OPTIONS (defaults follow §5.1):\n\
+         \t--affinity-distance <bytes>   affinity distance A (default 128)\n\
+         \t--chunk-size <bytes>          group-chunk size (default 1048576)\n\
+         \t--max-spare-chunks <n|inf>    dirty chunks kept before purging (default 1)\n\
+         \t--max-groups <n>              cap on groups (default unlimited)\n\
+         \t--merge-tolerance <fraction>  grouping slack T (default 0.05)\n\
+         \t--hds                         also run the hot-data-streams technique\n\
+         \t--random                      also run the random four-pool allocator\n\
+         \t--ptmalloc                    also run the ptmalloc2-style baseline\n\
+         \t--json                        machine-readable output"
+    );
+}
+
+struct Flags {
+    benchmark: Option<String>,
+    affinity_distance: Option<u64>,
+    chunk_size: Option<u64>,
+    max_spare_chunks: Option<usize>,
+    max_groups: Option<usize>,
+    merge_tolerance: Option<f64>,
+    hds: bool,
+    random: bool,
+    ptmalloc: bool,
+    json: bool,
+    metric: String,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        benchmark: None,
+        affinity_distance: None,
+        chunk_size: None,
+        max_spare_chunks: None,
+        max_groups: None,
+        merge_tolerance: None,
+        hds: false,
+        random: false,
+        ptmalloc: false,
+        json: false,
+        metric: "misses".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(|s| s.to_string()).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--benchmark" => flags.benchmark = Some(value("--benchmark")?),
+            "--affinity-distance" => {
+                flags.affinity_distance =
+                    Some(value("--affinity-distance")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--chunk-size" => {
+                flags.chunk_size =
+                    Some(value("--chunk-size")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--max-spare-chunks" => {
+                let v = value("--max-spare-chunks")?;
+                flags.max_spare_chunks = Some(if v == "inf" {
+                    usize::MAX
+                } else {
+                    v.parse().map_err(|e| format!("{e}"))?
+                });
+            }
+            "--max-groups" => {
+                flags.max_groups =
+                    Some(value("--max-groups")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--merge-tolerance" => {
+                flags.merge_tolerance =
+                    Some(value("--merge-tolerance")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--metric" => flags.metric = value("--metric")?,
+            "--hds" => flags.hds = true,
+            "--random" => flags.random = true,
+            "--ptmalloc" => flags.ptmalloc = true,
+            "--json" => flags.json = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(flags)
+}
+
+fn find_workloads(selector: Option<&str>) -> Result<Vec<Workload>, String> {
+    let mut workloads = all();
+    workloads.push(halo::workloads::toy::build()); // the Fig. 2 example
+    match selector {
+        None | Some("all") => Ok(workloads),
+        Some(name) => workloads
+            .into_iter()
+            .find(|w| w.name == name)
+            .map(|w| vec![w])
+            .ok_or_else(|| format!("unknown benchmark '{name}' (try `halo list`)")),
+    }
+}
+
+fn config_for(workload: &Workload, flags: &Flags) -> EvalConfig {
+    let mut config = paper_defaults(workload);
+    if let Some(a) = flags.affinity_distance {
+        config.halo.profile.affinity_distance = a;
+    }
+    if let Some(c) = flags.chunk_size {
+        config.halo.alloc.chunk_size = c;
+        config.halo.alloc.slab_size = (c * 64).max(4 << 20);
+    }
+    if let Some(s) = flags.max_spare_chunks {
+        config.halo.alloc.max_spare_chunks = s;
+    }
+    if let Some(g) = flags.max_groups {
+        config.halo.grouping.max_groups = Some(g);
+    }
+    if let Some(t) = flags.merge_tolerance {
+        config.halo.grouping.merge_tolerance = t;
+    }
+    config.with_random = flags.random;
+    config.with_ptmalloc = flags.ptmalloc;
+    config
+}
+
+/// The §5.1 defaults with the §A.8 per-benchmark flags (the same policy the
+/// bench harnesses use, re-stated here so the binary stands alone).
+fn paper_defaults(workload: &Workload) -> EvalConfig {
+    let mut config = EvalConfig::default();
+    config.halo.limits =
+        halo::vm::EngineLimits { max_instructions: 2_000_000_000, max_call_depth: 256 };
+    config.halo.grouping.min_weight = 32;
+    config.measure.limits = config.halo.limits;
+    config.measure.seed = workload.reference.seed;
+    config.measure.entry_arg = workload.reference.arg;
+    match workload.name {
+        "omnetpp" => {
+            config.halo.alloc.chunk_size = 131_072;
+            config.halo.alloc.slab_size = 131_072 * 64;
+            config.halo.alloc.max_spare_chunks = usize::MAX;
+        }
+        "xalanc" => config.halo.alloc.max_spare_chunks = usize::MAX,
+        "roms" => config.halo.grouping.max_groups = Some(4),
+        _ => {}
+    }
+    config
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<10} {:>12} {:>12}  note", "benchmark", "train arg", "ref arg");
+    for w in all() {
+        println!("{:<10} {:>12} {:>12}  {}", w.name, w.train.arg, w.reference.arg, w.note);
+    }
+    Ok(())
+}
+
+fn cmd_baseline(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    for w in find_workloads(flags.benchmark.as_deref())? {
+        let config = config_for(&w, &flags);
+        let mut alloc = SizeClassAllocator::new();
+        let m = measure(&w.program, &mut alloc, &config.measure)
+            .map_err(|e| format!("{}: {e}", w.name))?;
+        if flags.json {
+            println!(
+                "{{\"benchmark\":\"{}\",\"config\":\"baseline\",\"l1d_misses\":{},\"cycles\":{:.0},\"instructions\":{},\"allocs\":{}}}",
+                w.name, m.stats.l1_misses, m.cycles, m.instructions, m.allocs
+            );
+        } else {
+            println!(
+                "{:<10} baseline: {} L1D misses, {:.2} Mcycles, {} allocs",
+                w.name,
+                m.stats.l1_misses,
+                m.cycles / 1e6,
+                m.allocs
+            );
+        }
+    }
+    Ok(())
+}
+
+fn run_one(w: &Workload, flags: &Flags) -> Result<EvalResult, String> {
+    let mut config = config_for(w, flags);
+    config.with_random = flags.random;
+    config.with_ptmalloc = flags.ptmalloc;
+    evaluate_with_arg(&w.program, w.name, w.train.seed, w.train.arg, &config)
+        .map_err(|e| format!("{}: {e}", w.name))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    for w in find_workloads(flags.benchmark.as_deref())? {
+        let r = run_one(&w, &flags)?;
+        let (hds_mr, halo_mr) = r.miss_reduction_row();
+        let (hds_su, halo_su) = r.speedup_row();
+        if flags.json {
+            let frag = r.halo.frag.unwrap_or_default();
+            println!(
+                "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"frag_pct\":{:.4},\"frag_bytes\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}}}",
+                r.name,
+                r.halo.measurement.stats.l1_misses,
+                r.halo.measurement.cycles,
+                halo_mr,
+                halo_su,
+                r.optimised.groups.len(),
+                r.optimised.ident.site_bits.len(),
+                frag.frag_fraction(),
+                frag.wasted_bytes(),
+                r.hds.measurement.stats.l1_misses,
+                hds_mr,
+                hds_su,
+                r.hds_analysis.stats.hot_streams,
+                r.baseline.measurement.stats.l1_misses,
+                r.baseline.measurement.cycles,
+            );
+        } else {
+            println!("=== {} ===", r.name);
+            println!(
+                "  baseline: {} L1D misses, {:.2} Mcycles",
+                r.baseline.measurement.stats.l1_misses,
+                r.baseline.measurement.cycles / 1e6
+            );
+            println!(
+                "  HALO:     {} L1D misses ({:+.1}%), {:.2} Mcycles ({:+.1}%), {} groups via {} sites",
+                r.halo.measurement.stats.l1_misses,
+                halo_mr * 100.0,
+                r.halo.measurement.cycles / 1e6,
+                halo_su * 100.0,
+                r.optimised.groups.len(),
+                r.optimised.ident.site_bits.len(),
+            );
+            if flags.hds {
+                println!(
+                    "  HDS:      {} L1D misses ({:+.1}%), speedup {:+.1}%, {} hot streams",
+                    r.hds.measurement.stats.l1_misses,
+                    hds_mr * 100.0,
+                    hds_su * 100.0,
+                    r.hds_analysis.stats.hot_streams,
+                );
+            }
+            if let Some(random) = &r.random {
+                println!(
+                    "  random:   {} L1D misses, speedup {:+.1}%",
+                    random.measurement.stats.l1_misses,
+                    random.measurement.speedup_vs(&r.baseline.measurement) * 100.0,
+                );
+            }
+            if let Some(pt) = &r.ptmalloc {
+                println!(
+                    "  ptmalloc: {} L1D misses ({:+.1}% vs jemalloc-style)",
+                    pt.measurement.stats.l1_misses,
+                    (1.0 - r.baseline.measurement.stats.l1_misses as f64
+                        / pt.measurement.stats.l1_misses.max(1) as f64)
+                        * 100.0,
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_plot(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let metric_is_speedup = match flags.metric.as_str() {
+        "misses" => false,
+        "speedup" => true,
+        other => return Err(format!("unknown metric '{other}' (misses|speedup)")),
+    };
+    println!(
+        "{} vs jemalloc-style baseline (█ = HALO, ░ = hot data streams)\n",
+        if metric_is_speedup { "speedup" } else { "L1D miss reduction" }
+    );
+    for w in find_workloads(flags.benchmark.as_deref())? {
+        let r = run_one(&w, &flags)?;
+        let (hds, halo) = if metric_is_speedup { r.speedup_row() } else { r.miss_reduction_row() };
+        println!("{:<10} {:>7} {}", r.name, pct(halo), bar(halo, '█'));
+        println!("{:<10} {:>7} {}", "", pct(hds), bar(hds, '░'));
+    }
+    Ok(())
+}
+
+fn pct(fraction: f64) -> String {
+    format!("{:+.1}%", fraction * 100.0)
+}
+
+fn bar(fraction: f64, fill: char) -> String {
+    let cells = (fraction.abs() * 100.0).round() as usize;
+    let cells = cells.min(60);
+    let body: String = std::iter::repeat_n(fill, cells).collect();
+    if fraction < 0.0 {
+        format!("-{body}")
+    } else {
+        body
+    }
+}

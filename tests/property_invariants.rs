@@ -1,0 +1,206 @@
+//! Property-based tests over the core data structures and invariants
+//! listed in DESIGN.md §8.
+
+use halo::graph::{group, AffinityGraph, GroupingParams, NodeId};
+use halo::hds::Grammar;
+use halo::mem::{
+    AllocatorStats, BoundaryTagAllocator, GroupAllocConfig, GroupSelector, HaloGroupAllocator,
+    SelectorTable, SizeClassAllocator,
+};
+use halo::profile::{AffinityQueue, QueueEntry};
+use halo::vm::{CallSite, FuncId, GroupState, Memory, VmAllocator};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn site() -> CallSite {
+    CallSite::new(FuncId(0), 0)
+}
+
+/// Drive any allocator through a random alloc/free/realloc script while
+/// shadow-checking that live regions never overlap and contents survive
+/// reallocation.
+fn check_allocator<A: VmAllocator + AllocatorStats>(
+    mut alloc: A,
+    script: &[(u8, u64)],
+    gs: &GroupState,
+) {
+    let mut mem = Memory::new();
+    let mut live: HashMap<u64, (u64, u64)> = HashMap::new(); // ptr -> (size, stamp)
+    let mut stamp = 0u64;
+    for &(op, arg) in script {
+        match op % 3 {
+            0 => {
+                let size = arg % 300 + 1;
+                let ptr = alloc.malloc(size, site(), gs, &mut mem);
+                assert_ne!(ptr, 0);
+                assert_eq!(ptr % 8, 0, "minimum alignment");
+                for (&p, &(s, _)) in &live {
+                    assert!(
+                        ptr + size <= p || p + s <= ptr,
+                        "overlap: new [{ptr:#x},{:#x}) vs live [{p:#x},{:#x})",
+                        ptr + size,
+                        p + s
+                    );
+                }
+                stamp += 1;
+                mem.write(ptr, 1, stamp & 0xff);
+                live.insert(ptr, (size, stamp & 0xff));
+            }
+            1 => {
+                if let Some(&p) = live.keys().nth(arg as usize % live.len().max(1)) {
+                    let (_, st) = live.remove(&p).expect("tracked");
+                    assert_eq!(mem.read(p, 1), st, "contents intact");
+                    alloc.free(p, &mut mem);
+                }
+            }
+            _ => {
+                if let Some(&p) = live.keys().nth(arg as usize % live.len().max(1)) {
+                    let (_, st) = live.remove(&p).expect("tracked");
+                    let new_size = arg % 500 + 1;
+                    let q = alloc.realloc(p, new_size, site(), gs, &mut mem);
+                    assert_ne!(q, 0);
+                    assert_eq!(mem.read(q, 1), st, "realloc preserves prefix");
+                    for (&op_, &(os, _)) in &live {
+                        assert!(q + new_size <= op_ || op_ + os <= q, "realloc overlap");
+                    }
+                    live.insert(q, (new_size, st));
+                }
+            }
+        }
+    }
+    let live_bytes: u64 = live.values().map(|&(s, _)| s).sum();
+    assert_eq!(alloc.live_bytes(), live_bytes);
+    assert_eq!(alloc.live_objects(), live.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn size_class_allocator_never_overlaps(script in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..200)) {
+        check_allocator(SizeClassAllocator::new(), &script, &GroupState::default());
+    }
+
+    #[test]
+    fn boundary_tag_allocator_never_overlaps(script in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..200)) {
+        check_allocator(BoundaryTagAllocator::new(), &script, &GroupState::default());
+    }
+
+    #[test]
+    fn group_allocator_never_overlaps(
+        script in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..200),
+        bits in 0u8..4,
+    ) {
+        let table = SelectorTable::new(
+            vec![
+                GroupSelector { group: 0, conjunctions: vec![vec![0]] },
+                GroupSelector { group: 1, conjunctions: vec![vec![1]] },
+            ],
+            2,
+        );
+        let config = GroupAllocConfig { chunk_size: 16 * 1024, slab_size: 16 * 1024 * 8, ..Default::default() };
+        let mut gs = GroupState::new(2);
+        if bits & 1 != 0 { gs.set(0); }
+        if bits & 2 != 0 { gs.set(1); }
+        check_allocator(HaloGroupAllocator::new(config, table), &script, &gs);
+    }
+
+    #[test]
+    fn affinity_queue_respects_all_constraints(
+        accesses in proptest::collection::vec((0u64..24, 1u64..5), 1..400),
+        distance in 16u64..512,
+    ) {
+        let mut q = AffinityQueue::new(distance);
+        let mut last: Option<u64> = None;
+        for (obj, size_exp) in accesses {
+            let size = 1u64 << size_exp; // 2..16 bytes
+            let was_consecutive = last == Some(obj);
+            let partners = q.record(QueueEntry {
+                obj,
+                ctx: NodeId(obj as u32),
+                alloc_seq: obj,
+                size,
+            });
+            if was_consecutive {
+                prop_assert!(partners.is_empty(), "dedup violated");
+            } else {
+                last = Some(obj);
+            }
+            // No self-affinity and no double counting.
+            let mut seen = std::collections::HashSet::new();
+            let mut bytes = 0u64;
+            for p in &partners {
+                prop_assert_ne!(p.obj, obj, "self-affinity");
+                prop_assert!(seen.insert(p.obj), "double counting");
+                bytes += p.size;
+            }
+            // Partner bytes can never reach the affinity distance.
+            prop_assert!(bytes < distance + size * partners.len() as u64);
+        }
+    }
+
+    #[test]
+    fn grouping_output_is_well_formed(
+        edges in proptest::collection::vec((0u32..20, 0u32..20, 1u64..1000), 0..120),
+        max_members in 2usize..8,
+    ) {
+        let mut g = AffinityGraph::new();
+        let nodes: Vec<NodeId> = (0..20).map(|i| g.add_node((i as u64 + 1) * 10)).collect();
+        for (a, b, w) in edges {
+            g.add_edge_weight(nodes[a as usize], nodes[b as usize], w);
+        }
+        let params = GroupingParams {
+            min_weight: 1,
+            max_group_members: max_members,
+            merge_tolerance: 0.05,
+            group_threshold: 0.0,
+            max_groups: None,
+        };
+        let groups = group(&g, &params);
+        let mut seen = std::collections::HashSet::new();
+        for gr in &groups {
+            prop_assert!(!gr.members.is_empty());
+            prop_assert!(gr.members.len() <= max_members);
+            prop_assert!(gr.weight > 0, "kept groups carry weight");
+            for &m in &gr.members {
+                prop_assert!(seen.insert(m), "groups must be disjoint");
+                prop_assert!(g.is_alive(m));
+            }
+        }
+    }
+
+    #[test]
+    fn sequitur_roundtrips_and_keeps_invariants(
+        input in proptest::collection::vec(0u32..12, 0..600),
+    ) {
+        let mut grammar = Grammar::build(&input);
+        prop_assert_eq!(grammar.expand_input(), input);
+        grammar.sequitur().check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariant violated: {e}"))
+        })?;
+        // Rule frequencies are consistent: every non-start rule is used at
+        // least twice somewhere in the derivation.
+        for r in grammar.rule_ids() {
+            prop_assert!(grammar.frequency(r) >= 2, "rule {r} used once");
+        }
+    }
+
+    #[test]
+    fn selector_tables_classify_by_popularity_order(
+        masks in proptest::collection::vec(proptest::collection::vec(0u16..12, 1..3), 1..6),
+        set_bits in proptest::collection::vec(0u16..12, 0..12),
+    ) {
+        let selectors: Vec<GroupSelector> = masks
+            .iter()
+            .enumerate()
+            .map(|(i, conj)| GroupSelector { group: i, conjunctions: vec![conj.clone()] })
+            .collect();
+        let table = SelectorTable::new(selectors.clone(), 12);
+        let mut gs = GroupState::new(12);
+        for b in set_bits {
+            gs.set(b);
+        }
+        let expected = selectors.iter().find(|s| s.matches(&gs)).map(|s| s.group);
+        prop_assert_eq!(table.classify(&gs), expected);
+    }
+}
