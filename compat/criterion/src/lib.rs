@@ -1,0 +1,199 @@
+//! Minimal, dependency-free stand-in for the subset of the Criterion.rs
+//! API used by this workspace (see `compat/README.md` for the rationale).
+//!
+//! Semantics: `bench_function` runs the routine for a fixed number of
+//! samples, times each sample with [`std::time::Instant`], and prints the
+//! mean time per iteration. There is no statistical analysis, no warm-up
+//! calibration, and no report output — this exists so the benchmark
+//! targets compile and produce comparable wall-clock numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup output is batched before timing, mirroring
+/// `criterion::BatchSize`. The stand-in times every batch individually, so
+/// the variants only influence the chosen batch length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+impl BatchSize {
+    fn iterations_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+            BatchSize::NumBatches(_) => 1,
+            BatchSize::NumIterations(n) => n.max(1),
+        }
+    }
+}
+
+/// Per-benchmark timing state handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly. One clock read brackets the
+    /// whole loop so nanosecond-scale routines aren't swamped by timer
+    /// overhead.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            drop(std::hint::black_box(routine()));
+        }
+        self.total += start.elapsed();
+        self.iterations += self.samples;
+    }
+
+    /// Time `routine` over inputs produced by `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch = size.iterations_per_batch();
+        let mut remaining = self.samples;
+        while remaining > 0 {
+            let n = per_batch.min(remaining);
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                drop(routine(input));
+            }
+            self.total += start.elapsed();
+            self.iterations += n;
+            remaining -= n;
+        }
+    }
+
+    /// `iter_batched` variant that hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// The top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Run one named benchmark and print its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, total: Duration::ZERO, iterations: 0 };
+        f(&mut b);
+        let mean = if b.iterations == 0 {
+            Duration::ZERO
+        } else {
+            b.total / u32::try_from(b.iterations).unwrap_or(u32::MAX)
+        };
+        println!("{id:<48} {:>12} / iter ({} iterations)", format_duration(mean), b.iterations);
+        self
+    }
+
+    /// Criterion's final-summary hook; nothing to summarise here.
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Re-timing black box; routes to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mirrors `criterion_group!`: bundles benchmark functions under one name,
+/// optionally with a custom `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion_main!`: emits `fn main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0u64;
+        c.bench_function("compat/iter", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_output() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut total = 0u64;
+        c.bench_function("compat/batched", |b| {
+            b.iter_batched(|| 3u64, |x| total += x, BatchSize::SmallInput)
+        });
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.000µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.000ms");
+    }
+}

@@ -26,8 +26,8 @@ fn main() {
             let base = halo_core::measure(&w.program, &mut base_alloc, &config.measure)
                 .expect("base runs");
             let mut alloc = halo.make_allocator(&opt);
-            let m = halo_core::measure(&opt.program, &mut alloc, &config.measure)
-                .expect("halo runs");
+            let m =
+                halo_core::measure(&opt.program, &mut alloc, &config.measure).expect("halo runs");
             let frag = alloc.frag_report();
             println!(
                 "{:>10} {:>8} {:>14} {:>10} {:>9.2}% {:>12}",

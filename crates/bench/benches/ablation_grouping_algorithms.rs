@@ -36,18 +36,14 @@ fn main() {
         let w = workloads.iter().find(|w| w.name == name).expect("known");
         let config = halo_bench::paper_config(w);
         let halo = Halo::new(config.halo);
-        let profile = halo
-            .profile_with_arg(&w.program, w.train.seed, w.train.arg)
-            .expect("profiling runs");
+        let profile =
+            halo.profile_with_arg(&w.program, w.train.seed, w.train.arg).expect("profiling runs");
         let mut base_alloc = halo_mem::SizeClassAllocator::new();
         let base = measure(&w.program, &mut base_alloc, &config.measure).expect("base runs");
 
         let candidates: Vec<(&str, Vec<Group>)> = vec![
             ("density", group(&profile.graph, &config.halo.grouping)),
-            (
-                "modularity",
-                clusters_to_groups(&profile.graph, modularity_clusters(&profile.graph)),
-            ),
+            ("modularity", clusters_to_groups(&profile.graph, modularity_clusters(&profile.graph))),
             (
                 "hcs",
                 clusters_to_groups(

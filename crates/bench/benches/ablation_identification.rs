@@ -8,18 +8,14 @@ use std::collections::HashMap;
 
 fn main() {
     halo_bench::banner("Ablation: full-context selectors vs immediate call sites");
-    println!(
-        "{:<10} {:<14} {:>14} {:>10}",
-        "benchmark", "identification", "L1D misses", "vs base"
-    );
+    println!("{:<10} {:<14} {:>14} {:>10}", "benchmark", "identification", "L1D misses", "vs base");
     let workloads = halo_workloads::all();
     for name in ["health", "povray", "xalanc", "leela"] {
         let w = workloads.iter().find(|w| w.name == name).expect("known");
         let config = halo_bench::paper_config(w);
         let halo = Halo::new(config.halo);
-        let opt = halo
-            .optimise_with_arg(&w.program, w.train.seed, w.train.arg)
-            .expect("pipeline runs");
+        let opt =
+            halo.optimise_with_arg(&w.program, w.train.seed, w.train.arg).expect("pipeline runs");
         let mut base_alloc = halo_mem::SizeClassAllocator::new();
         let base = measure(&w.program, &mut base_alloc, &config.measure).expect("base runs");
 

@@ -26,8 +26,7 @@ fn main() {
                 .optimise_with_arg(&w.program, w.train.seed, w.train.arg)
                 .expect("pipeline runs");
             let mut base_alloc = halo_mem::SizeClassAllocator::new();
-            let base =
-                measure(&w.program, &mut base_alloc, &config.measure).expect("base runs");
+            let base = measure(&w.program, &mut base_alloc, &config.measure).expect("base runs");
             let mut alloc = halo.make_allocator(&opt);
             let m = measure(&opt.program, &mut alloc, &config.measure).expect("halo runs");
             let frag = alloc.frag_report();

@@ -3,7 +3,10 @@
 
 fn main() {
     halo_bench::banner("Figure 13: L1D cache miss reduction vs jemalloc baseline");
-    println!("{:<10} {:>14} {:>14}   {:>14} {:>12}", "benchmark", "Chilimbi et al.", "HALO", "base misses", "halo misses");
+    println!(
+        "{:<10} {:>14} {:>14}   {:>14} {:>12}",
+        "benchmark", "Chilimbi et al.", "HALO", "base misses", "halo misses"
+    );
     for w in halo_workloads::all() {
         let r = halo_bench::run_workload(&w, false, false);
         let (hds, halo) = r.miss_reduction_row();

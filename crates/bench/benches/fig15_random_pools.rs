@@ -8,7 +8,10 @@ use halo_mem::RandomGroupAllocator;
 
 fn main() {
     halo_bench::banner("Figure 15: speedup under the random four-pool allocator");
-    println!("{:<10} {:>10}   {:>16} {:>16}", "benchmark", "speedup", "base Mcycles", "random Mcycles");
+    println!(
+        "{:<10} {:>10}   {:>16} {:>16}",
+        "benchmark", "speedup", "base Mcycles", "random Mcycles"
+    );
     for w in halo_workloads::all() {
         let mut random = RandomGroupAllocator::new(w.reference.seed ^ 0x5eed);
         let (base, rnd) = halo_bench::run_allocator_pair(&w, &mut random);

@@ -102,10 +102,8 @@ fn bench_allocators(c: &mut Criterion) {
         )
     });
     c.bench_function("mem/group_alloc_malloc_free_1k", |b| {
-        let table = SelectorTable::new(
-            vec![GroupSelector { group: 0, conjunctions: vec![vec![0]] }],
-            1,
-        );
+        let table =
+            SelectorTable::new(vec![GroupSelector { group: 0, conjunctions: vec![vec![0]] }], 1);
         b.iter_batched(
             || {
                 let a = HaloGroupAllocator::new(GroupAllocConfig::default(), table.clone());

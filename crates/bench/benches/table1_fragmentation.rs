@@ -4,7 +4,10 @@
 
 fn main() {
     halo_bench::banner("Table 1: fragmentation of grouped data at peak usage");
-    println!("{:<10} {:>10} {:>14} {:>16} {:>14}", "benchmark", "Frag. (%)", "Frag. (bytes)", "peak resident", "grouped allocs");
+    println!(
+        "{:<10} {:>10} {:>14} {:>16} {:>14}",
+        "benchmark", "Frag. (%)", "Frag. (bytes)", "peak resident", "grouped allocs"
+    );
     // The paper lists the nine benchmarks where this could be measured.
     let order = ["health", "equake", "analyzer", "ammp", "art", "ft", "povray", "roms", "leela"];
     let workloads = halo_workloads::all();

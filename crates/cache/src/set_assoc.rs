@@ -76,8 +76,7 @@ impl SetAssocCache {
             (true, None)
         } else {
             set.insert(0, line);
-            let evicted =
-                if set.len() > self.config.ways as usize { set.pop() } else { None };
+            let evicted = if set.len() > self.config.ways as usize { set.pop() } else { None };
             (false, evicted)
         }
     }
@@ -108,6 +107,8 @@ impl SetAssocCache {
 }
 
 #[cfg(test)]
+// `N * 64` spells out "line N times the line size"; keep it literal.
+#[allow(clippy::erasing_op, clippy::identity_op)]
 mod tests {
     use super::*;
 

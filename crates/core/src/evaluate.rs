@@ -2,12 +2,12 @@
 //! *train* input, measure on the *ref* input, across all compared
 //! configurations.
 
-use crate::measure::{measure, Measurement, MeasureConfig};
+use crate::measure::{measure, MeasureConfig, Measurement};
 use crate::pipeline::{Halo, HaloConfig, Optimised, PipelineError};
 use halo_hds::{analyze, HdsConfig, HdsResult};
 use halo_mem::{
-    BoundaryTagAllocator, FragReport, GroupAllocStats, HaloGroupAllocator,
-    RandomGroupAllocator, SizeClassAllocator,
+    BoundaryTagAllocator, FragReport, GroupAllocStats, HaloGroupAllocator, RandomGroupAllocator,
+    SizeClassAllocator,
 };
 use halo_profile::TraceCollector;
 use halo_vm::{Engine, Program};
@@ -145,10 +145,8 @@ pub fn evaluate_with_arg(
     };
 
     let hds_result = {
-        let mut alloc = HaloGroupAllocator::with_site_groups(
-            config.halo.alloc,
-            hds_analysis.site_map.clone(),
-        );
+        let mut alloc =
+            HaloGroupAllocator::with_site_groups(config.halo.alloc, hds_analysis.site_map.clone());
         let m = measure(program, &mut alloc, &config.measure)?;
         ConfigResult {
             measurement: m,

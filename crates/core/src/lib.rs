@@ -79,5 +79,5 @@ mod measure;
 mod pipeline;
 
 pub use evaluate::{evaluate, evaluate_with_arg, ConfigResult, EvalConfig, EvalResult};
-pub use measure::{measure, measure_with, CacheMonitor, Measurement, MeasureConfig};
+pub use measure::{measure, measure_with, CacheMonitor, MeasureConfig, Measurement};
 pub use pipeline::{Halo, HaloConfig, Optimised, PipelineError};

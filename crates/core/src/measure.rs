@@ -200,10 +200,8 @@ mod tests {
         let p = interleaved_sweep();
         let mut a1 = SizeClassAllocator::new();
         let big = measure(&p, &mut a1, &MeasureConfig::default()).expect("runs");
-        let tiny_cfg = MeasureConfig {
-            hierarchy: halo_cache::HierarchyConfig::tiny(),
-            ..Default::default()
-        };
+        let tiny_cfg =
+            MeasureConfig { hierarchy: halo_cache::HierarchyConfig::tiny(), ..Default::default() };
         let mut a2 = SizeClassAllocator::new();
         let small = measure(&p, &mut a2, &tiny_cfg).expect("runs");
         assert!(small.stats.l1_misses >= big.stats.l1_misses);

@@ -287,9 +287,6 @@ mod tests {
             limits: EngineLimits { max_instructions: 1000, max_call_depth: 8 },
             ..Default::default()
         });
-        assert!(matches!(
-            halo.optimise(&p, 0),
-            Err(PipelineError::Vm(VmError::FuelExhausted))
-        ));
+        assert!(matches!(halo.optimise(&p, 0), Err(PipelineError::Vm(VmError::FuelExhausted))));
     }
 }

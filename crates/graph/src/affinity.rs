@@ -64,11 +64,7 @@ impl AffinityGraph {
 
     /// Iterate over the ids of alive nodes.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.alive)
-            .map(|(i, _)| NodeId(i as u32))
+        self.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, _)| NodeId(i as u32))
     }
 
     /// Whether `n` is alive (not discarded by the cold-node filter).
@@ -166,8 +162,7 @@ impl AffinityGraph {
                 covered += self.accesses(n);
             }
         }
-        self.edges
-            .retain(|&(u, v), _| self.nodes[u.index()].alive && self.nodes[v.index()].alive);
+        self.edges.retain(|&(u, v), _| self.nodes[u.index()].alive && self.nodes[v.index()].alive);
         discarded
     }
 

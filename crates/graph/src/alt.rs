@@ -29,8 +29,7 @@ pub fn modularity_clusters(graph: &AffinityGraph) -> Vec<Vec<NodeId>> {
     if nodes.is_empty() {
         return Vec::new();
     }
-    let index: HashMap<NodeId, usize> =
-        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let n = nodes.len();
 
     let mut m = 0f64; // total edge weight
@@ -63,7 +62,7 @@ pub fn modularity_clusters(graph: &AffinityGraph) -> Vec<Vec<NodeId>> {
                 continue;
             }
             let dq = w_ab / m - strength[a] * strength[b] / (2.0 * m * m);
-            if dq > 0.0 && best.map_or(true, |(_, bq)| dq > bq) {
+            if dq > 0.0 && best.is_none_or(|(_, bq)| dq > bq) {
                 best = Some(((a, b), dq));
             }
         }
@@ -73,11 +72,8 @@ pub fn modularity_clusters(graph: &AffinityGraph) -> Vec<Vec<NodeId>> {
         members[a].extend(moved);
         strength[a] += strength[b];
         alive[b] = false;
-        let entries: Vec<((usize, usize), f64)> = between
-            .iter()
-            .filter(|(&(x, y), _)| x == b || y == b)
-            .map(|(&k, &v)| (k, v))
-            .collect();
+        let entries: Vec<((usize, usize), f64)> =
+            between.iter().filter(|(&(x, y), _)| x == b || y == b).map(|(&k, &v)| (k, v)).collect();
         for ((x, y), w) in entries {
             between.remove(&(x, y));
             let other = if x == b { y } else { x };
@@ -190,8 +186,7 @@ fn hcs_recurse(
         return;
     }
     let side_set: std::collections::HashSet<NodeId> = side.iter().copied().collect();
-    let other: Vec<NodeId> =
-        nodes.iter().copied().filter(|n| !side_set.contains(n)).collect();
+    let other: Vec<NodeId> = nodes.iter().copied().filter(|n| !side_set.contains(n)).collect();
     hcs_recurse(&side, edge, out, depth + 1);
     hcs_recurse(&other, edge, out, depth + 1);
 }

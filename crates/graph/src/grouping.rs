@@ -94,9 +94,9 @@ pub fn group(graph: &AffinityGraph, params: &GroupingParams) -> Vec<Group> {
             let mut best: Option<(NodeId, f64)> = None;
             for &stranger in &avail {
                 let benefit = merge_benefit(&work, &sub, stranger, params.merge_tolerance);
-                if benefit > 0.0 && best.map_or(true, |(bn, bb)| {
-                    benefit > bb || (benefit == bb && stranger < bn)
-                }) {
+                if benefit > 0.0
+                    && best.is_none_or(|(bn, bb)| benefit > bb || (benefit == bb && stranger < bn))
+                {
                     best = Some((stranger, benefit));
                 }
             }

@@ -88,8 +88,8 @@ pub fn analyze(trace: &HeapTrace, config: &HdsConfig) -> HdsResult {
             let site = trace.objects[obj as usize].site;
             // A call site can only feed one pool; first (highest-benefit)
             // group claims it.
-            if !site_map.contains_key(&site) {
-                site_map.insert(site, group);
+            if let std::collections::hash_map::Entry::Vacant(e) = site_map.entry(site) {
+                e.insert(group);
                 sites.push(site);
             }
         }
@@ -149,8 +149,7 @@ mod tests {
         let trace = pairwise_trace(4, 32);
         let result = analyze(&trace, &HdsConfig::default());
         assert!(!result.site_groups.is_empty());
-        let all_sites: Vec<CallSite> =
-            result.site_groups.iter().flatten().copied().collect();
+        let all_sites: Vec<CallSite> = result.site_groups.iter().flatten().copied().collect();
         assert!(all_sites.contains(&site(0, 1)));
         assert!(all_sites.contains(&site(0, 2)));
         assert!(result.stats.coverage > 0.5);

@@ -65,10 +65,8 @@ pub fn coallocation_sets(streams: &[Stream], trace: &HeapTrace) -> Vec<Coallocat
             }
             let total_size: u64 =
                 objects.iter().map(|&o| trace.objects[o as usize].size.max(1)).sum();
-            let lines_scattered: u64 = objects
-                .iter()
-                .map(|&o| trace.objects[o as usize].size.max(1).div_ceil(64))
-                .sum();
+            let lines_scattered: u64 =
+                objects.iter().map(|&o| trace.objects[o as usize].size.max(1).div_ceil(64)).sum();
             // Dilution over the set's sites.
             let sites: HashSet<halo_vm::CallSite> =
                 objects.iter().map(|&o| trace.objects[o as usize].site).collect();
@@ -81,10 +79,8 @@ pub fn coallocation_sets(streams: &[Stream], trace: &HeapTrace) -> Vec<Coallocat
             let dilution = (alloc_total as f64 / hot_total as f64).max(1.0);
             let lines_packed = ((total_size as f64 * dilution) / 64.0).ceil().max(1.0);
             let saved = lines_scattered as f64 - lines_packed;
-            (saved > 0.0).then(|| CoallocationSet {
-                objects,
-                benefit: saved * s.frequency as f64,
-            })
+            (saved > 0.0)
+                .then_some(CoallocationSet { objects, benefit: saved * s.frequency as f64 })
         })
         .collect()
 }
@@ -137,10 +133,7 @@ mod tests {
     #[test]
     fn benefit_scales_with_frequency_and_packing_gain() {
         let trace = trace_with_sizes(&[16, 16, 16, 16]);
-        let sets = coallocation_sets(
-            &[stream(&[0, 1, 2, 3], 10), stream(&[0, 1], 10)],
-            &trace,
-        );
+        let sets = coallocation_sets(&[stream(&[0, 1, 2, 3], 10), stream(&[0, 1], 10)], &trace);
         // 4 objects × 16 B pack into one line: saves 3 lines × 10 = 30.
         assert_eq!(sets[0].benefit, 30.0);
         // 2 objects save 1 line × 10 = 10.

@@ -249,11 +249,7 @@ impl Sequitur {
 
     /// Ids of live rules (0 is the start rule).
     pub fn live_rules(&self) -> impl Iterator<Item = u32> + '_ {
-        self.guards
-            .iter()
-            .enumerate()
-            .filter(|(_, &g)| g != NIL)
-            .map(|(i, _)| i as u32)
+        self.guards.iter().enumerate().filter(|(_, &g)| g != NIL).map(|(i, _)| i as u32)
     }
 
     /// The body of rule `r` as symbols.
@@ -506,11 +502,7 @@ mod tests {
         let g = build_checked(&input);
         assert!(g.num_rules() >= 2);
         // Total symbols across bodies must be far below the input length.
-        let total: usize = g
-            .seq
-            .live_rules()
-            .map(|r| g.seq.body(r).len())
-            .sum();
+        let total: usize = g.seq.live_rules().map(|r| g.seq.body(r).len()).sum();
         assert!(total < input.len() / 4, "poor compression: {total} symbols");
     }
 

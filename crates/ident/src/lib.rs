@@ -147,9 +147,7 @@ pub fn identify(groups: &[Group], contexts: &[ContextSummary]) -> Identification
                 // no already-identified group.
                 let candidates: Vec<usize> = (0..contexts.len())
                     .filter(|&ci| {
-                        member_of
-                            .get(&NodeId(ci as u32))
-                            .is_none_or(|g| !ignore.contains(g))
+                        member_of.get(&NodeId(ci as u32)).is_none_or(|g| !ignore.contains(g))
                     })
                     .filter(|&ci| expr.iter().all(|s| chain_sets[ci].contains(s)))
                     .collect();
@@ -160,10 +158,7 @@ pub fn identify(groups: &[Group], contexts: &[ContextSummary]) -> Identification
                     if expr.contains(&site) {
                         continue;
                     }
-                    let m = candidates
-                        .iter()
-                        .filter(|&&ci| chain_sets[ci].contains(&site))
-                        .count();
+                    let m = candidates.iter().filter(|&&ci| chain_sets[ci].contains(&site)).count();
                     if best.is_none_or(|(bm, bi, _)| m < bm || (m == bm && idx < bi)) {
                         best = Some((m, idx, site));
                     }
@@ -238,10 +233,8 @@ mod tests {
 
     #[test]
     fn unique_site_needs_single_conjunct() {
-        let contexts = vec![
-            ctx(vec![site(0, 1), site(1, 5)], 100),
-            ctx(vec![site(0, 2), site(2, 5)], 50),
-        ];
+        let contexts =
+            vec![ctx(vec![site(0, 1), site(1, 5)], 100), ctx(vec![site(0, 2), site(2, 5)], 50)];
         let groups = mk_groups(&[&[0]], &contexts);
         let ident = identify(&groups, &contexts);
         // Site fn#0+1 alone distinguishes member 0 from context 1.
@@ -269,10 +262,8 @@ mod tests {
     fn tie_break_prefers_lower_stack_sites() {
         // Both of the member's sites are unique to it (0 conflicts each);
         // the first (lowest/outermost) one must be chosen.
-        let contexts = vec![
-            ctx(vec![site(0, 1), site(1, 1)], 100),
-            ctx(vec![site(0, 9), site(9, 9)], 10),
-        ];
+        let contexts =
+            vec![ctx(vec![site(0, 1), site(1, 1)], 100), ctx(vec![site(0, 9), site(9, 9)], 10)];
         let groups = mk_groups(&[&[0]], &contexts);
         let ident = identify(&groups, &contexts);
         assert_eq!(ident.selectors[0].conjunctions[0], vec![site(0, 1)]);
@@ -298,10 +289,8 @@ mod tests {
     fn stops_when_conflicts_stop_improving() {
         // Two identical chains in different "groups" can never be fully
         // separated; the loop must terminate with residual conflicts.
-        let contexts = vec![
-            ctx(vec![site(0, 1), site(1, 1)], 100),
-            ctx(vec![site(0, 1), site(1, 1)], 50),
-        ];
+        let contexts =
+            vec![ctx(vec![site(0, 1), site(1, 1)], 100), ctx(vec![site(0, 1), site(1, 1)], 50)];
         let groups = mk_groups(&[&[0]], &contexts);
         let ident = identify(&groups, &contexts);
         // Selector exists and contains at most the whole chain.
@@ -314,7 +303,7 @@ mod tests {
     fn popular_groups_are_identified_first_and_win_at_runtime() {
         let shared = site(5, 5);
         let contexts = vec![
-            ctx(vec![site(0, 1), shared], 10), // member of cold group
+            ctx(vec![site(0, 1), shared], 10),   // member of cold group
             ctx(vec![site(0, 1), shared], 1000), // member of hot group (same chain!)
         ];
         let groups = mk_groups(&[&[0], &[1]], &contexts);
@@ -334,10 +323,8 @@ mod tests {
     fn own_group_members_do_not_count_as_conflicts() {
         // Two members of the same group share their whole chain except the
         // allocation site; conflicts only count *other* groups' contexts.
-        let contexts = vec![
-            ctx(vec![site(0, 1), site(1, 1)], 100),
-            ctx(vec![site(0, 1), site(1, 2)], 90),
-        ];
+        let contexts =
+            vec![ctx(vec![site(0, 1), site(1, 1)], 100), ctx(vec![site(0, 1), site(1, 2)], 90)];
         let groups = mk_groups(&[&[0, 1]], &contexts);
         let ident = identify(&groups, &contexts);
         // With no outside contexts at all, a single site reaches 0

@@ -63,7 +63,7 @@ impl BoundaryTagAllocator {
     fn take_best_fit(&mut self, need: u64) -> Option<(u64, u64)> {
         let mut best: Option<(u64, u64)> = None;
         for (&addr, &size) in &self.free_by_addr {
-            if size >= need && best.map_or(true, |(_, bs)| size < bs) {
+            if size >= need && best.is_none_or(|(_, bs)| size < bs) {
                 best = Some((addr, size));
             }
         }

@@ -137,7 +137,6 @@ struct Chunk {
     shards: HashMap<u64, Vec<u64>>,
 }
 
-
 /// The specialised allocator synthesised by the HALO pipeline. Generic over
 /// the fallback allocator `F` (defaults to the jemalloc-style baseline).
 #[derive(Debug)]
@@ -188,8 +187,7 @@ impl HaloGroupAllocator<SizeClassAllocator> {
         config: GroupAllocConfig,
         site_groups: HashMap<CallSite, usize>,
     ) -> Self {
-        let mut a =
-            Self::with_fallback(config, SelectorTable::empty(), SizeClassAllocator::new());
+        let mut a = Self::with_fallback(config, SelectorTable::empty(), SizeClassAllocator::new());
         let num_groups = site_groups.values().map(|&g| g + 1).max().unwrap_or(0);
         a.current = vec![None; num_groups];
         a.site_groups = site_groups;
@@ -371,10 +369,8 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
     fn group_free(&mut self, ptr: u64, mem: &mut Memory) {
         let cs = self.config.chunk_size;
         let chunk_base = ptr & !(cs - 1);
-        let size = self
-            .region_sizes
-            .remove(&ptr)
-            .expect("group free of pointer without live region");
+        let size =
+            self.region_sizes.remove(&ptr).expect("group free of pointer without live region");
         self.live_grouped_bytes -= size;
         self.stats.grouped_frees += 1;
         let sharded = self.config.reuse_policy == ReusePolicy::ShardedFreeLists;
@@ -433,10 +429,8 @@ impl<F: VmAllocator> VmAllocator for HaloGroupAllocator<F> {
         // state vector against the set of selectors". In site mode (the
         // hot-data-streams comparison) the immediate call site decides.
         if size < self.config.max_grouped_size {
-            if let Some(group) = self
-                .selectors
-                .classify(gs)
-                .or_else(|| self.site_groups.get(&site).copied())
+            if let Some(group) =
+                self.selectors.classify(gs).or_else(|| self.site_groups.get(&site).copied())
             {
                 return self.group_malloc(group, size);
             }
@@ -630,7 +624,10 @@ mod tests {
         gs.clear(0);
         gs.set(1);
         let p = a.malloc(16, site(), &gs, &mut mem);
-        assert_eq!(p & !(small_config().chunk_size - 1), a_ptrs[0] & !(small_config().chunk_size - 1));
+        assert_eq!(
+            p & !(small_config().chunk_size - 1),
+            a_ptrs[0] & !(small_config().chunk_size - 1)
+        );
         assert_eq!(a.stats().chunks_created, created_before);
     }
 
@@ -678,10 +675,8 @@ mod tests {
 
     #[test]
     fn sharded_reuse_recycles_holes_within_the_chunk() {
-        let cfg = GroupAllocConfig {
-            reuse_policy: ReusePolicy::ShardedFreeLists,
-            ..small_config()
-        };
+        let cfg =
+            GroupAllocConfig { reuse_policy: ReusePolicy::ShardedFreeLists, ..small_config() };
         let mut a = HaloGroupAllocator::new(cfg, two_group_table());
         let mut gs = GroupState::new(2);
         let mut mem = Memory::new();
@@ -712,8 +707,7 @@ mod tests {
             let mut mem = Memory::new();
             gs.set(0);
             for _round in 0..4 {
-                let ptrs: Vec<u64> =
-                    (0..32).map(|_| a.malloc(48, site(), &gs, &mut mem)).collect();
+                let ptrs: Vec<u64> = (0..32).map(|_| a.malloc(48, site(), &gs, &mut mem)).collect();
                 for &p in &ptrs[1..] {
                     a.free(p, &mut mem);
                 }

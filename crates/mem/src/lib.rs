@@ -39,7 +39,9 @@ mod vmm;
 
 pub use boundary_tag::BoundaryTagAllocator;
 pub use bump::BumpAllocator;
-pub use group_alloc::{FragReport, GroupAllocConfig, GroupAllocStats, HaloGroupAllocator, ReusePolicy};
+pub use group_alloc::{
+    FragReport, GroupAllocConfig, GroupAllocStats, HaloGroupAllocator, ReusePolicy,
+};
 pub use random_group::RandomGroupAllocator;
 pub use selector::{GroupSelector, SelectorTable};
 pub use size_class::{SizeClassAllocator, SIZE_CLASSES, SMALL_MAX};

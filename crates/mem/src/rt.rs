@@ -109,7 +109,7 @@ pub struct NativeSelector {
 impl NativeSelector {
     #[inline]
     fn matches(&self, bits: u64) -> bool {
-        self.masks.iter().any(|&m| bits & m == m)
+        self.masks.iter().any(|&m| m & !bits == 0)
     }
 }
 
@@ -210,12 +210,7 @@ impl GroupHeap {
             let base = base as usize;
             debug_assert_eq!(base % CHUNK_SIZE, 0);
             let ptr = (base + CHUNK_HEADER + align - 1) & !(align - 1);
-            st.chunks[slot] = Some(ChunkInfo {
-                base,
-                group,
-                bump: ptr + size,
-                live_regions: 1,
-            });
+            st.chunks[slot] = Some(ChunkInfo { base, group, bump: ptr + size, live_regions: 1 });
             st.current[group] = Some(slot);
             ptr as *mut u8
         })
@@ -226,10 +221,7 @@ impl GroupHeap {
     fn group_dealloc(&self, ptr: *mut u8) -> bool {
         let base = (ptr as usize) & !(CHUNK_SIZE - 1);
         self.with_state(|st| {
-            let Some(slot) = st
-                .chunks
-                .iter()
-                .position(|c| c.is_some_and(|c| c.base == base))
+            let Some(slot) = st.chunks.iter().position(|c| c.is_some_and(|c| c.base == base))
             else {
                 return false;
             };
@@ -292,10 +284,8 @@ unsafe impl GlobalAlloc for GroupHeap {
 mod tests {
     use super::*;
 
-    static TEST_SELECTORS: &[NativeSelector] = &[
-        NativeSelector { group: 0, masks: &[0b01] },
-        NativeSelector { group: 1, masks: &[0b10] },
-    ];
+    static TEST_SELECTORS: &[NativeSelector] =
+        &[NativeSelector { group: 0, masks: &[0b01] }, NativeSelector { group: 1, masks: &[0b10] }];
 
     fn layout(n: usize) -> Layout {
         Layout::from_size_align(n, 8).unwrap()
@@ -346,10 +336,7 @@ mod tests {
             let _g = enter_site(1);
             unsafe { HEAP.alloc(layout(16)) }
         };
-        assert_ne!(
-            (a as usize) & !(CHUNK_SIZE - 1),
-            (b as usize) & !(CHUNK_SIZE - 1)
-        );
+        assert_ne!((a as usize) & !(CHUNK_SIZE - 1), (b as usize) & !(CHUNK_SIZE - 1));
         unsafe {
             HEAP.dealloc(a, layout(16));
             HEAP.dealloc(b, layout(16));
@@ -382,8 +369,7 @@ mod tests {
         let _g = enter_site(0);
         // Fill more than one chunk.
         let n = CHUNK_SIZE / 2048 + 4;
-        let ptrs: Vec<*mut u8> =
-            (0..n).map(|_| unsafe { HEAP.alloc(layout(2048)) }).collect();
+        let ptrs: Vec<*mut u8> = (0..n).map(|_| unsafe { HEAP.alloc(layout(2048)) }).collect();
         assert!(HEAP.chunk_count() >= 2);
         for p in ptrs {
             unsafe { HEAP.dealloc(p, layout(2048)) };

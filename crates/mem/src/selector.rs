@@ -39,11 +39,7 @@ pub struct SelectorTable {
 impl SelectorTable {
     /// Build a table from selectors already sorted by group popularity.
     pub fn new(selectors: Vec<GroupSelector>, num_bits: u16) -> Self {
-        let num_groups = selectors
-            .iter()
-            .map(|s| s.group + 1)
-            .max()
-            .unwrap_or(0);
+        let num_groups = selectors.iter().map(|s| s.group + 1).max().unwrap_or(0);
         SelectorTable { selectors, num_bits, num_groups }
     }
 

@@ -92,8 +92,7 @@ impl SizeClassAllocator {
             }
             run => {
                 // New run: at least 16 KiB or 8 objects, page aligned.
-                let run_bytes =
-                    ((16 * 1024).max(csize * 8) + PAGE_SIZE - 1) / PAGE_SIZE * PAGE_SIZE;
+                let run_bytes = (16 * 1024).max(csize * 8).div_ceil(PAGE_SIZE) * PAGE_SIZE;
                 let base = self.vmm.reserve(run_bytes, PAGE_SIZE);
                 *run = Some((base + csize, base + run_bytes));
                 base
@@ -308,8 +307,7 @@ mod tests {
             }
         }
         // Hot objects (A/B) are NOT contiguous: every third slot is a C.
-        let contiguous =
-            a_ptrs.windows(2).filter(|w| w[1] == w[0] + 16).count();
+        let contiguous = a_ptrs.windows(2).filter(|w| w[1] == w[0] + 16).count();
         assert!(contiguous < a_ptrs.len() - 1);
     }
 }

@@ -235,8 +235,7 @@ impl Monitor for Profiler<'_> {
         }
         self.total_accesses += 1;
         self.contexts[obj.ctx.index()].info.accesses += 1;
-        let entry =
-            QueueEntry { obj: obj.id, ctx: obj.ctx, alloc_seq: obj.id, size: width as u64 };
+        let entry = QueueEntry { obj: obj.id, ctx: obj.ctx, alloc_seq: obj.id, size: width as u64 };
         let partners = self.queue.record(entry);
         for partner in partners {
             if !self.config.enforce_coallocatability

@@ -165,6 +165,7 @@ mod tests {
         let p = program();
         let mut s = ShadowStack::new(&p);
         s.on_call(site(0, 5), FuncId(2)); // main calls libfn (external)
+
         // Allocation inside the library: attributed to the main-binary site.
         let ctx = s.capture(site(2, 1));
         assert!(ctx.frames.is_empty(), "library frame not shadowed");

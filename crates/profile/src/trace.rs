@@ -129,6 +129,7 @@ mod tests {
         m.imm(r(0), 16);
         m.malloc(r(0), r(1)); // obj 0
         m.malloc(r(0), r(2)); // obj 1
+
         // Pattern: 0 0 1 0 → dedup → 0 1 0.
         m.store(r(0), r(1), 0, Width::W8);
         m.store(r(0), r(1), 8, Width::W8);

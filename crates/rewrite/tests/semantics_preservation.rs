@@ -10,8 +10,8 @@
 
 use halo_rewrite::instrument;
 use halo_vm::{
-    AllocKind, CallSite, Cond, Engine, FuncId, MallocOnlyAllocator, Monitor, ProgramBuilder,
-    Reg, Width,
+    AllocKind, CallSite, Cond, Engine, FuncId, MallocOnlyAllocator, Monitor, ProgramBuilder, Reg,
+    Width,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -94,11 +94,8 @@ fn build(ops: &[GenOp]) -> (halo_vm::Program, Vec<CallSite>) {
         for entry in &mut pending {
             entry.0 = entry.0.saturating_sub(1);
         }
-        let expired: Vec<halo_vm::Label> = pending
-            .iter()
-            .filter(|(n, _)| *n == 0)
-            .map(|&(_, l)| l)
-            .collect();
+        let expired: Vec<halo_vm::Label> =
+            pending.iter().filter(|(n, _)| *n == 0).map(|&(_, l)| l).collect();
         pending.retain(|(n, _)| *n != 0);
         for l in expired {
             m.bind(l);

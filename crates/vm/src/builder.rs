@@ -96,7 +96,11 @@ impl ProgramBuilder {
             .functions
             .into_iter()
             .enumerate()
-            .map(|(i, f)| f.unwrap_or_else(|| panic!("function '{}' declared but never defined", self.names[i])))
+            .map(|(i, f)| {
+                f.unwrap_or_else(|| {
+                    panic!("function '{}' declared but never defined", self.names[i])
+                })
+            })
             .collect();
         let program = Program { functions, entry };
         if let Err(e) = program.validate() {
@@ -337,16 +341,13 @@ impl FunctionBuilder<'_> {
     pub fn finish(self) -> FuncId {
         let FunctionBuilder { parent, id, external, argc, mut code, labels, patches } = self;
         for (pc, label) in patches {
-            let target = labels[label.0 as usize]
-                .unwrap_or_else(|| panic!("unbound label in function '{}'", parent.names[id.index()]));
+            let target = labels[label.0 as usize].unwrap_or_else(|| {
+                panic!("unbound label in function '{}'", parent.names[id.index()])
+            });
             code[pc].map_branch_target(|_| target);
         }
-        parent.functions[id.index()] = Some(Function {
-            name: parent.names[id.index()].clone(),
-            external,
-            argc,
-            code,
-        });
+        parent.functions[id.index()] =
+            Some(Function { name: parent.names[id.index()].clone(), external, argc, code });
         id
     }
 }

@@ -87,8 +87,14 @@ pub trait VmAllocator {
 
     /// Resize an allocation, moving it if necessary, and return the new
     /// address. Called with `ptr != 0` and `size > 0`.
-    fn realloc(&mut self, ptr: u64, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory)
-        -> u64;
+    fn realloc(
+        &mut self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64;
 
     /// Allocate and zero `count * size` bytes. The default forwards to
     /// [`VmAllocator::malloc`] and zeroes the region.
@@ -282,12 +288,7 @@ impl<'p> Engine<'p> {
         let mut stack: Vec<Frame> = Vec::with_capacity(64);
         let mut entry_regs = [0i64; NUM_REGS];
         entry_regs[0] = self.entry_arg;
-        stack.push(Frame {
-            func: self.program.entry,
-            pc: 0,
-            regs: entry_regs,
-            ret_dst: None,
-        });
+        stack.push(Frame { func: self.program.entry, pc: 0, regs: entry_regs, ret_dst: None });
         stats.max_depth = 1;
 
         'outer: loop {
@@ -339,16 +340,13 @@ impl<'p> Engine<'p> {
                     frame.regs[d.0 as usize] = frame.regs[a.0 as usize].wrapping_rem(bv);
                 }
                 Op::And(d, a, b) => {
-                    frame.regs[d.0 as usize] =
-                        frame.regs[a.0 as usize] & frame.regs[b.0 as usize]
+                    frame.regs[d.0 as usize] = frame.regs[a.0 as usize] & frame.regs[b.0 as usize]
                 }
                 Op::Or(d, a, b) => {
-                    frame.regs[d.0 as usize] =
-                        frame.regs[a.0 as usize] | frame.regs[b.0 as usize]
+                    frame.regs[d.0 as usize] = frame.regs[a.0 as usize] | frame.regs[b.0 as usize]
                 }
                 Op::Xor(d, a, b) => {
-                    frame.regs[d.0 as usize] =
-                        frame.regs[a.0 as usize] ^ frame.regs[b.0 as usize]
+                    frame.regs[d.0 as usize] = frame.regs[a.0 as usize] ^ frame.regs[b.0 as usize]
                 }
                 Op::Load { dst, base, offset, width } => {
                     let addr = (frame.regs[base.0 as usize].wrapping_add(*offset)) as u64;
@@ -714,10 +712,7 @@ mod tests {
         assert_eq!(stats.frees, 1);
         assert_eq!(stats.loads, 1);
         assert_eq!(stats.stores, 1);
-        assert_eq!(
-            mon.events.iter().filter(|e| e.starts_with("access")).count(),
-            2
-        );
+        assert_eq!(mon.events.iter().filter(|e| e.starts_with("access")).count(), 2);
     }
 
     #[test]
@@ -843,11 +838,7 @@ mod tests {
         let p = pb.finish(main);
         let run = |seed| {
             let mut alloc = MallocOnlyAllocator::new();
-            Engine::new(&p)
-                .with_seed(seed)
-                .run(&mut alloc, &mut NullMonitor)
-                .unwrap()
-                .return_value
+            Engine::new(&p).with_seed(seed).run(&mut alloc, &mut NullMonitor).unwrap().return_value
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

@@ -85,10 +85,7 @@ impl Memory {
             let page = addr / PAGE_SIZE;
             let off = (addr % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize - off).min(buf.len() - done)).max(1);
-            let p = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            let p = self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
             p[off..off + n].copy_from_slice(&buf[done..done + n]);
             done += n;
             addr = addr.wrapping_add(n as u64);
@@ -149,8 +146,7 @@ mod tests {
     #[test]
     fn write_then_read_roundtrip_all_widths() {
         let mut m = Memory::new();
-        for (w, v) in [(1u64, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)]
-        {
+        for (w, v) in [(1u64, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
             m.write(100, w, v);
             assert_eq!(m.read(100, w), v, "width {w}");
         }

@@ -163,10 +163,7 @@ impl Op {
     /// (`malloc`, `calloc`, `realloc`, `free`).
     #[inline]
     pub fn is_alloc_routine(&self) -> bool {
-        matches!(
-            self,
-            Op::Malloc { .. } | Op::Calloc { .. } | Op::Realloc { .. } | Op::Free { .. }
-        )
+        matches!(self, Op::Malloc { .. } | Op::Calloc { .. } | Op::Realloc { .. } | Op::Free { .. })
     }
 
     /// The intra-function branch target, if this is a control-flow

@@ -118,10 +118,7 @@ impl Program {
     /// Find a function id by name. Names are not required to be unique;
     /// the first match wins.
     pub fn find_function(&self, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FuncId(i as u32))
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
     }
 
     /// Enumerate every call site in the program.
@@ -194,13 +191,13 @@ fn regs_in_range(op: &Op) -> bool {
         Op::Load { dst, base, .. } => ok(dst) && ok(base),
         Op::Store { src, base, .. } => ok(src) && ok(base),
         Op::Call { args, dst, .. } => {
-            args.len() <= NUM_REGS && args.iter().all(ok) && dst.as_ref().map_or(true, ok)
+            args.len() <= NUM_REGS && args.iter().all(ok) && dst.as_ref().is_none_or(ok)
         }
         Op::CallIndirect { target, args, dst } => {
             ok(target)
                 && args.len() <= NUM_REGS
                 && args.iter().all(ok)
-                && dst.as_ref().map_or(true, ok)
+                && dst.as_ref().is_none_or(ok)
         }
         Op::Malloc { size, dst } => ok(size) && ok(dst),
         Op::Calloc { count, size, dst } => ok(count) && ok(size) && ok(dst),
@@ -208,7 +205,7 @@ fn regs_in_range(op: &Op) -> bool {
         Op::Free { ptr } => ok(ptr),
         Op::Rand { dst, bound } => ok(dst) && ok(bound),
         Op::Branch { a, b, .. } => ok(a) && ok(b),
-        Op::Ret(r) => r.as_ref().map_or(true, ok),
+        Op::Ret(r) => r.as_ref().is_none_or(ok),
         Op::Jump(_) | Op::Compute(_) | Op::GroupSet(_) | Op::GroupClear(_) | Op::Nop => true,
     }
 }

@@ -56,6 +56,7 @@ pub fn build() -> Workload {
     m.malloc(r(1), r(22)); // x vector
     m.mul_imm(r(1), rows, 8);
     m.malloc(r(1), r(23)); // y vector
+
     // Assemble the matrix.
     counted_loop(&mut m, r(24), rows, |m| {
         m.imm(r(9), 0); // row chain head

@@ -52,6 +52,7 @@ pub fn build() -> Workload {
     // Vertex pointer table (large, fallback-allocated).
     m.mul_imm(r(1), nv, 8);
     m.malloc(r(1), r(21)); // r21 = table base
+
     // Build: vertex + name + EDGES_PER_VERTEX edges each.
     counted_loop(&mut m, r(22), nv, |m| {
         m.call(alloc_vertex, &[], Some(r(2)));
@@ -62,6 +63,7 @@ pub fn build() -> Workload {
         m.store(r(2), r(4), 0, Width::W8); // table[i] = v
         m.call(alloc_name, &[], Some(r(5)));
         m.store(r(22), r(5), 0, Width::W8); // name written once
+
         // Edges to random earlier vertices (skip vertex 0).
         let skip = m.label();
         m.branch(Cond::Eq, r(22), ZERO, skip);

@@ -143,6 +143,7 @@ pub fn build() -> Workload {
     m.calloc(r(1), r(2), r(21)); // r21 = villages base
     m.imm(r(1), NUM_VILLAGES);
     m.calloc(r(1), r(2), r(28)); // r28 = overflow base
+
     // Census table: common memory traffic shared by every configuration.
     m.imm(r(1), 64 * 1024);
     m.malloc(r(1), r(30));

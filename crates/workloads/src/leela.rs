@@ -80,6 +80,7 @@ pub fn build() -> Workload {
     // Node registry for the mass free at the end of each search.
     m.imm(r(1), ITERS_PER_SEARCH * 8);
     m.malloc(r(1), r(21)); // registry base
+
     // Pattern-matching tables consulted after each playout (large,
     // ungrouped; their traffic separates board accesses from the node
     // accesses of backpropagation in the affinity queue).
@@ -98,6 +99,7 @@ pub fn build() -> Workload {
 
     counted_loop(&mut m, r(25), r(22), |m| {
         m.imm(r(9), 0); // current leaf (parent chain)
+
         // One search: expand, playout, backprop.
         counted_loop(m, r(26), r(23), |m| {
             m.call(expand_node, &[r(9)], Some(r(4)));
@@ -105,6 +107,7 @@ pub fn build() -> Workload {
             m.mul_imm(r(5), r(26), 8);
             m.add(r(5), r(21), r(5));
             m.store(r(4), r(5), 0, Width::W8); // registry[i] = node
+
             // Playout on a scratch board: compute-dominated.
             m.call(copy_board, &[], Some(r(6)));
             m.load(r(7), r(6), 0, Width::W8);

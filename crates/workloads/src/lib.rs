@@ -98,10 +98,7 @@ mod tests {
             let stats = Engine::new(&w.program)
                 .with_seed(w.train.seed)
                 .with_entry_arg(w.train.arg)
-                .with_limits(EngineLimits {
-                    max_instructions: 200_000_000,
-                    max_call_depth: 256,
-                })
+                .with_limits(EngineLimits { max_instructions: 200_000_000, max_call_depth: 256 })
                 .run(&mut alloc, &mut NullMonitor)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
             assert!(stats.allocs > 0, "{} makes no allocations", w.name);
@@ -122,8 +119,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "health", "ft", "analyzer", "ammp", "art", "equake", "povray", "omnetpp",
-                "xalanc", "leela", "roms"
+                "health", "ft", "analyzer", "ammp", "art", "equake", "povray", "omnetpp", "xalanc",
+                "leela", "roms"
             ]
         );
     }
@@ -137,10 +134,7 @@ mod tests {
             let stats = Engine::new(&w.program)
                 .with_seed(w.train.seed)
                 .with_entry_arg(w.train.arg)
-                .with_limits(EngineLimits {
-                    max_instructions: 200_000_000,
-                    max_call_depth: 256,
-                })
+                .with_limits(EngineLimits { max_instructions: 200_000_000, max_call_depth: 256 })
                 .run(&mut alloc, &mut NullMonitor)
                 .expect("runs");
             let apmi = stats.allocs as f64 * 1e6 / stats.instructions as f64;

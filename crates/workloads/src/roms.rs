@@ -155,10 +155,7 @@ mod tests {
             .run(&mut alloc, &mut NullMonitor)
             .expect("runs");
         let steps = w.train.arg as u64;
-        assert_eq!(
-            stats.allocs,
-            2 + 2 * NUM_GRIDS as u64 + steps * NUM_TEMPS as u64
-        );
+        assert_eq!(stats.allocs, 2 + 2 * NUM_GRIDS as u64 + steps * NUM_TEMPS as u64);
         assert_eq!(stats.frees, steps * NUM_TEMPS as u64);
     }
 }

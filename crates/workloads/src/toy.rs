@@ -87,7 +87,7 @@ pub fn build() -> Workload {
     let main = m.finish();
 
     Workload {
-        name: "fig2",
+        name: "toy",
         program: pb.finish(main),
         train: RunSpec { seed: 11, arg: 300 },
         reference: RunSpec { seed: 23, arg: 3000 },

@@ -23,9 +23,7 @@ pub fn build() -> Workload {
     let create_elem = pb.declare("create_elem");
     let create_attr = pb.declare("create_attr");
     let create_text = pb.declare("create_text");
-    let parse: Vec<_> = (0..PARSE_DEPTH)
-        .map(|i| pb.declare(&format!("parse{i}")))
-        .collect();
+    let parse: Vec<_> = (0..PARSE_DEPTH).map(|i| pb.declare(&format!("parse{i}"))).collect();
 
     {
         // The memory manager: one malloc site for every node kind.

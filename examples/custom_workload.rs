@@ -113,16 +113,8 @@ fn main() {
     let base = measure(&program, &mut base_alloc, &cfg).expect("baseline");
     let mut halo_alloc = halo.make_allocator(&optimised);
     let opt = measure(&optimised.program, &mut halo_alloc, &cfg).expect("optimised");
-    println!(
-        "\nbaseline: {} L1D misses, {:.2} Mcycles",
-        base.stats.l1_misses,
-        base.cycles / 1e6
-    );
-    println!(
-        "HALO:     {} L1D misses, {:.2} Mcycles",
-        opt.stats.l1_misses,
-        opt.cycles / 1e6
-    );
+    println!("\nbaseline: {} L1D misses, {:.2} Mcycles", base.stats.l1_misses, base.cycles / 1e6);
+    println!("HALO:     {} L1D misses, {:.2} Mcycles", opt.stats.l1_misses, opt.cycles / 1e6);
     println!(
         "miss reduction {:.1}%, speedup {:.1}%",
         opt.miss_reduction_vs(&base) * 100.0,

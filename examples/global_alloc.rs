@@ -16,10 +16,8 @@ use halo::mem::rt::{enter_site, GroupHeap, NativeSelector};
 
 // Two groups: "geometry" behind monitored site 0, "index nodes" behind
 // monitored sites 1 AND 2 together (a conjunctive selector).
-static SELECTORS: &[NativeSelector] = &[
-    NativeSelector { group: 0, masks: &[0b001] },
-    NativeSelector { group: 1, masks: &[0b110] },
-];
+static SELECTORS: &[NativeSelector] =
+    &[NativeSelector { group: 0, masks: &[0b001] }, NativeSelector { group: 1, masks: &[0b110] }];
 
 #[global_allocator]
 static HEAP: GroupHeap = GroupHeap::new(SELECTORS);

@@ -31,11 +31,8 @@ fn main() {
         optimised.profile.graph.edge_count(),
     );
     for group in &optimised.groups {
-        let members: Vec<&str> = group
-            .members
-            .iter()
-            .map(|&m| optimised.profile.context(m).name.as_str())
-            .collect();
+        let members: Vec<&str> =
+            group.members.iter().map(|&m| optimised.profile.context(m).name.as_str()).collect();
         println!("group (weight {}): {:?}", group.weight, members);
     }
     println!(

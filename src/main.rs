@@ -16,7 +16,26 @@ use halo::mem::SizeClassAllocator;
 use halo::workloads::{all, Workload};
 use std::process::ExitCode;
 
+/// Rust ignores SIGPIPE by default, which turns `halo list | head` into a
+/// broken-pipe panic; restore the default disposition so the process just
+/// terminates like other CLI tools.
+#[cfg(unix)]
+fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
 fn main() -> ExitCode {
+    reset_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         usage();
@@ -106,8 +125,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     Some(value("--affinity-distance")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--chunk-size" => {
-                flags.chunk_size =
-                    Some(value("--chunk-size")?.parse().map_err(|e| format!("{e}"))?)
+                flags.chunk_size = Some(value("--chunk-size")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--max-spare-chunks" => {
                 let v = value("--max-spare-chunks")?;
@@ -118,8 +136,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 });
             }
             "--max-groups" => {
-                flags.max_groups =
-                    Some(value("--max-groups")?.parse().map_err(|e| format!("{e}"))?)
+                flags.max_groups = Some(value("--max-groups")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--merge-tolerance" => {
                 flags.merge_tolerance =

@@ -1,0 +1,113 @@
+//! Smoke tests for the `halo` binary's argument parsing and output
+//! framing, driving the real executable (libtest exposes its path as
+//! `CARGO_BIN_EXE_halo`). The heavyweight evaluation paths are covered by
+//! `pipeline_end_to_end.rs`; here we only run the cheap `toy` workload.
+
+use std::process::{Command, Output};
+
+fn halo(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_halo"))
+        .args(args)
+        .output()
+        .expect("the halo binary must spawn")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("stderr is UTF-8")
+}
+
+#[test]
+fn list_names_every_workload() {
+    let out = halo(&["list"]);
+    assert!(out.status.success(), "halo list failed: {}", stderr(&out));
+    let text = stdout(&out);
+    let workloads = halo::workloads::all();
+    assert_eq!(workloads.len(), 11, "the paper evaluates 11 benchmarks");
+    for w in &workloads {
+        assert!(text.contains(w.name), "halo list is missing workload {:?}:\n{text}", w.name);
+    }
+}
+
+#[test]
+fn run_toy_json_emits_machine_readable_row() {
+    let out = halo(&["run", "--benchmark", "toy", "--json"]);
+    assert!(out.status.success(), "halo run failed: {}", stderr(&out));
+    let text = stdout(&out);
+    let line = text.lines().next().expect("one JSON row");
+    // Keep the format check structural, not value-exact: one object per
+    // line with the three result sections and the headline metrics.
+    assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
+    for key in [
+        "\"benchmark\":\"toy\"",
+        "\"halo\":",
+        "\"hds\":",
+        "\"baseline\":",
+        "\"miss_reduction\":",
+        "\"speedup\":",
+        "\"groups\":",
+    ] {
+        assert!(line.contains(key), "JSON row is missing {key}: {line}");
+    }
+}
+
+#[test]
+fn run_accepts_the_paper_flags() {
+    let out = halo(&[
+        "run",
+        "--benchmark",
+        "toy",
+        "--affinity-distance",
+        "256",
+        "--chunk-size",
+        "65536",
+        "--max-spare-chunks",
+        "inf",
+        "--max-groups",
+        "4",
+        "--merge-tolerance",
+        "0.1",
+        "--json",
+    ]);
+    assert!(out.status.success(), "flagged run failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("\"benchmark\":\"toy\""));
+}
+
+#[test]
+fn baseline_runs_the_toy_workload() {
+    let out = halo(&["baseline", "--benchmark", "toy", "--json"]);
+    assert!(out.status.success(), "halo baseline failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"config\":\"baseline\""), "unexpected baseline output: {text}");
+}
+
+#[test]
+fn errors_are_reported_with_usage() {
+    let no_command = halo(&[]);
+    assert!(!no_command.status.success(), "bare `halo` must fail");
+    assert!(stderr(&no_command).contains("USAGE"));
+
+    let unknown_benchmark = halo(&["run", "--benchmark", "nonesuch"]);
+    assert!(!unknown_benchmark.status.success());
+    assert!(stderr(&unknown_benchmark).contains("unknown benchmark 'nonesuch'"));
+
+    let unknown_flag = halo(&["run", "--frobnicate"]);
+    assert!(!unknown_flag.status.success());
+    assert!(stderr(&unknown_flag).contains("unknown flag '--frobnicate'"));
+
+    let missing_value = halo(&["run", "--benchmark"]);
+    assert!(!missing_value.status.success());
+    assert!(stderr(&missing_value).contains("--benchmark needs a value"));
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    for flag in ["help", "--help", "-h"] {
+        let out = halo(&[flag]);
+        assert!(out.status.success(), "halo {flag} must succeed");
+        assert!(stderr(&out).contains("USAGE"), "halo {flag} must print usage");
+    }
+}

@@ -161,8 +161,7 @@ fn leela_contexts_pierce_operator_new() {
     let w = all.iter().find(|w| w.name == "leela").unwrap();
     let halo = Halo::new(pipeline_config());
     let profile = halo.profile_with_arg(&w.program, w.train.seed, w.train.arg).unwrap();
-    let names: Vec<&str> =
-        profile.alive_contexts().map(|c| c.name.as_str()).collect();
+    let names: Vec<&str> = profile.alive_contexts().map(|c| c.name.as_str()).collect();
     assert!(
         names.iter().any(|n| n.contains("expand_node")),
         "node context visible through operator new: {names:?}"
