@@ -89,11 +89,17 @@ impl Bencher {
 /// The top-level harness handle, mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: u64,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        // Like real Criterion, the first non-flag CLI argument filters
+        // benchmarks by substring (`cargo bench --bench foo -- my_bench`);
+        // cargo's own `--bench` flag is ignored.
+        let filter =
+            std::env::args().skip(1).find(|a| !a.starts_with('-')).filter(|a| !a.is_empty());
+        Criterion { sample_size: 20, filter }
     }
 }
 
@@ -104,8 +110,19 @@ impl Criterion {
         self
     }
 
+    /// Run benchmarks whose id contains `filter` and skip the rest,
+    /// mirroring Criterion's CLI filtering (normally set from the command
+    /// line by [`Criterion::default`]).
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
     /// Run one named benchmark and print its mean time per iteration.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.filter.as_deref().is_some_and(|needle| !id.contains(needle)) {
+            return self;
+        }
         let mut b = Bencher { samples: self.sample_size, total: Duration::ZERO, iterations: 0 };
         f(&mut b);
         let mean = if b.iterations == 0 {
@@ -174,7 +191,9 @@ mod tests {
 
     #[test]
     fn bench_function_runs_and_counts() {
-        let mut c = Criterion::default().sample_size(5);
+        // Constructed directly so a `cargo test <name>` filter in argv
+        // can't leak into the benchmark filter.
+        let mut c = Criterion { sample_size: 5, filter: None };
         let mut runs = 0u64;
         c.bench_function("compat/iter", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 5);
@@ -182,12 +201,22 @@ mod tests {
 
     #[test]
     fn iter_batched_feeds_setup_output() {
-        let mut c = Criterion::default().sample_size(10);
+        let mut c = Criterion { sample_size: 10, filter: None };
         let mut total = 0u64;
         c.bench_function("compat/batched", |b| {
             b.iter_batched(|| 3u64, |x| total += x, BatchSize::SmallInput)
         });
         assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut c = Criterion { sample_size: 5, filter: None }.with_filter("queue");
+        let (mut hits, mut skips) = (0u64, 0u64);
+        c.bench_function("profile/affinity_queue", |b| b.iter(|| hits += 1));
+        c.bench_function("mem/allocator", |b| b.iter(|| skips += 1));
+        assert_eq!(hits, 5);
+        assert_eq!(skips, 0);
     }
 
     #[test]

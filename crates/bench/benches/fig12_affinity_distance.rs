@@ -6,6 +6,11 @@
 //! EXPERIMENTS.md), so the harness also prints the same sweep for health,
 //! where the characteristic shape — good at moderate distances, degrading
 //! at the extremes — is clearly visible.
+//!
+//! The fifteen distance points are independent pipeline runs, so each
+//! benchmark's sweep fans out across cores (`halo_core::par_map`) with
+//! rows printed in ascending-A order. `HALO_THREADS=1` forces the serial
+//! path.
 
 fn main() {
     halo_bench::banner("Figure 12: simulated time vs affinity distance");
@@ -22,19 +27,21 @@ fn main() {
             "{:>10} {:>14} {:>10} {:>8} {:>16}",
             "A (bytes)", "halo Mcycles", "vs base", "groups", "profile Mqueue-ops"
         );
-        for exp in 3..=17u32 {
-            let a = 1u64 << exp;
+        let distances: Vec<u64> = (3..=17u32).map(|exp| 1u64 << exp).collect();
+        for row in halo_core::par_map(&distances, |&a| {
             let mut cfg = config;
             cfg.halo.profile.affinity_distance = a;
             let (_, halo, optimised) = halo_bench::run_halo_only(w, &cfg);
-            println!(
+            format!(
                 "{:>10} {:>14.2} {:>10} {:>8} {:>16.2}",
                 a,
                 halo.cycles / 1e6,
                 halo_bench::pct(halo.speedup_vs(&base)),
                 optimised.groups.len(),
                 optimised.profile.queue_work as f64 / 1e6,
-            );
+            )
+        }) {
+            println!("{row}");
         }
     }
 }

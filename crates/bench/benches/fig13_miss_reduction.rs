@@ -1,5 +1,9 @@
 //! Figure 13: L1 data-cache miss reduction of hot-data-streams co-allocation
 //! and HALO over the jemalloc-style baseline, across the 11 benchmarks.
+//!
+//! The benchmarks are independent, so they fan out across cores
+//! (`halo_core::par_map`); rows print in the figure's order regardless of
+//! completion order. `HALO_THREADS=1` forces the serial path.
 
 fn main() {
     halo_bench::banner("Figure 13: L1D cache miss reduction vs jemalloc baseline");
@@ -7,16 +11,19 @@ fn main() {
         "{:<10} {:>14} {:>14}   {:>14} {:>12}",
         "benchmark", "Chilimbi et al.", "HALO", "base misses", "halo misses"
     );
-    for w in halo_workloads::all() {
-        let r = halo_bench::run_workload(&w, false, false);
+    let workloads = halo_workloads::all();
+    for row in halo_core::par_map(&workloads, |w| {
+        let r = halo_bench::run_workload(w, false, false);
         let (hds, halo) = r.miss_reduction_row();
-        println!(
+        format!(
             "{:<10} {:>14} {:>14}   {:>14} {:>12}",
             r.name,
             halo_bench::pct(hds),
             halo_bench::pct(halo),
             r.baseline.measurement.stats.l1_misses,
             r.halo.measurement.stats.l1_misses,
-        );
+        )
+    }) {
+        println!("{row}");
     }
 }

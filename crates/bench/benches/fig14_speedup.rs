@@ -1,5 +1,9 @@
 //! Figure 14: execution-time improvement of hot-data-streams co-allocation
 //! and HALO over the jemalloc-style baseline, across the 11 benchmarks.
+//!
+//! The benchmarks are independent, so they fan out across cores
+//! (`halo_core::par_map`); rows print in the figure's order regardless of
+//! completion order. `HALO_THREADS=1` forces the serial path.
 
 fn main() {
     halo_bench::banner("Figure 14: speedup vs jemalloc baseline (simulated cycles)");
@@ -7,16 +11,19 @@ fn main() {
         "{:<10} {:>14} {:>14}   {:>16} {:>14}",
         "benchmark", "Chilimbi et al.", "HALO", "base Mcycles", "halo Mcycles"
     );
-    for w in halo_workloads::all() {
-        let r = halo_bench::run_workload(&w, false, false);
+    let workloads = halo_workloads::all();
+    for row in halo_core::par_map(&workloads, |w| {
+        let r = halo_bench::run_workload(w, false, false);
         let (hds, halo) = r.speedup_row();
-        println!(
+        format!(
             "{:<10} {:>14} {:>14}   {:>16.2} {:>14.2}",
             r.name,
             halo_bench::pct(hds),
             halo_bench::pct(halo),
             r.baseline.measurement.cycles / 1e6,
             r.halo.measurement.cycles / 1e6,
-        );
+        )
+    }) {
+        println!("{row}");
     }
 }

@@ -39,9 +39,38 @@ fn bench_grouping(c: &mut Criterion) {
 }
 
 fn bench_affinity_queue(c: &mut Criterion) {
-    c.bench_function("profile/affinity_queue_100k", |b| {
+    // Body shared with `halo bench` (halo_bench::affinity_queue_100k) so
+    // the committed BENCH_profile.json rows stay comparable to this one.
+    c.bench_function("profile/affinity_queue_100k", |b| b.iter(halo_bench::affinity_queue_100k));
+    // Streaming variant: partners visit a closure instead of the reusable
+    // scratch buffer — the shape the profiler itself uses.
+    c.bench_function("profile/affinity_queue_100k_streaming", |b| {
         b.iter_batched(
             || AffinityQueue::new(128),
+            |mut q| {
+                let mut rng = SplitMix64::new(7);
+                let mut partner_bytes = 0u64;
+                for i in 0..100_000u64 {
+                    let obj = rng.next_below(64);
+                    let entry = QueueEntry {
+                        obj,
+                        ctx: halo_graph::NodeId((obj % 8) as u32),
+                        alloc_seq: i,
+                        size: 8,
+                    };
+                    q.record_with(entry, |p| partner_bytes += p.size);
+                }
+                partner_bytes
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The pre-ring shape (VecDeque scan + fresh HashSet/Vec per record),
+    // kept as a reference point for the old-vs-new comparison; the same
+    // implementation is the property tests' behavioural oracle.
+    c.bench_function("profile/affinity_queue_100k_legacy_shape", |b| {
+        b.iter_batched(
+            || halo_bench::ReferenceAffinityQueue::new(128),
             |mut q| {
                 let mut rng = SplitMix64::new(7);
                 for i in 0..100_000u64 {
@@ -53,10 +82,39 @@ fn bench_affinity_queue(c: &mut Criterion) {
                         size: 8,
                     });
                 }
-                q.len()
+                q.entries.len()
             },
             BatchSize::SmallInput,
         )
+    });
+}
+
+fn bench_object_tracker(c: &mut Criterion) {
+    // 1k live 40-byte objects, uniformly random lookups: the page index's
+    // worst-friendly case (the last-hit cache misses ~100% of the time).
+    // Body shared with `halo bench` (halo_bench::object_find_100k).
+    c.bench_function("profile/object_find_100k", |b| b.iter(halo_bench::object_find_100k));
+    // The pre-index shape: a plain BTreeMap range query per find.
+    c.bench_function("profile/object_find_100k_btree_shape", |b| {
+        let mut t: std::collections::BTreeMap<u64, (u64, u64)> = Default::default();
+        for i in 0..1000u64 {
+            let start = 0x1000 + i * 48;
+            t.insert(start, (start + 40, i));
+        }
+        b.iter(|| {
+            let mut rng = SplitMix64::new(11);
+            let mut hits = 0u64;
+            for _ in 0..100_000 {
+                let obj = rng.next_below(1000);
+                let addr = 0x1000 + obj * 48 + rng.next_below(48);
+                if let Some((_, &(end, _))) = t.range(..=std::hint::black_box(addr)).next_back() {
+                    if addr < end {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
     });
 }
 
@@ -132,7 +190,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_grouping, bench_affinity_queue, bench_sequitur,
-              bench_selector_classify, bench_allocators
+    targets = bench_grouping, bench_affinity_queue, bench_object_tracker,
+              bench_sequitur, bench_selector_classify, bench_allocators
 }
 criterion_main!(benches);

@@ -128,6 +128,99 @@ pub fn run_allocator_pair<A: halo_vm::VmAllocator>(
     (base, m)
 }
 
+/// The `profile/affinity_queue_100k` micro-workload: A = 128, 64 hot
+/// objects, 8-byte accesses, 100k records. One body shared by the
+/// Criterion micro-bench and `halo bench` so their same-named rows stay
+/// comparable PR-over-PR.
+pub fn affinity_queue_100k() -> usize {
+    let mut q = halo_profile::AffinityQueue::new(128);
+    let mut rng = halo_vm::SplitMix64::new(7);
+    for i in 0..100_000u64 {
+        let obj = rng.next_below(64);
+        q.record(halo_profile::QueueEntry {
+            obj,
+            ctx: halo_graph::NodeId((obj % 8) as u32),
+            alloc_seq: i,
+            size: 8,
+        });
+    }
+    q.len()
+}
+
+/// The `profile/object_find_100k` micro-workload: 1k live 40-byte objects,
+/// 100k uniformly random lookups (the last-hit cache misses almost always,
+/// exercising the page index). Shared like [`affinity_queue_100k`].
+pub fn object_find_100k() -> u64 {
+    let mut t = halo_profile::ObjectTracker::new();
+    for i in 0..1000u64 {
+        t.insert(i, 0x1000 + i * 48, 40, halo_graph::NodeId((i % 16) as u32));
+    }
+    let mut rng = halo_vm::SplitMix64::new(11);
+    let mut hits = 0u64;
+    for _ in 0..100_000u64 {
+        let obj = rng.next_below(1000);
+        let addr = 0x1000 + obj * 48 + rng.next_below(48);
+        if t.find(addr).is_some() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Straightforward reference implementation of the §4.1 affinity queue —
+/// the seed code's shape (`VecDeque` scan, fresh `HashSet` + `Vec` per
+/// `record`). It exists in exactly one place so its two consumers cannot
+/// drift: the `micro_components` old-vs-new shape benchmark
+/// (`profile/affinity_queue_100k_legacy_shape`) and the ring-buffer
+/// equivalence property test in `tests/property_invariants.rs`
+/// (DESIGN.md §8).
+pub struct ReferenceAffinityQueue {
+    distance: u64,
+    /// Live entries, oldest first; public so the equivalence test can
+    /// compare eviction behaviour entry-for-entry.
+    pub entries: std::collections::VecDeque<halo_profile::QueueEntry>,
+    total_bytes: u64,
+}
+
+impl ReferenceAffinityQueue {
+    /// Create a reference queue with affinity distance `A` bytes.
+    pub fn new(distance: u64) -> Self {
+        ReferenceAffinityQueue { distance, entries: Default::default(), total_bytes: 0 }
+    }
+
+    /// Enumerate affinitive partners (newest first) and push the entry —
+    /// the seed algorithm, allocation-per-call and all.
+    pub fn record(&mut self, entry: halo_profile::QueueEntry) -> Vec<halo_profile::QueueEntry> {
+        if self.entries.back().is_some_and(|e| e.obj == entry.obj) {
+            return Vec::new();
+        }
+        let mut partners = Vec::new();
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut accumulated = 0u64;
+        for e in self.entries.iter().rev() {
+            accumulated += e.size;
+            if accumulated >= self.distance {
+                break;
+            }
+            if e.obj == entry.obj {
+                continue;
+            }
+            if seen.insert(e.obj) {
+                partners.push(*e);
+            }
+        }
+        self.total_bytes += entry.size;
+        self.entries.push_back(entry);
+        while self.total_bytes > self.distance {
+            match self.entries.pop_front() {
+                Some(old) => self.total_bytes -= old.size,
+                None => break,
+            }
+        }
+        partners
+    }
+}
+
 /// Format a fraction as a signed percentage with one decimal.
 pub fn pct(fraction: f64) -> String {
     format!("{:+.1}%", fraction * 100.0)

@@ -76,8 +76,10 @@
 
 mod evaluate;
 mod measure;
+mod parallel;
 mod pipeline;
 
 pub use evaluate::{evaluate, evaluate_with_arg, ConfigResult, EvalConfig, EvalResult};
 pub use measure::{measure, measure_with, CacheMonitor, MeasureConfig, Measurement};
+pub use parallel::{par_each_ordered, par_map, thread_count};
 pub use pipeline::{Halo, HaloConfig, Optimised, PipelineError};

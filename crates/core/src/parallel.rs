@@ -1,0 +1,240 @@
+//! Deterministic parallel fan-out for workload sweeps.
+//!
+//! `halo plot`, `halo run --benchmark all`, and the fig12/fig13/fig14
+//! harnesses are embarrassingly parallel across workloads: every job owns
+//! its whole pipeline (profiler, allocators, simulated memory), so nothing
+//! is shared but the read-only workload descriptions. [`par_each_ordered`]
+//! runs such jobs on scoped std threads and delivers results **in input
+//! order, streamed as soon as each prefix completes** — so callers that
+//! render results to text print rows progressively (like the old serial
+//! loops) yet produce byte-identical output at any thread count, the
+//! property `tests/cli_smoke.rs` pins down. [`par_map`] is the
+//! collect-everything convenience wrapper.
+//!
+//! Thread count: `HALO_THREADS` if set (a positive integer; `1` forces the
+//! serial path), else [`std::thread::available_parallelism`], capped at
+//! the number of jobs. No crates.io dependency — just `std::thread::scope`,
+//! an atomic work-stealing cursor, and a mutex/condvar for in-order
+//! delivery.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Worker threads to use for `jobs` independent jobs (≥ 1).
+pub fn thread_count(jobs: usize) -> usize {
+    let hw = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    let requested = std::env::var("HALO_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(hw);
+    requested.min(jobs).max(1)
+}
+
+/// Sets the shared panic flag if its thread unwinds, so the delivering
+/// thread stops waiting on the condvar instead of deadlocking.
+struct PanicSignal<'a> {
+    flag: &'a AtomicBool,
+    ready: &'a Condvar,
+}
+
+impl Drop for PanicSignal<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.flag.store(true, Ordering::Release);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Apply `f` to every item on a pool of scoped threads, handing each
+/// result to `sink` in input order as soon as its prefix is complete
+/// (item N's result is delivered once items 0..N have been delivered).
+///
+/// `sink` returns `false` to cancel the sweep: jobs not yet claimed are
+/// skipped, already-running jobs finish but their results are dropped.
+/// Panics in `f` propagate to the caller.
+pub fn par_each_ordered<T, R, F, S>(items: &[T], f: F, mut sink: S)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    S: FnMut(R) -> bool,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        for item in items {
+            if !sink(f(item)) {
+                return;
+            }
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let panicked = AtomicBool::new(false);
+    let ready = Condvar::new();
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let _signal = PanicSignal { flag: &panicked, ready: &ready };
+                loop {
+                    if cancelled.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result = f(item); // off-lock: jobs run concurrently
+                    let mut guard = slots.lock().expect("sweep mutex");
+                    guard[i] = Some(result);
+                    drop(guard);
+                    ready.notify_all();
+                }
+            });
+        }
+        // This (the spawning) thread delivers results in order while the
+        // workers fill slots.
+        let mut next = 0;
+        let mut guard = slots.lock().expect("sweep mutex");
+        while next < items.len() {
+            if panicked.load(Ordering::Acquire) {
+                // Stop surviving workers from claiming further jobs;
+                // scope re-raises the worker's panic on exit.
+                cancelled.store(true, Ordering::Release);
+                break;
+            }
+            match guard[next].take() {
+                Some(result) => {
+                    drop(guard);
+                    if !sink(result) {
+                        cancelled.store(true, Ordering::Release);
+                        break;
+                    }
+                    next += 1;
+                    guard = slots.lock().expect("sweep mutex");
+                }
+                // Timed wait: the panic flag is stored without the lock,
+                // so a pure `wait` could miss its notification; the
+                // timeout bounds delivery latency on that (rare) path.
+                None => {
+                    guard = ready
+                        .wait_timeout(guard, std::time::Duration::from_millis(50))
+                        .expect("sweep mutex")
+                        .0
+                }
+            }
+        }
+    });
+}
+
+/// [`par_each_ordered`], collected: apply `f` to every item and return all
+/// results in input order regardless of completion order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut results = Vec::with_capacity(items.len());
+    par_each_ordered(items, f, |r| {
+        results.push(r);
+        true
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |&n| {
+            // Reverse completion order: later items finish first.
+            std::thread::sleep(std::time::Duration::from_micros(100 - n));
+            n * 2
+        });
+        assert_eq!(out, items.iter().map(|n| n * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        assert_eq!(par_map(&[] as &[u32], |&n| n), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], |&n| n + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_is_capped_by_jobs_and_floored_at_one() {
+        assert_eq!(thread_count(0), 1);
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(64) >= 1);
+    }
+
+    #[test]
+    fn sink_cancellation_stops_the_sweep() {
+        use std::sync::atomic::AtomicUsize;
+        let started = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let mut delivered = Vec::new();
+        par_each_ordered(
+            &items,
+            |&n| {
+                started.fetch_add(1, Ordering::Relaxed);
+                // Slow enough that the sweep cannot drain all 1000 jobs
+                // before the sink's cancellation lands.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                n
+            },
+            |n| {
+                delivered.push(n);
+                n < 3 // cancel after delivering 0, 1, 2, 3
+            },
+        );
+        assert_eq!(delivered, vec![0, 1, 2, 3]);
+        // Unclaimed jobs were skipped (in-flight ones may still finish).
+        assert!(started.load(Ordering::Relaxed) < 1000, "cancellation did not stop the sweep");
+    }
+
+    #[test]
+    fn delivery_streams_before_the_sweep_finishes() {
+        // Item 9 blocks until item 0 has been *delivered* — only possible
+        // if delivery is streamed, not batched after all jobs complete.
+        use std::sync::atomic::AtomicBool;
+        let first_delivered = AtomicBool::new(false);
+        let items: Vec<u32> = (0..10).collect();
+        let mut seen = 0;
+        par_each_ordered(
+            &items,
+            |&n| {
+                if n == 9 && thread_count(10) > 1 {
+                    while !first_delivered.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+                n
+            },
+            |_| {
+                seen += 1;
+                first_delivered.store(true, Ordering::Release);
+                true
+            },
+        );
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..8).collect();
+        par_map(&items, |&n| {
+            if n == 3 {
+                panic!("boom");
+            }
+            n
+        });
+    }
+}

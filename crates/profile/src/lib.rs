@@ -21,6 +21,11 @@
 //! * **node filtering** — after the run, contexts beyond 90% cumulative
 //!   access coverage are discarded.
 //!
+//! The per-access hot path (ring-buffer affinity queue with epoch-stamped
+//! dedup, page-indexed object lookup with a last-hit cache) performs no
+//! heap allocation in steady state; DESIGN.md §7 documents the design and
+//! `tests/no_alloc_steady_state.rs` enforces it.
+//!
 //! The [`TraceCollector`] monitor gathers the object-granularity reference
 //! trace consumed by the hot-data-streams comparison technique (`halo-hds`).
 //!
@@ -55,6 +60,7 @@
 //! assert!(profile.graph.edge_count() >= 1); // and they are affinitive
 //! ```
 
+mod hash;
 mod objects;
 mod profiler;
 mod queue;

@@ -89,6 +89,25 @@ struct ContextData {
     alloc_seqs: Vec<u64>,
 }
 
+/// Co-allocatability (§4.1): "no allocations made between u and v
+/// chronologically can originate from either x or y". Were that violated,
+/// u and v could not end up adjacent in a shared bump pool. A free
+/// function (not a method) so the access hot path can borrow the context
+/// table alongside the queue and graph.
+fn coallocatable(contexts: &[ContextData], x: NodeId, sx: u64, y: NodeId, sy: u64) -> bool {
+    let (lo, hi) = (sx.min(sy), sx.max(sy));
+    let violates = |ctx: NodeId| {
+        let seqs = &contexts[ctx.index()].alloc_seqs;
+        let from = seqs.partition_point(|&s| s <= lo);
+        let to = seqs.partition_point(|&s| s < hi);
+        to > from
+    };
+    if violates(x) {
+        return false;
+    }
+    x == y || !violates(y)
+}
+
 /// A [`Monitor`] implementing the paper's profiling stage. Drive a program
 /// through it with [`halo_vm::Engine::run`], then call
 /// [`Profiler::finish`].
@@ -155,23 +174,6 @@ impl<'p> Profiler<'p> {
         parts.join("→")
     }
 
-    /// Co-allocatability (§4.1): "no allocations made between u and v
-    /// chronologically can originate from either x or y". Were that
-    /// violated, u and v could not end up adjacent in a shared bump pool.
-    fn coallocatable(&self, x: NodeId, sx: u64, y: NodeId, sy: u64) -> bool {
-        let (lo, hi) = (sx.min(sy), sx.max(sy));
-        let violates = |ctx: NodeId| {
-            let seqs = &self.contexts[ctx.index()].alloc_seqs;
-            let from = seqs.partition_point(|&s| s <= lo);
-            let to = seqs.partition_point(|&s| s < hi);
-            to > from
-        };
-        if violates(x) {
-            return false;
-        }
-        x == y || !violates(y)
-    }
-
     /// Finish profiling: fix node access counts, apply the 90% filter, and
     /// emit the [`Profile`].
     pub fn finish(mut self) -> Profile {
@@ -230,19 +232,20 @@ impl Monitor for Profiler<'_> {
 
     fn on_access(&mut self, addr: u64, width: u8, _store: bool) {
         let Some(obj) = self.objects.find(addr) else { return };
-        if self.queue.is_consecutive(obj.id) {
-            return; // same macro-access
-        }
-        self.total_accesses += 1;
-        self.contexts[obj.ctx.index()].info.accesses += 1;
         let entry = QueueEntry { obj: obj.id, ctx: obj.ctx, alloc_seq: obj.id, size: width as u64 };
-        let partners = self.queue.record(entry);
-        for partner in partners {
-            if !self.config.enforce_coallocatability
-                || self.coallocatable(obj.ctx, obj.id, partner.ctx, partner.alloc_seq)
+        // The queue applies the consecutiveness (macro-access) check once;
+        // partners stream straight into edge updates, nothing materializes.
+        let Profiler { queue, graph, contexts, config, .. } = self;
+        let recorded = queue.record_with(entry, |partner| {
+            if !config.enforce_coallocatability
+                || coallocatable(contexts, obj.ctx, obj.id, partner.ctx, partner.alloc_seq)
             {
-                self.graph.add_edge_weight(obj.ctx, partner.ctx, 1);
+                graph.add_edge_weight(obj.ctx, partner.ctx, 1);
             }
+        });
+        if recorded {
+            self.total_accesses += 1;
+            self.contexts[obj.ctx.index()].info.accesses += 1;
         }
     }
 }

@@ -7,9 +7,31 @@
 //! constraints — deduplication, no self-affinity, no double counting; the
 //! fourth (co-allocatability) needs allocation history, so the profiler
 //! applies it to the returned candidates.
+//!
+//! # Implementation notes
+//!
+//! This is the innermost loop of the whole pipeline (one traversal per
+//! macro-access), so `record`/`record_with` are engineered to perform **no
+//! heap allocation in steady state**:
+//!
+//! * entries live in a power-of-two **ring buffer** (the paper's §4.1 queue
+//!   is a ring); it doubles only while the window is still growing toward
+//!   its high-water mark, then never again;
+//! * the *no double counting* constraint uses an **epoch-stamped open-
+//!   addressing table** instead of a fresh `HashSet` per call — bumping the
+//!   epoch invalidates every stale slot in O(1);
+//! * partners are streamed to a caller-supplied closure ([`record_with`])
+//!   or into a reusable scratch buffer ([`record`]), never into a fresh
+//!   `Vec`.
+//!
+//! `tests/no_alloc_steady_state.rs` (in this crate) verifies the
+//! steady-state claim with a counting global allocator.
+//!
+//! [`record_with`]: AffinityQueue::record_with
+//! [`record`]: AffinityQueue::record
 
+use crate::hash::mix64;
 use halo_graph::NodeId;
-use std::collections::{HashSet, VecDeque};
 
 /// One recorded macro-access in the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,19 +46,87 @@ pub struct QueueEntry {
     pub size: u64,
 }
 
+const EMPTY: QueueEntry = QueueEntry { obj: 0, ctx: NodeId(0), alloc_seq: 0, size: 0 };
+
+/// Initial ring capacity; doubles on demand until the access window's
+/// high-water mark fits, then stays fixed.
+const INITIAL_RING: usize = 64;
+
+/// Epoch-stamped dedup table: a slot is live only while its stamp equals
+/// the current epoch, so "clearing" between traversals is one increment.
+/// Capacity is kept at ≥ 2× the queue length, bounding the load factor at
+/// one half.
+#[derive(Debug)]
+struct DedupTable {
+    keys: Vec<u64>,
+    stamps: Vec<u64>,
+    epoch: u64,
+}
+
+impl DedupTable {
+    fn with_capacity_for(n: usize) -> Self {
+        let cap = (n * 2).next_power_of_two().max(16);
+        DedupTable { keys: vec![0; cap], stamps: vec![0; cap], epoch: 0 }
+    }
+
+    /// Start a traversal that inserts at most `n` distinct keys.
+    #[inline]
+    fn begin(&mut self, n: usize) {
+        if n * 2 > self.keys.len() {
+            *self = DedupTable::with_capacity_for(n);
+        }
+        self.epoch += 1;
+    }
+
+    /// First sighting of `key` this traversal?
+    #[inline]
+    fn insert(&mut self, key: u64) -> bool {
+        let mask = self.keys.len() - 1;
+        let mut i = mix64(key) as usize & mask;
+        loop {
+            if self.stamps[i] != self.epoch {
+                self.stamps[i] = self.epoch;
+                self.keys[i] = key;
+                return true;
+            }
+            if self.keys[i] == key {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+}
+
 /// The affinity queue. See module docs.
 #[derive(Debug)]
 pub struct AffinityQueue {
     distance: u64,
-    entries: VecDeque<QueueEntry>,
+    /// Power-of-two ring; `head` indexes the oldest live entry and `len`
+    /// counts live entries.
+    ring: Vec<QueueEntry>,
+    head: usize,
+    len: usize,
     total_bytes: u64,
     work: u64,
+    dedup: DedupTable,
+    /// Reused by [`AffinityQueue::record`] so steady-state calls stay
+    /// allocation-free.
+    scratch: Vec<QueueEntry>,
 }
 
 impl AffinityQueue {
     /// Create a queue with affinity distance `A` bytes.
     pub fn new(distance: u64) -> Self {
-        AffinityQueue { distance, entries: VecDeque::new(), total_bytes: 0, work: 0 }
+        AffinityQueue {
+            distance,
+            ring: vec![EMPTY; INITIAL_RING],
+            head: 0,
+            len: 0,
+            total_bytes: 0,
+            work: 0,
+            dedup: DedupTable::with_capacity_for(INITIAL_RING),
+            scratch: Vec::new(),
+        }
     }
 
     /// Total queue entries inspected across all traversals — the profiling
@@ -53,38 +143,51 @@ impl AffinityQueue {
 
     /// Current number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
+    }
+
+    /// The live entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        let mask = self.ring.len() - 1;
+        (0..self.len).map(move |i| &self.ring[(self.head + i) & mask])
     }
 
     /// Whether an access to `obj` continues the current macro-access
     /// (deduplication: "consecutive machine-level accesses to a single
     /// object are considered to be part of the same macro-level access").
+    #[inline]
     pub fn is_consecutive(&self, obj: u64) -> bool {
-        self.entries.back().is_some_and(|e| e.obj == obj)
+        self.len > 0 && self.ring[(self.head + self.len - 1) & (self.ring.len() - 1)].obj == obj
     }
 
-    /// Enumerate the affinitive partners of a new access to `entry.obj`,
-    /// then push the entry.
+    /// Enumerate the affinitive partners of a new access to `entry.obj`
+    /// through `visit` (newest partner first), then push the entry.
     ///
     /// Walking back from the newest entry, byte sizes accumulate; an entry
     /// is within range while the accumulated size (including its own) stays
-    /// below `A`. Applies dedup (returns empty without pushing when the
-    /// access is consecutive), no self-affinity, and no double counting.
-    /// The caller must still apply co-allocatability before counting an
+    /// below `A`. Applies dedup, no self-affinity, and no double counting;
+    /// the caller must still apply co-allocatability before counting an
     /// edge.
-    pub fn record(&mut self, entry: QueueEntry) -> Vec<QueueEntry> {
+    ///
+    /// Returns `false` (visiting nothing, pushing nothing) when the access
+    /// is consecutive with the previous one — i.e. part of the same
+    /// macro-access — and `true` otherwise. This is the single
+    /// consecutiveness check on the hot path; callers must not pre-check
+    /// [`AffinityQueue::is_consecutive`] themselves.
+    pub fn record_with<F: FnMut(&QueueEntry)>(&mut self, entry: QueueEntry, mut visit: F) -> bool {
         if self.is_consecutive(entry.obj) {
-            return Vec::new();
+            return false;
         }
-        let mut partners = Vec::new();
-        let mut seen: HashSet<u64> = HashSet::new();
+        self.dedup.begin(self.len);
+        let mask = self.ring.len() - 1;
         let mut accumulated = 0u64;
-        for e in self.entries.iter().rev() {
+        for i in (0..self.len).rev() {
+            let e = self.ring[(self.head + i) & mask];
             self.work += 1;
             accumulated += e.size;
             if accumulated >= self.distance {
@@ -97,24 +200,50 @@ impl AffinityQueue {
             }
             // No double counting: "each unique object v can be affinitive
             // with u at most once within a single queue traversal".
-            if seen.insert(e.obj) {
-                partners.push(*e);
+            if self.dedup.insert(e.obj) {
+                visit(&e);
             }
         }
         self.push(entry);
-        partners
+        true
+    }
+
+    /// [`AffinityQueue::record_with`], materialized: returns the partners
+    /// (newest first) in a scratch buffer reused across calls.
+    pub fn record(&mut self, entry: QueueEntry) -> &[QueueEntry] {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.record_with(entry, |e| scratch.push(*e));
+        self.scratch = scratch;
+        &self.scratch
     }
 
     fn push(&mut self, entry: QueueEntry) {
-        self.total_bytes += entry.size;
-        self.entries.push_back(entry);
-        // Implicit sizing: keep only the last A bytes worth of accesses.
-        while self.total_bytes > self.distance {
-            match self.entries.pop_front() {
-                Some(old) => self.total_bytes -= old.size,
-                None => break,
-            }
+        if self.len == self.ring.len() {
+            self.grow();
         }
+        let mask = self.ring.len() - 1;
+        self.ring[(self.head + self.len) & mask] = entry;
+        self.len += 1;
+        self.total_bytes += entry.size;
+        // Implicit sizing: keep only the last A bytes worth of accesses.
+        while self.total_bytes > self.distance && self.len > 0 {
+            let old = self.ring[self.head];
+            self.head = (self.head + 1) & mask;
+            self.len -= 1;
+            self.total_bytes -= old.size;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let old_mask = self.ring.len() - 1;
+        let mut ring = vec![EMPTY; self.ring.len() * 2];
+        for (i, slot) in ring.iter_mut().take(self.len).enumerate() {
+            *slot = self.ring[(self.head + i) & old_mask];
+        }
+        self.ring = ring;
+        self.head = 0;
     }
 }
 
@@ -203,5 +332,72 @@ mod tests {
     fn empty_queue_has_no_partners() {
         let mut q = AffinityQueue::new(32);
         assert!(q.record(e(1, 0, 8)).is_empty());
+    }
+
+    #[test]
+    fn record_with_streams_the_same_partners_as_record() {
+        let mut with = AffinityQueue::new(64);
+        let mut materialized = AffinityQueue::new(64);
+        let mut last = None;
+        for i in 0..200u64 {
+            // (i·i) mod 5 repeats consecutively, exercising the dedup path.
+            let obj = (i * i) % 5;
+            let entry = e(obj, obj as u32, 1 + i % 7);
+            let mut streamed = Vec::new();
+            let recorded = with.record_with(entry, |p| streamed.push(*p));
+            let partners = materialized.record(entry);
+            assert_eq!(streamed, partners);
+            assert_eq!(recorded, last != Some(entry.obj));
+            last = Some(entry.obj);
+        }
+    }
+
+    #[test]
+    fn record_with_reports_consecutiveness() {
+        let mut q = AffinityQueue::new(64);
+        assert!(q.record_with(e(1, 0, 8), |_| {}));
+        assert!(!q.record_with(e(1, 0, 8), |_| {}), "same macro-access");
+        assert!(q.record_with(e(2, 1, 8), |_| {}));
+    }
+
+    #[test]
+    fn ring_grows_past_initial_capacity() {
+        // 1-byte accesses with a large A force a window far beyond
+        // INITIAL_RING; the ring must grow without losing order.
+        let mut q = AffinityQueue::new(4096);
+        for i in 0..3000u64 {
+            q.record(e(i, 0, 1));
+        }
+        assert!(q.len() > INITIAL_RING);
+        let entries: Vec<u64> = q.iter().map(|p| p.obj).collect();
+        let expected: Vec<u64> = (3000 - entries.len() as u64..3000).collect();
+        assert_eq!(entries, expected, "oldest-first iteration, contiguous tail");
+    }
+
+    #[test]
+    fn oversized_single_access_empties_the_queue() {
+        let mut q = AffinityQueue::new(32);
+        q.record(e(1, 0, 8));
+        q.record(e(2, 1, 64)); // alone exceeds A: evicts everything, itself included
+        assert!(q.is_empty());
+        assert_eq!(q.record(e(3, 2, 8)).len(), 0);
+    }
+
+    #[test]
+    fn dedup_table_survives_epoch_reuse_across_many_traversals() {
+        // Hammer a small object set so the same table slots are reused
+        // thousands of times; any stale-epoch bug shows up as a missing or
+        // duplicated partner.
+        let mut q = AffinityQueue::new(128);
+        for i in 0..10_000u64 {
+            let obj = i % 5;
+            let partners: Vec<u64> =
+                q.record(e(obj, obj as u32, 8)).iter().map(|p| p.obj).collect();
+            let mut sorted = partners.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), partners.len(), "duplicate partner at step {i}");
+            assert!(!partners.contains(&obj), "self-affinity at step {i}");
+        }
     }
 }

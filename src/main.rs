@@ -11,10 +11,12 @@
 //! halo plot
 //! ```
 
-use halo::core::{evaluate_with_arg, measure, EvalConfig, EvalResult};
+use halo::core::{evaluate_with_arg, measure, par_each_ordered, EvalConfig, EvalResult};
 use halo::mem::SizeClassAllocator;
 use halo::workloads::{all, Workload};
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// Rust ignores SIGPIPE by default, which turns `halo list | head` into a
 /// broken-pipe panic; restore the default disposition so the process just
@@ -46,6 +48,7 @@ fn main() -> ExitCode {
         "baseline" => cmd_baseline(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "plot" => cmd_plot(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -69,8 +72,13 @@ fn usage() {
          USAGE:\n\
          \thalo list\n\
          \thalo baseline --benchmark <name>\n\
-         \thalo run --benchmark <name|all> [options]\n\
+         \thalo run --benchmark <name[,name…]|all> [options]\n\
          \thalo plot [--metric misses|speedup]\n\
+         \thalo bench [--json] [--out <path>]\n\
+         \n\
+         Multi-workload sweeps (run/plot/baseline over several benchmarks)\n\
+         fan out across CPU cores; output order is deterministic. Set\n\
+         HALO_THREADS=1 to force the serial path.\n\
          \n\
          RUN OPTIONS (defaults follow §5.1):\n\
          \t--affinity-distance <bytes>   affinity distance A (default 128)\n\
@@ -81,7 +89,11 @@ fn usage() {
          \t--hds                         also run the hot-data-streams technique\n\
          \t--random                      also run the random four-pool allocator\n\
          \t--ptmalloc                    also run the ptmalloc2-style baseline\n\
-         \t--json                        machine-readable output"
+         \t--json                        machine-readable output\n\
+         \n\
+         BENCH OPTIONS:\n\
+         \t--out <path>                  baseline file to write (default BENCH_profile.json)\n\
+         \t--json                        also print the JSON document to stdout"
     );
 }
 
@@ -97,6 +109,7 @@ struct Flags {
     ptmalloc: bool,
     json: bool,
     metric: String,
+    out: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -112,6 +125,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         ptmalloc: false,
         json: false,
         metric: "misses".to_string(),
+        out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -143,6 +157,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     Some(value("--merge-tolerance")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--metric" => flags.metric = value("--metric")?,
+            "--out" => flags.out = Some(value("--out")?),
             "--hds" => flags.hds = true,
             "--random" => flags.random = true,
             "--ptmalloc" => flags.ptmalloc = true,
@@ -158,11 +173,21 @@ fn find_workloads(selector: Option<&str>) -> Result<Vec<Workload>, String> {
     workloads.push(halo::workloads::toy::build()); // the Fig. 2 example
     match selector {
         None | Some("all") => Ok(workloads),
-        Some(name) => workloads
-            .into_iter()
-            .find(|w| w.name == name)
-            .map(|w| vec![w])
-            .ok_or_else(|| format!("unknown benchmark '{name}' (try `halo list`)")),
+        Some(names) => {
+            // Comma-separated selection, e.g. `--benchmark toy,povray`.
+            let mut picked: Vec<Workload> = Vec::new();
+            for name in names.split(',') {
+                if picked.iter().any(|w| w.name == name) {
+                    return Err(format!("duplicate benchmark '{name}' in --benchmark list"));
+                }
+                let i = workloads
+                    .iter()
+                    .position(|w| w.name == name)
+                    .ok_or_else(|| format!("unknown benchmark '{name}' (try `halo list`)"))?;
+                picked.push(workloads.swap_remove(i));
+            }
+            Ok(picked)
+        }
     }
 }
 
@@ -220,29 +245,54 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
+/// Fan a sweep out across cores, printing each workload's rendered rows
+/// in input order as soon as its prefix completes (so output streams like
+/// the serial loop and is byte-identical to it). The first failure stops
+/// the sweep — unstarted jobs are skipped — after printing the successful
+/// prefix, matching the old serial behaviour.
+fn run_sweep<T: Sync>(
+    items: &[T],
+    f: impl Fn(&T) -> Result<String, String> + Sync,
+) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut first_err = None;
+    par_each_ordered(items, f, |rendered| match rendered {
+        Ok(text) => {
+            print!("{text}");
+            std::io::stdout().flush().ok();
+            true
+        }
+        Err(e) => {
+            first_err = Some(e);
+            false
+        }
+    });
+    first_err.map_or(Ok(()), Err)
+}
+
 fn cmd_baseline(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    for w in find_workloads(flags.benchmark.as_deref())? {
-        let config = config_for(&w, &flags);
+    let workloads = find_workloads(flags.benchmark.as_deref())?;
+    run_sweep(&workloads, |w| {
+        let config = config_for(w, &flags);
         let mut alloc = SizeClassAllocator::new();
         let m = measure(&w.program, &mut alloc, &config.measure)
             .map_err(|e| format!("{}: {e}", w.name))?;
         if flags.json {
-            println!(
-                "{{\"benchmark\":\"{}\",\"config\":\"baseline\",\"l1d_misses\":{},\"cycles\":{:.0},\"instructions\":{},\"allocs\":{}}}",
+            Ok(format!(
+                "{{\"benchmark\":\"{}\",\"config\":\"baseline\",\"l1d_misses\":{},\"cycles\":{:.0},\"instructions\":{},\"allocs\":{}}}\n",
                 w.name, m.stats.l1_misses, m.cycles, m.instructions, m.allocs
-            );
+            ))
         } else {
-            println!(
-                "{:<10} baseline: {} L1D misses, {:.2} Mcycles, {} allocs",
+            Ok(format!(
+                "{:<10} baseline: {} L1D misses, {:.2} Mcycles, {} allocs\n",
                 w.name,
                 m.stats.l1_misses,
                 m.cycles / 1e6,
                 m.allocs
-            );
+            ))
         }
-    }
-    Ok(())
+    })
 }
 
 fn run_one(w: &Workload, flags: &Flags) -> Result<EvalResult, String> {
@@ -253,76 +303,85 @@ fn run_one(w: &Workload, flags: &Flags) -> Result<EvalResult, String> {
         .map_err(|e| format!("{}: {e}", w.name))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    for w in find_workloads(flags.benchmark.as_deref())? {
-        let r = run_one(&w, &flags)?;
-        let (hds_mr, halo_mr) = r.miss_reduction_row();
-        let (hds_su, halo_su) = r.speedup_row();
-        if flags.json {
-            let frag = r.halo.frag.unwrap_or_default();
-            println!(
-                "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"frag_pct\":{:.4},\"frag_bytes\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}}}",
-                r.name,
-                r.halo.measurement.stats.l1_misses,
-                r.halo.measurement.cycles,
-                halo_mr,
-                halo_su,
-                r.optimised.groups.len(),
-                r.optimised.ident.site_bits.len(),
-                frag.frag_fraction(),
-                frag.wasted_bytes(),
+fn render_run(r: &EvalResult, flags: &Flags) -> String {
+    let (hds_mr, halo_mr) = r.miss_reduction_row();
+    let (hds_su, halo_su) = r.speedup_row();
+    let mut out = String::new();
+    if flags.json {
+        let frag = r.halo.frag.unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"frag_pct\":{:.4},\"frag_bytes\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}}}",
+            r.name,
+            r.halo.measurement.stats.l1_misses,
+            r.halo.measurement.cycles,
+            halo_mr,
+            halo_su,
+            r.optimised.groups.len(),
+            r.optimised.ident.site_bits.len(),
+            frag.frag_fraction(),
+            frag.wasted_bytes(),
+            r.hds.measurement.stats.l1_misses,
+            hds_mr,
+            hds_su,
+            r.hds_analysis.stats.hot_streams,
+            r.baseline.measurement.stats.l1_misses,
+            r.baseline.measurement.cycles,
+        );
+    } else {
+        let _ = writeln!(out, "=== {} ===", r.name);
+        let _ = writeln!(
+            out,
+            "  baseline: {} L1D misses, {:.2} Mcycles",
+            r.baseline.measurement.stats.l1_misses,
+            r.baseline.measurement.cycles / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "  HALO:     {} L1D misses ({:+.1}%), {:.2} Mcycles ({:+.1}%), {} groups via {} sites",
+            r.halo.measurement.stats.l1_misses,
+            halo_mr * 100.0,
+            r.halo.measurement.cycles / 1e6,
+            halo_su * 100.0,
+            r.optimised.groups.len(),
+            r.optimised.ident.site_bits.len(),
+        );
+        if flags.hds {
+            let _ = writeln!(
+                out,
+                "  HDS:      {} L1D misses ({:+.1}%), speedup {:+.1}%, {} hot streams",
                 r.hds.measurement.stats.l1_misses,
-                hds_mr,
-                hds_su,
+                hds_mr * 100.0,
+                hds_su * 100.0,
                 r.hds_analysis.stats.hot_streams,
-                r.baseline.measurement.stats.l1_misses,
-                r.baseline.measurement.cycles,
             );
-        } else {
-            println!("=== {} ===", r.name);
-            println!(
-                "  baseline: {} L1D misses, {:.2} Mcycles",
-                r.baseline.measurement.stats.l1_misses,
-                r.baseline.measurement.cycles / 1e6
+        }
+        if let Some(random) = &r.random {
+            let _ = writeln!(
+                out,
+                "  random:   {} L1D misses, speedup {:+.1}%",
+                random.measurement.stats.l1_misses,
+                random.measurement.speedup_vs(&r.baseline.measurement) * 100.0,
             );
-            println!(
-                "  HALO:     {} L1D misses ({:+.1}%), {:.2} Mcycles ({:+.1}%), {} groups via {} sites",
-                r.halo.measurement.stats.l1_misses,
-                halo_mr * 100.0,
-                r.halo.measurement.cycles / 1e6,
-                halo_su * 100.0,
-                r.optimised.groups.len(),
-                r.optimised.ident.site_bits.len(),
+        }
+        if let Some(pt) = &r.ptmalloc {
+            let _ = writeln!(
+                out,
+                "  ptmalloc: {} L1D misses ({:+.1}% vs jemalloc-style)",
+                pt.measurement.stats.l1_misses,
+                (1.0 - r.baseline.measurement.stats.l1_misses as f64
+                    / pt.measurement.stats.l1_misses.max(1) as f64)
+                    * 100.0,
             );
-            if flags.hds {
-                println!(
-                    "  HDS:      {} L1D misses ({:+.1}%), speedup {:+.1}%, {} hot streams",
-                    r.hds.measurement.stats.l1_misses,
-                    hds_mr * 100.0,
-                    hds_su * 100.0,
-                    r.hds_analysis.stats.hot_streams,
-                );
-            }
-            if let Some(random) = &r.random {
-                println!(
-                    "  random:   {} L1D misses, speedup {:+.1}%",
-                    random.measurement.stats.l1_misses,
-                    random.measurement.speedup_vs(&r.baseline.measurement) * 100.0,
-                );
-            }
-            if let Some(pt) = &r.ptmalloc {
-                println!(
-                    "  ptmalloc: {} L1D misses ({:+.1}% vs jemalloc-style)",
-                    pt.measurement.stats.l1_misses,
-                    (1.0 - r.baseline.measurement.stats.l1_misses as f64
-                        / pt.measurement.stats.l1_misses.max(1) as f64)
-                        * 100.0,
-                );
-            }
         }
     }
-    Ok(())
+    out
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let workloads = find_workloads(flags.benchmark.as_deref())?;
+    run_sweep(&workloads, |w| Ok(render_run(&run_one(w, &flags)?, &flags)))
 }
 
 fn cmd_plot(args: &[String]) -> Result<(), String> {
@@ -336,11 +395,123 @@ fn cmd_plot(args: &[String]) -> Result<(), String> {
         "{} vs jemalloc-style baseline (█ = HALO, ░ = hot data streams)\n",
         if metric_is_speedup { "speedup" } else { "L1D miss reduction" }
     );
-    for w in find_workloads(flags.benchmark.as_deref())? {
-        let r = run_one(&w, &flags)?;
+    let workloads = find_workloads(flags.benchmark.as_deref())?;
+    run_sweep(&workloads, |w| {
+        let r = run_one(w, &flags)?;
         let (hds, halo) = if metric_is_speedup { r.speedup_row() } else { r.miss_reduction_row() };
-        println!("{:<10} {:>7} {}", r.name, pct(halo), bar(halo, '█'));
-        println!("{:<10} {:>7} {}", "", pct(hds), bar(hds, '░'));
+        Ok(format!(
+            "{:<10} {:>7} {}\n{:<10} {:>7} {}\n",
+            r.name,
+            pct(halo),
+            bar(halo, '█'),
+            "",
+            pct(hds),
+            bar(hds, '░')
+        ))
+    })
+}
+
+/// One row of the `halo bench` baseline file.
+struct BenchRow {
+    name: &'static str,
+    samples: u32,
+    best_ns: u128,
+    mean_ns: u128,
+}
+
+/// Run `routine` `samples` times; report best and mean wall-clock.
+fn time_samples(name: &'static str, samples: u32, mut routine: impl FnMut()) -> BenchRow {
+    let (mut best, mut total) = (u128::MAX, 0u128);
+    for _ in 0..samples {
+        let start = Instant::now();
+        routine();
+        let ns = start.elapsed().as_nanos();
+        best = best.min(ns);
+        total += ns;
+    }
+    BenchRow { name, samples, best_ns: best, mean_ns: total / u128::from(samples.max(1)) }
+}
+
+/// `halo bench`: machine-readable performance baselines for the profiling
+/// hot path and the end-to-end pipeline, written to `BENCH_profile.json`
+/// so the perf trajectory is tracked across PRs.
+///
+/// Always measures the §5.1 paper defaults — run-configuration flags are
+/// rejected so a flagged invocation can't silently write rows measured
+/// under a different configuration into the committed baseline file.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if flags.benchmark.is_some()
+        || flags.affinity_distance.is_some()
+        || flags.chunk_size.is_some()
+        || flags.max_spare_chunks.is_some()
+        || flags.max_groups.is_some()
+        || flags.merge_tolerance.is_some()
+        || flags.metric != "misses" // the parse-time default
+        || flags.hds
+        || flags.random
+        || flags.ptmalloc
+    {
+        return Err("halo bench only accepts --out and --json (baselines always \
+                    measure the paper-default configuration)"
+            .to_string());
+    }
+    let mut rows = Vec::new();
+
+    // Hot-path micro-workloads — the bodies live in halo_bench and are
+    // shared with the Criterion micro-benches of the same names, so the
+    // rows stay comparable.
+    rows.push(time_samples("profile/affinity_queue_100k", 10, || {
+        std::hint::black_box(halo_bench::affinity_queue_100k());
+    }));
+    rows.push(time_samples("profile/object_find_100k", 10, || {
+        std::hint::black_box(halo_bench::object_find_100k());
+    }));
+
+    // End-to-end pipeline (profile → group → identify → rewrite →
+    // measure) on the two cheapest workloads.
+    for name in ["toy", "povray"] {
+        let workloads = find_workloads(Some(name))?;
+        let w = &workloads[0];
+        let config = paper_defaults(w);
+        let label: &'static str =
+            if name == "toy" { "pipeline/evaluate_toy" } else { "pipeline/evaluate_povray" };
+        rows.push(time_samples(label, 3, || {
+            let r = evaluate_with_arg(&w.program, w.name, w.train.seed, w.train.arg, &config)
+                .expect("bench workload runs");
+            std::hint::black_box(r.halo.measurement.stats.l1_misses);
+        }));
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"halo-bench/v1\",\n  \"benches\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"samples\": {}, \"best_ns\": {}, \"mean_ns\": {}}}{}",
+            row.name,
+            row.samples,
+            row.best_ns,
+            row.mean_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = flags.out.as_deref().unwrap_or("BENCH_profile.json");
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+
+    for row in &rows {
+        println!(
+            "{:<32} best {:>10.3}ms  mean {:>10.3}ms  ({} samples)",
+            row.name,
+            row.best_ns as f64 / 1e6,
+            row.mean_ns as f64 / 1e6,
+            row.samples
+        );
+    }
+    println!("wrote {path}");
+    if flags.json {
+        print!("{json}");
     }
     Ok(())
 }

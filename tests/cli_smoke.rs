@@ -1,7 +1,8 @@
 //! Smoke tests for the `halo` binary's argument parsing and output
 //! framing, driving the real executable (libtest exposes its path as
 //! `CARGO_BIN_EXE_halo`). The heavyweight evaluation paths are covered by
-//! `pipeline_end_to_end.rs`; here we only run the cheap `toy` workload.
+//! `pipeline_end_to_end.rs`; here we only run cheap workloads (`toy`,
+//! plus `povray`/`analyzer` in the parallel-plot determinism check).
 
 use std::process::{Command, Output};
 
@@ -82,6 +83,54 @@ fn baseline_runs_the_toy_workload() {
     assert!(out.status.success(), "halo baseline failed: {}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("\"config\":\"baseline\""), "unexpected baseline output: {text}");
+}
+
+#[test]
+fn plot_parallel_output_is_byte_identical_to_serial() {
+    // Three cheap workloads through the full pipeline; `HALO_THREADS`
+    // pins the thread count so both orderings are exercised regardless of
+    // the host's core count.
+    let args = ["plot", "--benchmark", "toy,povray,analyzer"];
+    let serial = Command::new(env!("CARGO_BIN_EXE_halo"))
+        .args(args)
+        .env("HALO_THREADS", "1")
+        .output()
+        .expect("the halo binary must spawn");
+    let parallel = Command::new(env!("CARGO_BIN_EXE_halo"))
+        .args(args)
+        .env("HALO_THREADS", "4")
+        .output()
+        .expect("the halo binary must spawn");
+    assert!(serial.status.success(), "serial plot failed: {}", stderr(&serial));
+    assert!(parallel.status.success(), "parallel plot failed: {}", stderr(&parallel));
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "parallel plot output must be byte-identical to serial:\n--- serial ---\n{}\n--- parallel ---\n{}",
+        stdout(&serial),
+        stdout(&parallel)
+    );
+    let text = stdout(&serial);
+    for name in ["toy", "povray", "analyzer"] {
+        assert!(text.contains(name), "plot output is missing {name}:\n{text}");
+    }
+}
+
+#[test]
+fn bench_writes_the_baseline_json() {
+    let path = std::env::temp_dir().join(format!("halo_bench_smoke_{}.json", std::process::id()));
+    let out = halo(&["bench", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "halo bench failed: {}", stderr(&out));
+    let json = std::fs::read_to_string(&path).expect("bench baseline file written");
+    std::fs::remove_file(&path).ok();
+    for key in [
+        "\"schema\": \"halo-bench/v1\"",
+        "profile/affinity_queue_100k",
+        "pipeline/evaluate_toy",
+        "\"best_ns\"",
+        "\"mean_ns\"",
+    ] {
+        assert!(json.contains(key), "bench JSON is missing {key}:\n{json}");
+    }
 }
 
 #[test]

@@ -7,13 +7,43 @@ use halo::mem::{
     AllocatorStats, BoundaryTagAllocator, GroupAllocConfig, GroupSelector, HaloGroupAllocator,
     SelectorTable, SizeClassAllocator,
 };
-use halo::profile::{AffinityQueue, QueueEntry};
+use halo::profile::{AffinityQueue, ObjectTracker, QueueEntry};
 use halo::vm::{CallSite, FuncId, GroupState, Memory, VmAllocator};
+use halo_bench::ReferenceAffinityQueue;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 fn site() -> CallSite {
     CallSite::new(FuncId(0), 0)
+}
+
+/// Reference interval map for `ObjectTracker` equivalence: the plain
+/// `BTreeMap` range-query path the page index replaced.
+#[derive(Default)]
+struct ReferenceTracker {
+    by_start: BTreeMap<u64, (u64, u64)>, // start -> (end, id)
+}
+
+impl ReferenceTracker {
+    fn insert(&mut self, id: u64, start: u64, size: u64) {
+        self.by_start.insert(start, (start + size.max(1), id));
+    }
+
+    fn remove(&mut self, start: u64) -> Option<u64> {
+        self.by_start.remove(&start).map(|(_, id)| id)
+    }
+
+    fn find(&self, addr: u64) -> Option<u64> {
+        let (_, &(end, id)) = self.by_start.range(..=addr).next_back()?;
+        (addr < end).then_some(id)
+    }
+
+    fn overlaps(&self, start: u64, size: u64) -> bool {
+        let end = start + size.max(1);
+        self.find(start).is_some()
+            || self.find(end - 1).is_some()
+            || self.by_start.range(start..end).next().is_some()
+    }
 }
 
 /// Drive any allocator through a random alloc/free/realloc script while
@@ -129,13 +159,98 @@ proptest! {
             // No self-affinity and no double counting.
             let mut seen = std::collections::HashSet::new();
             let mut bytes = 0u64;
-            for p in &partners {
+            for p in partners {
                 prop_assert_ne!(p.obj, obj, "self-affinity");
                 prop_assert!(seen.insert(p.obj), "double counting");
                 bytes += p.size;
             }
             // Partner bytes can never reach the affinity distance.
             prop_assert!(bytes < distance + size * partners.len() as u64);
+        }
+    }
+
+    #[test]
+    fn ring_affinity_queue_matches_the_reference_implementation(
+        accesses in proptest::collection::vec((0u64..24, 0u64..5), 1..500),
+        distance in 1u64..512,
+    ) {
+        let mut ring = AffinityQueue::new(distance);
+        let mut reference = ReferenceAffinityQueue::new(distance);
+        for (step, (obj, size_exp)) in accesses.into_iter().enumerate() {
+            let size = 1u64 << size_exp; // 1..16 bytes
+            let entry = QueueEntry { obj, ctx: NodeId(obj as u32), alloc_seq: obj, size };
+            let was_consecutive = reference.entries.back().is_some_and(|e| e.obj == obj);
+            let expected = reference.record(entry);
+            // Same partners, in the same (newest-first) order — via both
+            // the materializing and the streaming API.
+            let mut streamed = Vec::new();
+            let recorded = ring.record_with(entry, |p| streamed.push(*p));
+            prop_assert_eq!(&streamed, &expected, "streamed partners diverge at step {}", step);
+            prop_assert_eq!(
+                recorded, !was_consecutive,
+                "consecutiveness verdict diverges at step {}", step
+            );
+            // Same eviction: the queues hold identical entries afterwards.
+            let ring_entries: Vec<QueueEntry> = ring.iter().copied().collect();
+            let ref_entries: Vec<QueueEntry> = reference.entries.iter().copied().collect();
+            prop_assert_eq!(ring_entries, ref_entries, "queue contents diverge at step {}", step);
+            prop_assert_eq!(ring.len(), reference.entries.len());
+        }
+    }
+
+    #[test]
+    fn object_tracker_page_index_matches_the_btreemap_path(
+        ops in proptest::collection::vec((0u8..4, 0u64..48, 0u64..80_000), 1..250),
+    ) {
+        let mut tracker = ObjectTracker::new();
+        let mut reference = ReferenceTracker::default();
+        let mut next_id = 0u64;
+        let mut starts: Vec<u64> = Vec::new();
+        for (op, slot, raw) in ops {
+            match op {
+                // Insert at a coarse grid so adjacency and page-boundary
+                // spanning both occur; sizes reach 80 KB to exercise the
+                // large-object fallback (> 8 pages), and 0 for the
+                // zero-size special case.
+                0 | 1 => {
+                    let start = 0x4000 + slot * 4096; // grid straddles pages as sizes vary
+                    let size = raw;
+                    if !reference.overlaps(start, size) {
+                        tracker.insert(next_id, start, size, NodeId(0));
+                        reference.insert(next_id, start, size);
+                        starts.push(start);
+                        next_id += 1;
+                    }
+                }
+                2 => {
+                    if !starts.is_empty() {
+                        let start = starts.swap_remove(raw as usize % starts.len());
+                        let removed = tracker.remove(start).map(|o| o.id);
+                        prop_assert_eq!(removed, reference.remove(start));
+                    }
+                }
+                _ => {
+                    // Probe around an arbitrary address.
+                    let addr = slot * 4096 + raw % 8192;
+                    prop_assert_eq!(
+                        tracker.find(addr).map(|o| o.id),
+                        reference.find(addr),
+                        "find({:#x}) diverges", addr
+                    );
+                }
+            }
+            prop_assert_eq!(tracker.len(), reference.by_start.len());
+            // Boundary probes for every live object: first byte, last
+            // byte, one past the end.
+            for &s in starts.iter().take(8) {
+                for probe in [s, s.wrapping_sub(1)] {
+                    prop_assert_eq!(
+                        tracker.find(probe).map(|o| o.id),
+                        reference.find(probe),
+                        "boundary find({:#x}) diverges", probe
+                    );
+                }
+            }
         }
     }
 
