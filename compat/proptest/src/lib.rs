@@ -96,6 +96,29 @@ pub mod test_runner {
             TestRunner { config }
         }
 
+        /// The case count actually executed: the configured count, unless
+        /// `HALO_PROPTEST_CASES` overrides it (CI lowers the counts to
+        /// trim the suite's long pole; set it higher locally for soak
+        /// runs). The variable must be a positive integer.
+        pub fn effective_cases(&self) -> u32 {
+            Self::override_cases(
+                std::env::var("HALO_PROPTEST_CASES").ok().as_deref(),
+                self.config.cases,
+            )
+        }
+
+        /// [`TestRunner::effective_cases`]'s pure core, split out so the
+        /// override logic is testable without mutating process-global
+        /// environment from concurrently running tests.
+        pub fn override_cases(var: Option<&str>, configured: u32) -> u32 {
+            match var {
+                Some(s) => s.trim().parse::<u32>().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    panic!("HALO_PROPTEST_CASES must be a positive integer, got {s:?}")
+                }),
+                None => configured,
+            }
+        }
+
         pub fn run<F>(&mut self, name: &str, mut f: F)
         where
             F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
@@ -106,14 +129,14 @@ pub mod test_runner {
                     .unwrap_or_else(|_| panic!("PROPTEST_COMPAT_SEED must be a u64, got {s:?}")),
                 Err(_) => fnv1a(name.as_bytes()),
             };
-            for case in 0..self.config.cases {
+            let cases = self.effective_cases();
+            for case in 0..cases {
                 let seed = fnv1a(&base.wrapping_add(case as u64).to_le_bytes());
                 let mut rng = TestRng::new(seed);
                 if let Err(e) = f(&mut rng) {
                     panic!(
-                        "proptest-compat: {name} failed at case {case}/{} \
-                         (re-run with PROPTEST_COMPAT_SEED={base}): {e}",
-                        self.config.cases
+                        "proptest-compat: {name} failed at case {case}/{cases} \
+                         (re-run with PROPTEST_COMPAT_SEED={base}): {e}"
                     );
                 }
             }
@@ -474,6 +497,18 @@ mod tests {
             high |= v >= 100;
         }
         assert!(low && high, "both alternatives must be exercised");
+    }
+
+    #[test]
+    fn case_count_override_parses_or_panics() {
+        use crate::test_runner::TestRunner;
+        assert_eq!(TestRunner::override_cases(None, 256), 256, "unset: configured count");
+        assert_eq!(TestRunner::override_cases(Some("16"), 256), 16);
+        assert_eq!(TestRunner::override_cases(Some(" 8 "), 256), 8, "whitespace tolerated");
+        for bad in ["0", "", "lots", "-4"] {
+            let result = std::panic::catch_unwind(|| TestRunner::override_cases(Some(bad), 256));
+            assert!(result.is_err(), "HALO_PROPTEST_CASES={bad:?} must be rejected loudly");
+        }
     }
 
     proptest! {

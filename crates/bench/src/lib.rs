@@ -7,7 +7,7 @@
 //! micro-benchmarks of pipeline components live in `benches/micro_*`.
 
 use halo_core::{evaluate_with_arg, EvalConfig, EvalResult, HaloConfig, MeasureConfig};
-use halo_graph::GroupingParams;
+use halo_graph::{Granularity, GroupingParams};
 use halo_hds::HdsConfig;
 use halo_mem::GroupAllocConfig;
 use halo_profile::ProfileConfig;
@@ -26,6 +26,15 @@ pub fn bench_limits() -> EngineLimits {
 /// omnetpp and xalanc "have group chunks always reused due to a limitation
 /// of [the] current implementation", which `max_spare_chunks = usize::MAX`
 /// models.
+///
+/// On top of the artefact flags, roms and omnetpp run under
+/// `--granularity auto` (our §6 extension): roms's regularities live at
+/// page granularity (the fallback finds them), and omnetpp's grouping
+/// splits each event wave across per-module chunks — a measured *train*
+/// regression at both granularities, so auto declines to group. A
+/// chunk-size × spare-chunk sweep (`ablation_chunk_policy` run on
+/// omnetpp) leaves the regression untouched at every setting, which is
+/// why the fix is the policy, not the chunk knobs.
 pub fn paper_config(workload: &Workload) -> EvalConfig {
     let mut grouping = GroupingParams {
         min_weight: 32,
@@ -39,17 +48,20 @@ pub fn paper_config(workload: &Workload) -> EvalConfig {
         max_grouped_size: 4096,
         ..GroupAllocConfig::default()
     };
+    let mut granularity = Granularity::Object;
     match workload.name {
         "omnetpp" => {
             alloc.chunk_size = 131_072;
             alloc.slab_size = 131_072 * 64;
             alloc.max_spare_chunks = usize::MAX;
+            granularity = Granularity::Auto;
         }
         "xalanc" => {
             alloc.max_spare_chunks = usize::MAX;
         }
         "roms" => {
             grouping.max_groups = Some(4);
+            granularity = Granularity::Auto;
         }
         _ => {}
     }
@@ -60,10 +72,12 @@ pub fn paper_config(workload: &Workload) -> EvalConfig {
                 max_tracked_size: 4096,
                 keep_fraction: 0.9,
                 enforce_coallocatability: true,
+                granularity,
             },
             grouping,
             alloc,
             limits: bench_limits(),
+            ..HaloConfig::default()
         },
         hds: HdsConfig::default(),
         measure: MeasureConfig {
@@ -100,7 +114,12 @@ pub fn run_halo_only(
     workload: &Workload,
     config: &EvalConfig,
 ) -> (halo_core::Measurement, halo_core::Measurement, halo_core::Optimised) {
-    let halo = halo_core::Halo::new(config.halo);
+    // Mirror evaluate_with_arg: the auto-granularity policy validates by
+    // measurement and must see the same memory-subsystem geometry.
+    let mut halo_config = config.halo;
+    halo_config.hierarchy = config.measure.hierarchy;
+    halo_config.timing = config.measure.timing;
+    let halo = halo_core::Halo::new(halo_config);
     let optimised = halo
         .optimise_with_arg(&workload.program, workload.train.seed, workload.train.arg)
         .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", workload.name));

@@ -110,8 +110,13 @@ pub fn evaluate_with_arg(
     train_arg: i64,
     config: &EvalConfig,
 ) -> Result<EvalResult, PipelineError> {
-    // --- HALO pipeline on the train input.
-    let halo = Halo::new(config.halo);
+    // --- HALO pipeline on the train input. The auto-granularity policy
+    // validates candidate groupings by measurement, so it must see the
+    // same memory-subsystem geometry the final measurements use.
+    let mut halo_config = config.halo;
+    halo_config.hierarchy = config.measure.hierarchy;
+    halo_config.timing = config.measure.timing;
+    let halo = Halo::new(halo_config);
     let optimised = halo.optimise_with_arg(program, train_seed, train_arg)?;
 
     // --- Hot-data-streams analysis on the train input.

@@ -81,5 +81,5 @@ mod pipeline;
 
 pub use evaluate::{evaluate, evaluate_with_arg, ConfigResult, EvalConfig, EvalResult};
 pub use measure::{measure, measure_with, CacheMonitor, MeasureConfig, Measurement};
-pub use parallel::{par_each_ordered, par_map, thread_count};
+pub use parallel::{par_each_ordered, par_map, parse_halo_threads, thread_count};
 pub use pipeline::{Halo, HaloConfig, Optimised, PipelineError};

@@ -61,7 +61,10 @@ pub struct Measurement {
 
 impl Measurement {
     /// L1D miss reduction of `self` relative to `baseline`, as a fraction
-    /// (Fig. 13's axis; positive = fewer misses).
+    /// (Fig. 13's axis; positive = fewer misses). A zero-miss baseline
+    /// yields 0.0 — an unguarded division here would emit NaN (0/0) or
+    /// −inf, which flows unchecked into `halo_bench::pct` and the
+    /// fig13/fig14 tables.
     pub fn miss_reduction_vs(&self, baseline: &Measurement) -> f64 {
         if baseline.stats.l1_misses == 0 {
             return 0.0;
@@ -222,5 +225,27 @@ mod tests {
         // Identity comparisons are zero.
         assert_eq!(base.miss_reduction_vs(&base), 0.0);
         assert_eq!(base.speedup_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn zero_miss_baseline_yields_zero_not_nan() {
+        // Regression test: a workload whose baseline never misses (or a
+        // synthetic Measurement with no misses) must compare as 0.0, not
+        // NaN (0/0) or −inf (n/0), because the result flows unchecked into
+        // percentage formatting and the fig13/fig14 tables.
+        let zero = Measurement {
+            stats: AccessStats::default(),
+            instructions: 100,
+            cycles: 100.0,
+            allocs: 0,
+            frees: 0,
+        };
+        let mut missing = zero;
+        missing.stats.l1_misses = 42;
+        assert_eq!(zero.miss_reduction_vs(&zero), 0.0);
+        assert_eq!(missing.miss_reduction_vs(&zero), 0.0, "n/0 must not be -inf");
+        assert!(zero.miss_reduction_vs(&zero).is_finite());
+        // And the formatted form stays printable.
+        assert_eq!(format!("{:+.1}%", missing.miss_reduction_vs(&zero) * 100.0), "+0.0%");
     }
 }

@@ -20,14 +20,44 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
+/// Parse a `HALO_THREADS` value: a positive integer (`1` forces the
+/// serial path). `Err` describes why the value is unusable — `0` and
+/// non-numeric strings used to be silently ignored, which made typos like
+/// `HALO_THREADS=max` run at full parallelism without a word.
+pub fn parse_halo_threads(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "HALO_THREADS={value} is invalid: thread count must be at least 1 \
+             (use 1 to force the serial path)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "HALO_THREADS={value} is invalid: expected a positive integer, \
+             e.g. HALO_THREADS=1 for the serial path"
+        )),
+    }
+}
+
 /// Worker threads to use for `jobs` independent jobs (≥ 1).
+///
+/// Honours `HALO_THREADS` when set to a valid positive integer; an invalid
+/// value is reported on stderr (once per process) and falls back to the
+/// hardware parallelism instead of being silently ignored.
 pub fn thread_count(jobs: usize) -> usize {
     let hw = || std::thread::available_parallelism().map_or(1, |n| n.get());
-    let requested = std::env::var("HALO_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(hw);
+    let requested = match std::env::var("HALO_THREADS") {
+        Ok(value) => match parse_halo_threads(&value) {
+            Ok(n) => n,
+            Err(reason) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!("warning: {reason}; using hardware parallelism");
+                });
+                hw()
+            }
+        },
+        Err(_) => hw(),
+    };
     requested.min(jobs).max(1)
 }
 
@@ -172,6 +202,18 @@ mod tests {
         assert_eq!(thread_count(0), 1);
         assert_eq!(thread_count(1), 1);
         assert!(thread_count(64) >= 1);
+    }
+
+    #[test]
+    fn halo_threads_values_parse_or_explain() {
+        assert_eq!(parse_halo_threads("1"), Ok(1));
+        assert_eq!(parse_halo_threads("16"), Ok(16));
+        assert_eq!(parse_halo_threads(" 4 "), Ok(4), "surrounding whitespace tolerated");
+        for bad in ["0", "max", "", "-2", "1.5", "two"] {
+            let err = parse_halo_threads(bad).expect_err(bad);
+            assert!(err.contains("HALO_THREADS"), "error names the variable: {err}");
+            assert!(err.contains("invalid"), "error says why: {err}");
+        }
     }
 
     #[test]

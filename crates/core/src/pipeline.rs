@@ -1,6 +1,9 @@
-//! Pipeline orchestration: Fig. 4 end to end.
+//! Pipeline orchestration: Fig. 4 end to end, plus the granularity policy
+//! (§6's page-granularity fallback, which the paper sketches but never
+//! builds).
 
-use halo_graph::{group, Group, GroupingParams};
+use crate::measure::{measure, MeasureConfig};
+use halo_graph::{group, Granularity, Group, GroupingParams};
 use halo_ident::{contexts_from_profile, identify, Identification};
 use halo_mem::{GroupAllocConfig, HaloGroupAllocator, SizeClassAllocator};
 use halo_profile::{Profile, ProfileConfig, Profiler};
@@ -8,16 +11,48 @@ use halo_rewrite::{instrument, RewriteReport};
 use halo_vm::{Engine, EngineLimits, Program, VmError};
 
 /// Every tunable of the optimisation pipeline, grouped by stage.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct HaloConfig {
-    /// Profiling-stage parameters (affinity distance etc.).
+    /// Profiling-stage parameters (affinity distance, granularity, etc.).
+    /// `profile.granularity` selects the grouping granularity policy:
+    /// object (the paper's mode), page (§6's fallback), or auto.
     pub profile: ProfileConfig,
     /// Grouping-stage parameters (merge tolerance etc.).
     pub grouping: GroupingParams,
-    /// Synthesised-allocator parameters (chunk size etc.).
+    /// Synthesised-allocator parameters (chunk size etc.). Under
+    /// page-granularity grouping the `max_grouped_size` cap is lifted to
+    /// the chunk size — grouping whole large arrays is the fallback's
+    /// point.
     pub alloc: GroupAllocConfig,
     /// Limits for the profiling run.
     pub limits: EngineLimits,
+    /// `auto` granularity keeps a grouping only if its measured L1D miss
+    /// reduction on the *train* input exceeds this fraction; otherwise it
+    /// falls back (object → page → decline to group). The ref input is
+    /// never consulted, preserving the §5.1 train/ref separation.
+    pub auto_min_gain: f64,
+    /// Memory-subsystem geometry the `auto` policy validates against.
+    /// Must match the geometry the final measurement uses, or auto's
+    /// accept/decline decision is made on the wrong cache;
+    /// [`crate::evaluate_with_arg`] copies it from its `MeasureConfig`.
+    pub hierarchy: halo_cache::HierarchyConfig,
+    /// Cycle model for the `auto` validation runs (kept alongside
+    /// `hierarchy` for the same reason; the decision itself is on misses).
+    pub timing: halo_cache::TimingModel,
+}
+
+impl Default for HaloConfig {
+    fn default() -> Self {
+        HaloConfig {
+            profile: ProfileConfig::default(),
+            grouping: GroupingParams::default(),
+            alloc: GroupAllocConfig::default(),
+            limits: EngineLimits::default(),
+            auto_min_gain: 0.01,
+            hierarchy: halo_cache::HierarchyConfig::default(),
+            timing: halo_cache::TimingModel::default(),
+        }
+    }
 }
 
 /// Why the pipeline failed.
@@ -52,6 +87,13 @@ pub struct Optimised {
     pub profile: Profile,
     /// The allocation-context groups.
     pub groups: Vec<Group>,
+    /// The granularity the emitted groups were formed at (never
+    /// [`Granularity::Auto`]: the policy resolves to a concrete mode).
+    pub granularity: Granularity,
+    /// Whether the `auto` policy declined to group: neither granularity's
+    /// grouping beat `auto_min_gain` on the train input, so the binary
+    /// passes through unmodified (`groups` is empty).
+    pub auto_declined: bool,
     /// Selectors, monitored sites, and the runtime table.
     pub ident: Identification,
     /// Rewriting statistics.
@@ -121,9 +163,20 @@ impl Halo {
     /// Like [`Halo::optimise`], passing a scale argument to the entry
     /// function for the profiling run.
     ///
+    /// The configured granularity policy (`config.profile.granularity`)
+    /// decides which affinity graph grouping consumes. `Auto` groups at
+    /// object granularity first and checks the grouping's measured L1D
+    /// miss reduction **on the train input** (profiling data only — the
+    /// ref input is never consulted); if the gain is below
+    /// `auto_min_gain` it retries at page granularity, and if that also
+    /// fails to clear the bar it declines to group at all, leaving the
+    /// binary untouched (the omnetpp case, where grouping per-module
+    /// contexts splits each event wave across chunks).
+    ///
     /// # Errors
     ///
-    /// Returns [`PipelineError::Vm`] if the profiling run traps.
+    /// Returns [`PipelineError::Vm`] if the profiling run (or, under
+    /// `Auto`, a train-input validation run) traps.
     pub fn optimise_with_arg(
         &self,
         program: &Program,
@@ -131,17 +184,93 @@ impl Halo {
         train_arg: i64,
     ) -> Result<Optimised, PipelineError> {
         let profile = self.profile_with_arg(program, train_seed, train_arg)?;
-        let groups = group(&profile.graph, &self.config.grouping);
+        match self.config.profile.granularity {
+            Granularity::Object => Ok(self.assemble(program, profile, Granularity::Object, false)),
+            Granularity::Page => Ok(self.assemble(program, profile, Granularity::Page, false)),
+            Granularity::Auto => self.resolve_auto(program, profile, train_seed, train_arg),
+        }
+    }
+
+    /// Group `profile` at one concrete granularity and build the rewritten
+    /// binary plus selector machinery.
+    fn assemble(
+        &self,
+        program: &Program,
+        profile: Profile,
+        granularity: Granularity,
+        auto_declined: bool,
+    ) -> Optimised {
+        let graph = match granularity {
+            Granularity::Page => &profile.page_graph,
+            _ => &profile.graph,
+        };
+        let groups = if auto_declined { Vec::new() } else { group(graph, &self.config.grouping) };
         let contexts = contexts_from_profile(&profile);
         let ident = identify(&groups, &contexts);
         let (rewritten, rewrite) = instrument(program, &ident.site_bits);
-        Ok(Optimised { program: rewritten, profile, groups, ident, rewrite })
+        Optimised {
+            program: rewritten,
+            profile,
+            groups,
+            granularity: if granularity == Granularity::Auto {
+                Granularity::Object
+            } else {
+                granularity
+            },
+            auto_declined,
+            ident,
+            rewrite,
+        }
+    }
+
+    /// The `auto` policy: object granularity, then page, then decline —
+    /// each step validated by measuring the grouping against the plain
+    /// baseline on the *train* input.
+    fn resolve_auto(
+        &self,
+        program: &Program,
+        profile: Profile,
+        train_seed: u64,
+        train_arg: i64,
+    ) -> Result<Optimised, PipelineError> {
+        let train_measure = MeasureConfig {
+            hierarchy: self.config.hierarchy,
+            timing: self.config.timing,
+            limits: self.config.limits,
+            seed: train_seed,
+            entry_arg: train_arg,
+        };
+        let mut baseline_alloc = SizeClassAllocator::new();
+        let baseline = measure(program, &mut baseline_alloc, &train_measure)?;
+
+        for granularity in [Granularity::Object, Granularity::Page] {
+            let candidate = self.assemble(program, profile.clone(), granularity, false);
+            if candidate.groups.is_empty() {
+                continue;
+            }
+            let mut alloc = self.make_allocator(&candidate);
+            let measured = measure(&candidate.program, &mut alloc, &train_measure)?;
+            if measured.miss_reduction_vs(&baseline) > self.config.auto_min_gain {
+                return Ok(candidate);
+            }
+        }
+        // Neither granularity demonstrated a train-input win: decline to
+        // group and leave the binary untouched.
+        Ok(self.assemble(program, profile, Granularity::Object, true))
     }
 
     /// Synthesise the specialised allocator for an optimisation result
     /// (§4.4) — link this against the rewritten binary at "runtime".
+    ///
+    /// Under page-granularity grouping the `max_grouped_size` cap is
+    /// lifted to the chunk size: the §6 fallback exists precisely to lay
+    /// out objects the object-granularity cap excludes.
     pub fn make_allocator(&self, optimised: &Optimised) -> HaloGroupAllocator {
-        HaloGroupAllocator::new(self.config.alloc, optimised.ident.table.clone())
+        let mut alloc = self.config.alloc;
+        if optimised.granularity == Granularity::Page {
+            alloc.max_grouped_size = alloc.max_grouped_size.max(alloc.chunk_size);
+        }
+        HaloGroupAllocator::new(alloc, optimised.ident.table.clone())
     }
 }
 

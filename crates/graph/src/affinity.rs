@@ -88,6 +88,24 @@ impl AffinityGraph {
         self.nodes.iter().filter(|n| n.alive).map(|n| n.accesses).sum()
     }
 
+    /// Fraction of this graph's accesses — over *every* node ever added,
+    /// discarded or not, so the result is a true fraction in `[0, 1]` —
+    /// attributed to `members`. Returns 0 when the graph has seen no
+    /// accesses at all. The granularity ablation asks this of the *page*
+    /// graph for the object-granularity group members: how much of the
+    /// salient access stream do the object-level groups actually cover?
+    /// (roms: almost none — the grids dominate and are invisible below
+    /// the tracked-size cap.)
+    pub fn coverage_of<I: IntoIterator<Item = NodeId>>(&self, members: I) -> f64 {
+        let total: u64 = self.nodes.iter().map(|n| n.accesses).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let covered: u64 =
+            members.into_iter().map(|n| self.nodes.get(n.index()).map_or(0, |d| d.accesses)).sum();
+        covered as f64 / total as f64
+    }
+
     #[inline]
     fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
         if u <= v {
@@ -249,6 +267,25 @@ mod tests {
         g.add_node(5);
         let dropped = g.discard_cold_nodes(1.0);
         assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn coverage_fraction_is_bounded_and_empty_safe() {
+        let mut g = AffinityGraph::new();
+        assert_eq!(g.coverage_of([]), 0.0);
+        let a = g.add_node(75);
+        let b = g.add_node(25);
+        assert_eq!(g.coverage_of([a]), 0.75);
+        assert_eq!(g.coverage_of([a, b]), 1.0);
+        assert_eq!(g.coverage_of([]), 0.0);
+        // Out-of-range ids (from a graph with more nodes) contribute 0.
+        assert_eq!(g.coverage_of([NodeId(99)]), 0.0);
+        // Discarding a node must not push coverage past 1: the denominator
+        // spans every node ever added, dead or alive.
+        g.discard_cold_nodes(0.75);
+        assert!(!g.is_alive(b));
+        assert_eq!(g.coverage_of([a, b]), 1.0);
+        assert_eq!(g.coverage_of([b]), 0.25);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Profiling/grouping granularity (§6's page-granularity suggestion).
+//!
+//! The paper profiles at **object** granularity: queue identities are heap
+//! objects, and objects above the grouped-size cap are invisible. §6
+//! observes that roms defeats this — its regularities live between *pages*
+//! of large arrays — and sketches a **page**-granularity fallback the
+//! artefact never builds. This type names the three policies the
+//! reproduction supports end to end; the pipeline (`halo_core`) resolves
+//! [`Granularity::Auto`] to one of the concrete modes per binary.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which identity macro-accesses are keyed by during profiling, and which
+/// affinity graph grouping consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// The paper's mode: queue identities are heap objects; objects above
+    /// the tracked-size cap are ignored.
+    #[default]
+    Object,
+    /// The §6 fallback: queue identities are 4 KiB pages (`addr >> 12`)
+    /// attributed to the allocation context owning the address, with no
+    /// object-size cap — large arrays participate page by page.
+    Page,
+    /// Profile both; group at object granularity first and fall back to
+    /// page granularity (or decline to group at all) when the predicted
+    /// gain on the *train* input is ~0.
+    Auto,
+}
+
+impl Granularity {
+    /// All three policies, in CLI/reporting order.
+    pub const ALL: [Granularity; 3] = [Granularity::Object, Granularity::Page, Granularity::Auto];
+
+    /// Whether this policy needs the page-level affinity graph recorded
+    /// during profiling.
+    pub fn tracks_pages(self) -> bool {
+        !matches!(self, Granularity::Object)
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Granularity::Object => "object",
+            Granularity::Page => "page",
+            Granularity::Auto => "auto",
+        })
+    }
+}
+
+impl FromStr for Granularity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "object" => Ok(Granularity::Object),
+            "page" => Ok(Granularity::Page),
+            "auto" => Ok(Granularity::Auto),
+            other => Err(format!("unknown granularity '{other}' (object|page|auto)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_displays_roundtrip() {
+        for g in Granularity::ALL {
+            assert_eq!(g.to_string().parse::<Granularity>(), Ok(g));
+        }
+        assert!("pages".parse::<Granularity>().is_err());
+        assert!("".parse::<Granularity>().is_err());
+    }
+
+    #[test]
+    fn only_object_mode_skips_page_tracking() {
+        assert!(!Granularity::Object.tracks_pages());
+        assert!(Granularity::Page.tracks_pages());
+        assert!(Granularity::Auto.tracks_pages());
+    }
+}

@@ -32,11 +32,13 @@
 mod affinity;
 mod alt;
 mod dot;
+mod granularity;
 mod grouping;
 mod score;
 
 pub use affinity::{AffinityGraph, NodeId};
 pub use alt::{hcs_clusters, modularity_clusters, stoer_wagner_min_cut};
 pub use dot::to_dot;
+pub use granularity::Granularity;
 pub use grouping::{group, Group, GroupingParams};
 pub use score::{merge_benefit, score_of_members, SubgraphScore};

@@ -68,7 +68,7 @@ mod shadow;
 mod trace;
 
 pub use objects::{ObjectInfo, ObjectTracker};
-pub use profiler::{ContextInfo, Profile, ProfileConfig, Profiler};
+pub use profiler::{ContextInfo, Profile, ProfileConfig, Profiler, PAGE_GRANULARITY_SHIFT};
 pub use queue::{AffinityQueue, QueueEntry};
 pub use shadow::{RawContext, ShadowStack};
 pub use trace::{HeapTrace, TraceCollector, TraceObject};

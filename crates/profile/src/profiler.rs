@@ -3,9 +3,13 @@
 use crate::objects::ObjectTracker;
 use crate::queue::{AffinityQueue, QueueEntry};
 use crate::shadow::{RawContext, ShadowStack};
-use halo_graph::{AffinityGraph, NodeId};
+use halo_graph::{AffinityGraph, Granularity, NodeId};
 use halo_vm::{AllocKind, CallSite, FuncId, Monitor, Program};
 use std::collections::HashMap;
+
+/// Base-2 log of the page size used for page-granularity identities
+/// (4 KiB, matching the simulated machine and the object tracker's index).
+pub const PAGE_GRANULARITY_SHIFT: u64 = 12;
 
 /// Profiling-stage parameters (§4.1 and §5.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -14,7 +18,9 @@ pub struct ProfileConfig {
     /// Fig. 12 sweep.
     pub affinity_distance: u64,
     /// Objects larger than this are not tracked ("profiled with a maximum
-    /// grouped-object size of 4 KiB").
+    /// grouped-object size of 4 KiB"). Applies to the *object*-granularity
+    /// trace only: page-granularity tracking has no size cap — that is its
+    /// point (§6).
     pub max_tracked_size: u64,
     /// Fraction of accesses the retained contexts must cover; the rest are
     /// discarded (90% in the paper).
@@ -22,6 +28,12 @@ pub struct ProfileConfig {
     /// Enforce the co-allocatability constraint on affinity edges (§4.1).
     /// Always on in the paper; exposed for the ablation bench.
     pub enforce_coallocatability: bool,
+    /// Which identities macro-accesses are keyed by. `Object` records only
+    /// the paper's object-level graph; `Page` and `Auto` additionally
+    /// record the page-level graph ([`Profile::page_graph`]), keying queue
+    /// identities by `addr >> 12` attributed to the allocation context
+    /// owning the address.
+    pub granularity: Granularity,
 }
 
 impl Default for ProfileConfig {
@@ -31,6 +43,7 @@ impl Default for ProfileConfig {
             max_tracked_size: 4096,
             keep_fraction: 0.9,
             enforce_coallocatability: true,
+            granularity: Granularity::Object,
         }
     }
 }
@@ -51,6 +64,9 @@ pub struct ContextInfo {
     pub allocs: u64,
     /// Macro-accesses to this context's objects.
     pub accesses: u64,
+    /// Page-granularity macro-accesses attributed to this context (0 when
+    /// page tracking is off).
+    pub page_accesses: u64,
     /// Whether the 90% filter discarded this context.
     pub discarded: bool,
 }
@@ -60,15 +76,23 @@ pub struct ContextInfo {
 pub struct Profile {
     /// The affinity graph over retained contexts.
     pub graph: AffinityGraph,
+    /// The page-granularity affinity graph over the *same* context ids
+    /// (§6's fallback). Empty (no nodes) when the configured granularity
+    /// was [`Granularity::Object`]; its own 90% filter applies otherwise,
+    /// so a context can be alive in one graph and discarded in the other.
+    pub page_graph: AffinityGraph,
     /// All contexts ever observed, indexed by [`NodeId`]; discarded ones
     /// keep their data but are marked.
     pub contexts: Vec<ContextInfo>,
     /// Total macro-accesses to tracked heap objects.
     pub total_accesses: u64,
+    /// Total page-granularity macro-accesses (0 when page tracking is off).
+    pub total_page_accesses: u64,
     /// Total allocations observed (any size).
     pub total_allocs: u64,
-    /// Affinity-queue entries inspected during profiling — the overhead
-    /// that grows with the affinity distance (§5.1, Fig. 12 trade-off).
+    /// Affinity-queue entries inspected during profiling (object and page
+    /// queues combined) — the overhead that grows with the affinity
+    /// distance (§5.1, Fig. 12 trade-off).
     pub queue_work: u64,
 }
 
@@ -114,14 +138,22 @@ fn coallocatable(contexts: &[ContextData], x: NodeId, sx: u64, y: NodeId, sy: u6
 pub struct Profiler<'p> {
     program: &'p Program,
     config: ProfileConfig,
+    /// Whether the page-granularity trace is recorded alongside the
+    /// object-level one (derived from `config.granularity`).
+    track_pages: bool,
     shadow: ShadowStack<'p>,
     objects: ObjectTracker,
     queue: AffinityQueue,
+    /// Page-identity affinity queue (unused in object-only mode).
+    page_queue: AffinityQueue,
     graph: AffinityGraph,
+    /// Page-granularity graph over the same node ids as `graph`.
+    page_graph: AffinityGraph,
     intern: HashMap<RawContext, NodeId>,
     contexts: Vec<ContextData>,
     next_seq: u64,
     total_accesses: u64,
+    total_page_accesses: u64,
     total_allocs: u64,
 }
 
@@ -131,14 +163,18 @@ impl<'p> Profiler<'p> {
         Profiler {
             program,
             config,
+            track_pages: config.granularity.tracks_pages(),
             shadow: ShadowStack::new(program),
             objects: ObjectTracker::new(),
             queue: AffinityQueue::new(config.affinity_distance),
+            page_queue: AffinityQueue::new(config.affinity_distance),
             graph: AffinityGraph::new(),
+            page_graph: AffinityGraph::new(),
             intern: HashMap::new(),
             contexts: Vec::new(),
             next_seq: 0,
             total_accesses: 0,
+            total_page_accesses: 0,
             total_allocs: 0,
         }
     }
@@ -148,6 +184,12 @@ impl<'p> Profiler<'p> {
             return id;
         }
         let id = self.graph.add_node(0);
+        if self.track_pages {
+            // The page graph shares `graph`'s id space so groups from
+            // either granularity index the same context table.
+            let page_id = self.page_graph.add_node(0);
+            debug_assert_eq!(page_id, id);
+        }
         debug_assert_eq!(id.index(), self.contexts.len());
         let name = self.context_name(&raw);
         self.contexts.push(ContextData {
@@ -158,6 +200,7 @@ impl<'p> Profiler<'p> {
                 name,
                 allocs: 0,
                 accesses: 0,
+                page_accesses: 0,
                 discarded: false,
             },
             alloc_seqs: Vec::new(),
@@ -174,13 +217,19 @@ impl<'p> Profiler<'p> {
         parts.join("→")
     }
 
-    /// Finish profiling: fix node access counts, apply the 90% filter, and
-    /// emit the [`Profile`].
+    /// Finish profiling: fix node access counts, apply the 90% filter (to
+    /// each granularity's graph independently), and emit the [`Profile`].
     pub fn finish(mut self) -> Profile {
         for c in &self.contexts {
             self.graph.add_accesses(c.info.id, c.info.accesses);
+            if self.track_pages {
+                self.page_graph.add_accesses(c.info.id, c.info.page_accesses);
+            }
         }
         self.graph.discard_cold_nodes(self.config.keep_fraction);
+        if self.track_pages {
+            self.page_graph.discard_cold_nodes(self.config.keep_fraction);
+        }
         let graph = self.graph;
         let contexts: Vec<ContextInfo> = self
             .contexts
@@ -192,10 +241,12 @@ impl<'p> Profiler<'p> {
             .collect();
         Profile {
             graph,
+            page_graph: self.page_graph,
             contexts,
             total_accesses: self.total_accesses,
+            total_page_accesses: self.total_page_accesses,
             total_allocs: self.total_allocs,
-            queue_work: self.queue.traversal_work(),
+            queue_work: self.queue.traversal_work() + self.page_queue.traversal_work(),
         }
     }
 }
@@ -221,7 +272,11 @@ impl Monitor for Profiler<'_> {
         let data = &mut self.contexts[ctx.index()];
         data.info.allocs += 1;
         data.alloc_seqs.push(seq);
-        if size <= self.config.max_tracked_size {
+        // Page tracking has no size cap — large arrays are exactly what the
+        // §6 fallback exists for. The object-granularity path re-applies the
+        // cap per access (`on_access`), so object-mode behaviour is
+        // unchanged by the wider tracking.
+        if size <= self.config.max_tracked_size || self.track_pages {
             self.objects.insert(seq, ptr, size, ctx);
         }
     }
@@ -232,20 +287,58 @@ impl Monitor for Profiler<'_> {
 
     fn on_access(&mut self, addr: u64, width: u8, _store: bool) {
         let Some(obj) = self.objects.find(addr) else { return };
-        let entry = QueueEntry { obj: obj.id, ctx: obj.ctx, alloc_seq: obj.id, size: width as u64 };
-        // The queue applies the consecutiveness (macro-access) check once;
+        let Profiler {
+            queue,
+            page_queue,
+            graph,
+            page_graph,
+            contexts,
+            config,
+            track_pages,
+            total_accesses,
+            total_page_accesses,
+            ..
+        } = self;
+        // Object-granularity path: the tracked-size cap applies here (large
+        // objects may be in the tracker for the page path's benefit). The
+        // queue applies the consecutiveness (macro-access) check once;
         // partners stream straight into edge updates, nothing materializes.
-        let Profiler { queue, graph, contexts, config, .. } = self;
-        let recorded = queue.record_with(entry, |partner| {
-            if !config.enforce_coallocatability
-                || coallocatable(contexts, obj.ctx, obj.id, partner.ctx, partner.alloc_seq)
-            {
-                graph.add_edge_weight(obj.ctx, partner.ctx, 1);
+        if obj.size() <= config.max_tracked_size {
+            let entry =
+                QueueEntry { obj: obj.id, ctx: obj.ctx, alloc_seq: obj.id, size: width as u64 };
+            let recorded = queue.record_with(entry, |partner| {
+                if !config.enforce_coallocatability
+                    || coallocatable(contexts, obj.ctx, obj.id, partner.ctx, partner.alloc_seq)
+                {
+                    graph.add_edge_weight(obj.ctx, partner.ctx, 1);
+                }
+            });
+            if recorded {
+                *total_accesses += 1;
+                contexts[obj.ctx.index()].info.accesses += 1;
             }
-        });
-        if recorded {
-            self.total_accesses += 1;
-            self.contexts[obj.ctx.index()].info.accesses += 1;
+        }
+        // Page-granularity path: identity is the 4 KiB page, attributed to
+        // the allocation context owning the address; co-allocatability uses
+        // the owning objects' allocation order, as at object granularity.
+        if *track_pages {
+            let entry = QueueEntry {
+                obj: addr >> PAGE_GRANULARITY_SHIFT,
+                ctx: obj.ctx,
+                alloc_seq: obj.id,
+                size: width as u64,
+            };
+            let recorded = page_queue.record_with(entry, |partner| {
+                if !config.enforce_coallocatability
+                    || coallocatable(contexts, obj.ctx, obj.id, partner.ctx, partner.alloc_seq)
+                {
+                    page_graph.add_edge_weight(obj.ctx, partner.ctx, 1);
+                }
+            });
+            if recorded {
+                *total_page_accesses += 1;
+                contexts[obj.ctx.index()].info.page_accesses += 1;
+            }
         }
     }
 }
@@ -457,5 +550,104 @@ mod tests {
         assert_eq!(profile.total_allocs, 1);
         assert_eq!(profile.total_accesses, 0, "accesses to untracked objects ignored");
         assert_eq!(profile.contexts[0].accesses, 0);
+    }
+
+    /// One huge array touched at page-crossing strides: invisible at
+    /// object granularity, but the page graph sees a context whose pages
+    /// are mutually affinitive (the roms shape, §6).
+    fn huge_array_program() -> halo_vm::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main");
+        m.imm(r(0), 100_000);
+        m.malloc(r(0), r(1));
+        // Walk the array at a 4 KiB + 8 stride so consecutive accesses
+        // land on different pages (same-page accesses would collapse into
+        // one macro-access).
+        m.imm(r(2), 0);
+        m.imm(r(3), 20);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(halo_vm::Cond::Ge, r(2), r(3), done);
+        m.mul_imm(r(4), r(2), 4104);
+        m.add(r(4), r(1), r(4));
+        m.load(r(5), r(4), 0, Width::W8);
+        m.add_imm(r(2), r(2), 1);
+        m.jump(top);
+        m.bind(done);
+        m.ret(None);
+        let main = m.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn object_mode_records_no_page_graph() {
+        let p = huge_array_program();
+        let profile = profile(&p, ProfileConfig { keep_fraction: 1.0, ..Default::default() });
+        assert!(profile.page_graph.is_empty(), "object mode must not pay for page tracking");
+        assert_eq!(profile.total_page_accesses, 0);
+        assert!(profile.contexts.iter().all(|c| c.page_accesses == 0));
+    }
+
+    #[test]
+    fn page_mode_sees_objects_above_the_tracked_cap() {
+        let p = huge_array_program();
+        let cfg = ProfileConfig {
+            keep_fraction: 1.0,
+            granularity: halo_graph::Granularity::Page,
+            ..Default::default()
+        };
+        let profile = profile(&p, cfg);
+        // Object granularity still ignores the 100 KB array entirely…
+        assert_eq!(profile.total_accesses, 0);
+        assert_eq!(profile.contexts[0].accesses, 0);
+        // …while the page path attributes every page-stride access to the
+        // allocating context and links its pages into a self-loop.
+        let ctx = profile.contexts[0].id;
+        assert_eq!(profile.total_page_accesses, 20);
+        assert_eq!(profile.contexts[0].page_accesses, 20);
+        assert!(
+            profile.page_graph.weight(ctx, ctx) > 0,
+            "page-affinitive context must carry a loop edge"
+        );
+        // The page graph shares the object graph's id space.
+        assert_eq!(profile.page_graph.len(), profile.graph.len());
+    }
+
+    #[test]
+    fn consecutive_same_page_accesses_are_one_macro_access() {
+        // Two small objects in the same page, accessed alternately: at
+        // object granularity that is two macro-accesses per round, at page
+        // granularity the whole run collapses into a single macro-access.
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main");
+        m.imm(r(0), 64);
+        m.malloc(r(0), r(1));
+        m.malloc(r(0), r(2));
+        m.imm(r(3), 0);
+        m.imm(r(4), 8);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(halo_vm::Cond::Ge, r(3), r(4), done);
+        m.load(r(5), r(1), 0, Width::W8);
+        m.load(r(5), r(2), 0, Width::W8);
+        m.add_imm(r(3), r(3), 1);
+        m.jump(top);
+        m.bind(done);
+        m.ret(None);
+        let main = m.finish();
+        let p = pb.finish(main);
+        let cfg = ProfileConfig {
+            keep_fraction: 1.0,
+            granularity: halo_graph::Granularity::Page,
+            ..Default::default()
+        };
+        let profile = profile(&p, cfg);
+        assert_eq!(profile.total_accesses, 16, "object level: every alternation counts");
+        assert_eq!(
+            profile.total_page_accesses, 1,
+            "page level: one page, one macro-access, however many touches"
+        );
     }
 }

@@ -10,13 +10,27 @@
 //! object granularity every timestep's pattern is new. HALO itself finds
 //! little to improve ("essentially no effect"), and the artefact notes
 //! `--max-groups 4` for this benchmark.
+//!
+//! The regularity roms *does* have lives at **page granularity** (the §6
+//! suggestion): each timestep runs a stencil pass reading every state grid
+//! at the same index — `acc += grid_i[j]` for all twelve grids — the way an
+//! ocean model combines u/v/temperature/salinity fields point-wise. The
+//! grids are odd-sized (not a page multiple), but a size-segregated
+//! baseline places each one page-aligned, so all twelve conflict-map to the
+//! same L1 sets (way stride 4 KiB) and the pass thrashes an 8-way cache
+//! with twelve simultaneous lines. At object granularity the grids exceed
+//! the 4 KiB tracked cap and are invisible; page-granularity profiling sees
+//! their pages, groups the grid context, and bump co-location breaks the
+//! page alignment — the odd object size staggers the arrays across sets.
 
 use crate::util::{counted_loop, r, sweep_array};
 use crate::{RunSpec, Workload};
 use halo_vm::{Cond, ProgramBuilder, Width};
 
 const NUM_GRIDS: i64 = 12;
-const GRID_BYTES: i64 = 16 * 1024;
+/// Odd-sized on purpose (16 KiB + 3 cache lines): page-aligned placement
+/// makes all grids set-conflict, while dense bump placement staggers them.
+const GRID_BYTES: i64 = 16 * 1024 + 192;
 const NUM_TEMPS: i64 = 12;
 const TEMP_BYTES: i64 = 1024;
 
@@ -109,6 +123,23 @@ pub fn build() -> Workload {
                 m.add(r(9), r(9), r(10));
                 m.add(r(7), r(2), r(6));
                 m.store(r(9), r(7), 0, Width::W8);
+            });
+        });
+        // Point-wise stencil across *all* grids at the same index —
+        // `acc += grid_i[j]` for every field, the ocean-model combination
+        // step. Under a page-aligned baseline placement every grid maps
+        // the same L1 sets, so the twelve simultaneous lines thrash an
+        // 8-way cache; bump co-location staggers them (see module docs).
+        m.imm(r(8), GRID_BYTES / 16);
+        counted_loop(m, r(26), r(8), |m| {
+            m.mul_imm(r(1), r(26), 16); // byte offset of index j
+            counted_loop(m, r(27), r(24), |m| {
+                m.mul_imm(r(2), r(27), 8);
+                m.add(r(2), r(21), r(2));
+                m.load(r(3), r(2), 0, Width::W8); // grid_i pointer (hot table)
+                m.add(r(3), r(3), r(1));
+                m.load(r(4), r(3), 0, Width::W8); // grid_i[j]
+                m.add(r(5), r(5), r(4));
             });
         });
         // Long sweeps over the persistent grids.

@@ -12,6 +12,7 @@
 //! ```
 
 use halo::core::{evaluate_with_arg, measure, par_each_ordered, EvalConfig, EvalResult};
+use halo::graph::Granularity;
 use halo::mem::SizeClassAllocator;
 use halo::workloads::{all, Workload};
 use std::fmt::Write as _;
@@ -86,6 +87,9 @@ fn usage() {
          \t--max-spare-chunks <n|inf>    dirty chunks kept before purging (default 1)\n\
          \t--max-groups <n>              cap on groups (default unlimited)\n\
          \t--merge-tolerance <fraction>  grouping slack T (default 0.05)\n\
+         \t--granularity object|page|auto  grouping granularity (default: the\n\
+         \t                              paper's object mode; roms/omnetpp default\n\
+         \t                              to auto, the §6 page-fallback policy)\n\
          \t--hds                         also run the hot-data-streams technique\n\
          \t--random                      also run the random four-pool allocator\n\
          \t--ptmalloc                    also run the ptmalloc2-style baseline\n\
@@ -104,6 +108,7 @@ struct Flags {
     max_spare_chunks: Option<usize>,
     max_groups: Option<usize>,
     merge_tolerance: Option<f64>,
+    granularity: Option<Granularity>,
     hds: bool,
     random: bool,
     ptmalloc: bool,
@@ -120,6 +125,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         max_spare_chunks: None,
         max_groups: None,
         merge_tolerance: None,
+        granularity: None,
         hds: false,
         random: false,
         ptmalloc: false,
@@ -156,6 +162,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.merge_tolerance =
                     Some(value("--merge-tolerance")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--granularity" => flags.granularity = Some(value("--granularity")?.parse()?),
             "--metric" => flags.metric = value("--metric")?,
             "--out" => flags.out = Some(value("--out")?),
             "--hds" => flags.hds = true,
@@ -209,32 +216,20 @@ fn config_for(workload: &Workload, flags: &Flags) -> EvalConfig {
     if let Some(t) = flags.merge_tolerance {
         config.halo.grouping.merge_tolerance = t;
     }
+    if let Some(g) = flags.granularity {
+        config.halo.profile.granularity = g;
+    }
     config.with_random = flags.random;
     config.with_ptmalloc = flags.ptmalloc;
     config
 }
 
-/// The §5.1 defaults with the §A.8 per-benchmark flags (the same policy the
-/// bench harnesses use, re-stated here so the binary stands alone).
+/// The §5.1 defaults with the §A.8 per-benchmark flags — delegated to
+/// `halo_bench::paper_config`, the single source of the per-benchmark
+/// policy, so `halo run` and the bench harnesses cannot drift apart (the
+/// binary already links `halo_bench` for `halo bench`).
 fn paper_defaults(workload: &Workload) -> EvalConfig {
-    let mut config = EvalConfig::default();
-    config.halo.limits =
-        halo::vm::EngineLimits { max_instructions: 2_000_000_000, max_call_depth: 256 };
-    config.halo.grouping.min_weight = 32;
-    config.measure.limits = config.halo.limits;
-    config.measure.seed = workload.reference.seed;
-    config.measure.entry_arg = workload.reference.arg;
-    match workload.name {
-        "omnetpp" => {
-            config.halo.alloc.chunk_size = 131_072;
-            config.halo.alloc.slab_size = 131_072 * 64;
-            config.halo.alloc.max_spare_chunks = usize::MAX;
-        }
-        "xalanc" => config.halo.alloc.max_spare_chunks = usize::MAX,
-        "roms" => config.halo.grouping.max_groups = Some(4),
-        _ => {}
-    }
-    config
+    halo_bench::paper_config(workload)
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -311,7 +306,7 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
         let frag = r.halo.frag.unwrap_or_default();
         let _ = writeln!(
             out,
-            "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"frag_pct\":{:.4},\"frag_bytes\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}}}",
+            "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"granularity\":\"{}\",\"auto_declined\":{},\"frag_pct\":{:.4},\"frag_bytes\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}}}",
             r.name,
             r.halo.measurement.stats.l1_misses,
             r.halo.measurement.cycles,
@@ -319,6 +314,8 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
             halo_su,
             r.optimised.groups.len(),
             r.optimised.ident.site_bits.len(),
+            r.optimised.granularity,
+            r.optimised.auto_declined,
             frag.frag_fraction(),
             frag.wasted_bytes(),
             r.hds.measurement.stats.l1_misses,
@@ -338,13 +335,15 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
         );
         let _ = writeln!(
             out,
-            "  HALO:     {} L1D misses ({:+.1}%), {:.2} Mcycles ({:+.1}%), {} groups via {} sites",
+            "  HALO:     {} L1D misses ({:+.1}%), {:.2} Mcycles ({:+.1}%), {} groups via {} sites, {} granularity{}",
             r.halo.measurement.stats.l1_misses,
             halo_mr * 100.0,
             r.halo.measurement.cycles / 1e6,
             halo_su * 100.0,
             r.optimised.groups.len(),
             r.optimised.ident.site_bits.len(),
+            r.optimised.granularity,
+            if r.optimised.auto_declined { " (auto declined to group)" } else { "" },
         );
         if flags.hds {
             let _ = writeln!(
@@ -447,6 +446,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         || flags.max_spare_chunks.is_some()
         || flags.max_groups.is_some()
         || flags.merge_tolerance.is_some()
+        || flags.granularity.is_some()
         || flags.metric != "misses" // the parse-time default
         || flags.hds
         || flags.random

@@ -78,6 +78,23 @@ fn run_accepts_the_paper_flags() {
 }
 
 #[test]
+fn run_accepts_and_reports_granularity() {
+    for granularity in ["object", "page", "auto"] {
+        let out = halo(&["run", "--benchmark", "toy", "--granularity", granularity, "--json"]);
+        assert!(out.status.success(), "--granularity {granularity} failed: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(
+            text.contains("\"granularity\":"),
+            "JSON row must report the resolved granularity: {text}"
+        );
+        assert!(text.contains("\"auto_declined\":"), "JSON row must report the policy: {text}");
+    }
+    let bad = halo(&["run", "--benchmark", "toy", "--granularity", "bogus"]);
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("unknown granularity 'bogus'"), "{}", stderr(&bad));
+}
+
+#[test]
 fn baseline_runs_the_toy_workload() {
     let out = halo(&["baseline", "--benchmark", "toy", "--json"]);
     assert!(out.status.success(), "halo baseline failed: {}", stderr(&out));

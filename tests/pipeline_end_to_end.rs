@@ -19,6 +19,7 @@ fn pipeline_config() -> HaloConfig {
         grouping: GroupingParams { min_weight: 8, ..Default::default() },
         alloc: Default::default(),
         limits: limits(),
+        ..Default::default()
     }
 }
 

@@ -1,20 +1,110 @@
 //! Property-based tests over the core data structures and invariants
 //! listed in DESIGN.md §8.
 
-use halo::graph::{group, AffinityGraph, GroupingParams, NodeId};
+use halo::graph::{group, AffinityGraph, Granularity, GroupingParams, NodeId};
 use halo::hds::Grammar;
 use halo::mem::{
     AllocatorStats, BoundaryTagAllocator, GroupAllocConfig, GroupSelector, HaloGroupAllocator,
     SelectorTable, SizeClassAllocator,
 };
-use halo::profile::{AffinityQueue, ObjectTracker, QueueEntry};
-use halo::vm::{CallSite, FuncId, GroupState, Memory, VmAllocator};
+use halo::profile::{AffinityQueue, ObjectTracker, ProfileConfig, Profiler, QueueEntry};
+use halo::vm::{AllocKind, CallSite, FuncId, GroupState, Memory, Monitor, VmAllocator};
 use halo_bench::ReferenceAffinityQueue;
 use proptest::prelude::*;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 fn site() -> CallSite {
     CallSite::new(FuncId(0), 0)
+}
+
+/// Straightforward reference implementation of the page-granularity
+/// profiling path (DESIGN.md §7): a `VecDeque` affinity queue keyed by
+/// `addr >> 12`, linear-scan object attribution, and a full rescan of the
+/// allocation history for co-allocatability. The real `Profiler` must
+/// produce the same page graph, edge for edge.
+#[derive(Default)]
+struct ReferencePageProfiler {
+    /// Live objects: (start, end, ctx, alloc seq).
+    objects: Vec<(u64, u64, u32, u64)>,
+    /// Every allocation ever, chronologically: (seq, ctx).
+    alloc_events: Vec<(u64, u32)>,
+    /// The page queue: (page, ctx, owner alloc seq, access bytes).
+    queue: VecDeque<(u64, u32, u64, u64)>,
+    queue_bytes: u64,
+    /// Canonicalised (min, max) context pairs → edge weight.
+    edges: HashMap<(u32, u32), u64>,
+    /// Page-granularity macro-access count per context.
+    page_accesses: HashMap<u32, u64>,
+    total_page_accesses: u64,
+    distance: u64,
+}
+
+impl ReferencePageProfiler {
+    fn new(distance: u64) -> Self {
+        ReferencePageProfiler { distance, ..Default::default() }
+    }
+
+    fn on_alloc(&mut self, seq: u64, start: u64, size: u64, ctx: u32) {
+        self.alloc_events.push((seq, ctx));
+        self.objects.push((start, start + size.max(1), ctx, seq));
+    }
+
+    fn on_free(&mut self, start: u64) {
+        self.objects.retain(|&(s, _, _, _)| s != start);
+    }
+
+    fn coallocatable(&self, x: u32, sx: u64, y: u32, sy: u64) -> bool {
+        let (lo, hi) = (sx.min(sy), sx.max(sy));
+        let violates =
+            |ctx: u32| self.alloc_events.iter().any(|&(s, c)| c == ctx && lo < s && s < hi);
+        if violates(x) {
+            return false;
+        }
+        x == y || !violates(y)
+    }
+
+    fn on_access(&mut self, addr: u64, width: u8) {
+        let Some(&(_, _, ctx, seq)) =
+            self.objects.iter().find(|&&(s, e, _, _)| s <= addr && addr < e)
+        else {
+            return;
+        };
+        let page = addr >> 12;
+        if self.queue.back().is_some_and(|&(p, _, _, _)| p == page) {
+            return; // same macro-access
+        }
+        let mut partners = Vec::new();
+        let mut seen = HashSet::new();
+        let mut accumulated = 0u64;
+        for &(p, pctx, pseq, psize) in self.queue.iter().rev() {
+            accumulated += psize;
+            if accumulated >= self.distance {
+                break;
+            }
+            if p == page {
+                continue; // no self-affinity
+            }
+            if seen.insert(p) {
+                partners.push((pctx, pseq)); // no double counting
+            }
+        }
+        for (pctx, pseq) in partners {
+            if self.coallocatable(ctx, seq, pctx, pseq) {
+                let key = (ctx.min(pctx), ctx.max(pctx));
+                *self.edges.entry(key).or_insert(0) += 1;
+            }
+        }
+        self.total_page_accesses += 1;
+        *self.page_accesses.entry(ctx).or_insert(0) += 1;
+        self.queue.push_back((page, ctx, seq, width as u64));
+        self.queue_bytes += width as u64;
+        while self.queue_bytes > self.distance {
+            match self.queue.pop_front() {
+                Some((_, _, _, b)) => self.queue_bytes -= b,
+                None => break,
+            }
+        }
+    }
 }
 
 /// Reference interval map for `ObjectTracker` equivalence: the plain
@@ -250,6 +340,103 @@ proptest! {
                         "boundary find({:#x}) diverges", probe
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn page_granularity_profiler_matches_the_reference_implementation(
+        ops in proptest::collection::vec((0u8..8, 0u8..4, 0u64..100_000), 1..300),
+        distance in 16u64..512,
+    ) {
+        // A trivial one-function program so the Profiler can be driven
+        // directly through its Monitor hooks; allocation contexts are
+        // distinguished purely by the call-site pc.
+        let mut pb = halo::vm::ProgramBuilder::new();
+        let mut m = pb.function("main");
+        m.ret(None);
+        let main = m.finish();
+        let program = pb.finish(main);
+
+        let config = ProfileConfig {
+            affinity_distance: distance,
+            granularity: Granularity::Page,
+            keep_fraction: 1.0,
+            ..ProfileConfig::default()
+        };
+        let mut profiler = Profiler::new(&program, config);
+        let mut reference = ReferencePageProfiler::new(distance);
+
+        // Objects at a bump cursor with page-odd strides so small objects
+        // share pages, large ones (beyond the 4 KiB object cap) span
+        // several, and frees punch holes the page path must not resurrect.
+        let mut cursor = 0x10_000u64;
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (start, size)
+        let mut ctx_of_site: HashMap<u8, u32> = HashMap::new();
+        let mut next_ctx = 0u32;
+        let mut seq = 0u64;
+        for (op, pc, raw) in ops {
+            match op {
+                // Allocate: mostly small, sometimes above the tracked cap.
+                0..=2 => {
+                    let size = match raw % 4 {
+                        0 => raw % 56 + 8,
+                        1 => raw % 900 + 64,
+                        2 => raw % 3000 + 1000,
+                        _ => raw % 20_000 + 5_000, // untracked at object level
+                    };
+                    let site = CallSite::new(FuncId(0), pc as u32);
+                    let ctx = *ctx_of_site.entry(pc).or_insert_with(|| {
+                        let c = next_ctx;
+                        next_ctx += 1;
+                        c
+                    });
+                    profiler.on_alloc(AllocKind::Malloc, site, size, cursor, 0);
+                    reference.on_alloc(seq, cursor, size, ctx);
+                    live.push((cursor, size));
+                    cursor += size.max(1) + raw % 176 + 8;
+                    seq += 1;
+                }
+                // Free a random live object.
+                3 => {
+                    if !live.is_empty() {
+                        let (start, _) = live.swap_remove(raw as usize % live.len());
+                        profiler.on_free(site(), start);
+                        reference.on_free(start);
+                    }
+                }
+                // Access a random offset inside a random live object.
+                _ => {
+                    if let Some(&(start, size)) = live.get(raw as usize % live.len().max(1)) {
+                        let addr = start + raw % size.max(1);
+                        let width = (raw % 8 + 1) as u8;
+                        profiler.on_access(addr, width, false);
+                        reference.on_access(addr, width);
+                    }
+                }
+            }
+        }
+
+        let profile = profiler.finish();
+        prop_assert_eq!(
+            profile.total_page_accesses, reference.total_page_accesses,
+            "page macro-access totals diverge"
+        );
+        // The profiler interns contexts in first-allocation order, exactly
+        // like the reference's dense ids.
+        prop_assert_eq!(profile.contexts.len(), next_ctx as usize);
+        for c in &profile.contexts {
+            let expected = reference.page_accesses.get(&(c.id.0)).copied().unwrap_or(0);
+            prop_assert_eq!(c.page_accesses, expected, "page accesses diverge for {}", c.id);
+        }
+        for a in 0..next_ctx {
+            for b in a..next_ctx {
+                let expected = reference.edges.get(&(a, b)).copied().unwrap_or(0);
+                prop_assert_eq!(
+                    profile.page_graph.weight(NodeId(a), NodeId(b)),
+                    expected,
+                    "page edge ({}, {}) diverges", a, b
+                );
             }
         }
     }
