@@ -3,17 +3,15 @@
 //! data-cache misses by as much as 32%, and thus provides a more
 //! aggressive baseline against which to measure."
 
-use halo_mem::BoundaryTagAllocator;
-
 fn main() {
+    let spec = halo_core::backend_spec("ptmalloc").expect("registered backend");
     halo_bench::banner("§5.1: jemalloc-style vs ptmalloc2-style baseline");
     println!(
         "{:<10} {:>16} {:>16} {:>22}",
         "benchmark", "jemalloc misses", "ptmalloc misses", "jemalloc advantage"
     );
     for w in halo_workloads::all() {
-        let mut ptmalloc = BoundaryTagAllocator::new();
-        let (je, pt) = halo_bench::run_allocator_pair(&w, &mut ptmalloc);
+        let (je, pt) = halo_bench::run_backend_pair(&w, spec.id);
         let advantage = 1.0 - je.stats.l1_misses as f64 / pt.stats.l1_misses.max(1) as f64;
         println!(
             "{:<10} {:>16} {:>16} {:>22}",

@@ -29,7 +29,7 @@ fn main() {
         );
         let distances: Vec<u64> = (3..=17u32).map(|exp| 1u64 << exp).collect();
         for row in halo_core::par_map(&distances, |&a| {
-            let mut cfg = config;
+            let mut cfg = config.clone();
             cfg.halo.profile.affinity_distance = a;
             let (_, halo, optimised) = halo_bench::run_halo_only(w, &cfg);
             format!(

@@ -13,15 +13,15 @@ fn main() {
     );
     let workloads = halo_workloads::all();
     for row in halo_core::par_map(&workloads, |w| {
-        let r = halo_bench::run_workload(w, false, false);
+        let r = halo_bench::run_workload(w, &[]);
         let (hds, halo) = r.miss_reduction_row();
         format!(
             "{:<10} {:>14} {:>14}   {:>14} {:>12}",
             r.name,
             halo_bench::pct(hds),
             halo_bench::pct(halo),
-            r.baseline.measurement.stats.l1_misses,
-            r.halo.measurement.stats.l1_misses,
+            r.baseline().measurement.stats.l1_misses,
+            r.halo().measurement.stats.l1_misses,
         )
     }) {
         println!("{row}");

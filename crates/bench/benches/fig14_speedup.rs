@@ -13,15 +13,15 @@ fn main() {
     );
     let workloads = halo_workloads::all();
     for row in halo_core::par_map(&workloads, |w| {
-        let r = halo_bench::run_workload(w, false, false);
+        let r = halo_bench::run_workload(w, &[]);
         let (hds, halo) = r.speedup_row();
         format!(
             "{:<10} {:>14} {:>14}   {:>16.2} {:>14.2}",
             r.name,
             halo_bench::pct(hds),
             halo_bench::pct(halo),
-            r.baseline.measurement.cycles / 1e6,
-            r.halo.measurement.cycles / 1e6,
+            r.baseline().measurement.cycles / 1e6,
+            r.halo().measurement.cycles / 1e6,
         )
     }) {
         println!("{row}");

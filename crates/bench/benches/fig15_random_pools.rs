@@ -4,17 +4,15 @@
 //! algorithm might". Benchmarks sensitive to this extreme policy are the
 //! ones where small-object placement matters at all.
 
-use halo_mem::RandomGroupAllocator;
-
 fn main() {
-    halo_bench::banner("Figure 15: speedup under the random four-pool allocator");
+    let spec = halo_core::backend_spec("random").expect("registered backend");
+    halo_bench::banner(&format!("Figure 15: speedup under the {} allocator", spec.label));
     println!(
         "{:<10} {:>10}   {:>16} {:>16}",
         "benchmark", "speedup", "base Mcycles", "random Mcycles"
     );
     for w in halo_workloads::all() {
-        let mut random = RandomGroupAllocator::new(w.reference.seed ^ 0x5eed);
-        let (base, rnd) = halo_bench::run_allocator_pair(&w, &mut random);
+        let (base, rnd) = halo_bench::run_backend_pair(&w, spec.id);
         println!(
             "{:<10} {:>10}   {:>16.2} {:>16.2}",
             w.name,

@@ -159,6 +159,11 @@ fn bench_allocators(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Shared body with `halo bench` (same name ⇒ comparable rows in
+    // BENCH_profile.json): grouped hot path under per-group plans.
+    c.bench_function("mem/group_alloc_malloc_free_100k", |b| {
+        b.iter(halo_bench::group_alloc_malloc_free_100k)
+    });
     c.bench_function("mem/group_alloc_malloc_free_1k", |b| {
         let table =
             SelectorTable::new(vec![GroupSelector { group: 0, conjunctions: vec![vec![0]] }], 1);

@@ -13,9 +13,9 @@ fn main() {
     let workloads = halo_workloads::all();
     for name in order {
         let w = workloads.iter().find(|w| w.name == name).expect("known benchmark");
-        let r = halo_bench::run_workload(w, false, false);
-        let frag = r.halo.frag.expect("HALO config reports fragmentation");
-        let stats = r.halo.alloc_stats.expect("HALO config reports allocator stats");
+        let r = halo_bench::run_workload(w, &[]);
+        let frag = r.halo().frag.expect("HALO config reports fragmentation");
+        let stats = r.halo().alloc_stats.expect("HALO config reports allocator stats");
         println!(
             "{:<10} {:>9.2}% {:>14} {:>16} {:>14}",
             name,

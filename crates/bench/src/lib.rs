@@ -7,7 +7,7 @@
 //! micro-benchmarks of pipeline components live in `benches/micro_*`.
 
 use halo_core::{evaluate_with_arg, EvalConfig, EvalResult, HaloConfig, MeasureConfig};
-use halo_graph::{Granularity, GroupingParams};
+use halo_graph::{Granularity, GroupingParams, ReusePolicyChoice};
 use halo_hds::HdsConfig;
 use halo_mem::GroupAllocConfig;
 use halo_profile::ProfileConfig;
@@ -35,6 +35,13 @@ pub fn bench_limits() -> EngineLimits {
 /// chunk-size × spare-chunk sweep (`ablation_chunk_policy` run on
 /// omnetpp) leaves the regression untouched at every setting, which is
 /// why the fix is the policy, not the chunk knobs.
+///
+/// The fragmentation-extreme benchmarks of Table 1 (leela, health — plus
+/// roms, §6's other named offender) additionally run under
+/// `--reuse-policy auto`: the `ablation_reuse_policy` winner (mimalloc-
+/// style sharded free lists) promoted as a per-group, train-validated
+/// default rather than a blanket switch, so groups whose bump contiguity
+/// is winning misses keep bump.
 pub fn paper_config(workload: &Workload) -> EvalConfig {
     let mut grouping = GroupingParams {
         min_weight: 32,
@@ -49,6 +56,7 @@ pub fn paper_config(workload: &Workload) -> EvalConfig {
         ..GroupAllocConfig::default()
     };
     let mut granularity = Granularity::Object;
+    let mut reuse = ReusePolicyChoice::Bump;
     match workload.name {
         "omnetpp" => {
             alloc.chunk_size = 131_072;
@@ -62,6 +70,10 @@ pub fn paper_config(workload: &Workload) -> EvalConfig {
         "roms" => {
             grouping.max_groups = Some(4);
             granularity = Granularity::Auto;
+            reuse = ReusePolicyChoice::Auto;
+        }
+        "leela" | "health" => {
+            reuse = ReusePolicyChoice::Auto;
         }
         _ => {}
     }
@@ -77,6 +89,7 @@ pub fn paper_config(workload: &Workload) -> EvalConfig {
             grouping,
             alloc,
             limits: bench_limits(),
+            reuse,
             ..HaloConfig::default()
         },
         hds: HdsConfig::default(),
@@ -86,17 +99,15 @@ pub fn paper_config(workload: &Workload) -> EvalConfig {
             entry_arg: workload.reference.arg,
             ..MeasureConfig::default()
         },
-        with_ptmalloc: false,
-        with_random: false,
+        extras: Vec::new(),
     }
 }
 
-/// Evaluate one workload with the paper configuration (plus optional
-/// extras), following the §5.1 methodology.
-pub fn run_workload(workload: &Workload, with_random: bool, with_ptmalloc: bool) -> EvalResult {
+/// Evaluate one workload with the paper configuration (plus the named
+/// optional registry backends), following the §5.1 methodology.
+pub fn run_workload(workload: &Workload, extras: &[&'static str]) -> EvalResult {
     let mut config = paper_config(workload);
-    config.with_random = with_random;
-    config.with_ptmalloc = with_ptmalloc;
+    config.extras = extras.to_vec();
     evaluate_with_arg(
         &workload.program,
         workload.name,
@@ -132,17 +143,32 @@ pub fn run_halo_only(
     (base, opt, optimised)
 }
 
-/// Measure the baseline against one alternative allocator on the
-/// unmodified binary (Fig. 15 and the §5.1 allocator comparison).
-pub fn run_allocator_pair<A: halo_vm::VmAllocator>(
+/// Measure the baseline against one registry backend on the unmodified
+/// binary (Fig. 15 and the §5.1 allocator comparison) — the light-weight
+/// path that skips the pipeline, so only backends that measure the
+/// original binary without pipeline artefacts qualify.
+///
+/// # Panics
+///
+/// Panics if `id` is not a registry backend, or names one that needs the
+/// rewritten binary or the pipeline artefacts.
+pub fn run_backend_pair(
     workload: &Workload,
-    other: &mut A,
+    id: &str,
 ) -> (halo_core::Measurement, halo_core::Measurement) {
+    let spec = halo_core::backend_spec(id)
+        .unwrap_or_else(|| panic!("unknown backend '{id}' (see halo_core::BACKENDS)"));
+    assert!(
+        !spec.rewritten && !spec.needs_pipeline,
+        "backend '{id}' needs the full evaluate() path"
+    );
     let config = paper_config(workload);
     let mut base_alloc = halo_mem::SizeClassAllocator::new();
     let base = halo_core::measure(&workload.program, &mut base_alloc, &config.measure)
         .unwrap_or_else(|e| panic!("{}: baseline run failed: {e}", workload.name));
-    let m = halo_core::measure(&workload.program, other, &config.measure)
+    let ctx = halo_core::BackendCtx { config: &config, halo: None, optimised: None, hds: None };
+    let mut other = spec.make_allocator(&ctx);
+    let m = halo_core::measure(&workload.program, &mut other, &config.measure)
         .unwrap_or_else(|e| panic!("{}: comparison run failed: {e}", workload.name));
     (base, m)
 }
@@ -184,6 +210,60 @@ pub fn object_find_100k() -> u64 {
         }
     }
     hits
+}
+
+/// The `mem/group_alloc_malloc_free_100k` micro-workload: 100k
+/// malloc/free pairs through [`halo_mem::HaloGroupAllocator`]'s grouped
+/// hot path — two groups with different per-group plans (bump and sharded
+/// free lists) plus interleaved fallback traffic, mixed sizes, and
+/// periodic burst frees so chunk reuse, the sharded shards, and the spare
+/// pool all stay exercised. One body shared by the Criterion micro-bench
+/// and `halo bench` so allocator-layer regressions land in
+/// `BENCH_profile.json` like the profiler ones do.
+pub fn group_alloc_malloc_free_100k() -> u64 {
+    use halo_mem::{GroupSelector, HaloGroupAllocator, ReusePolicy, SelectorTable};
+    use halo_vm::VmAllocator as _;
+    let config = GroupAllocConfig {
+        chunk_size: 65_536,
+        slab_size: 65_536 * 64,
+        ..GroupAllocConfig::default()
+    };
+    let table = SelectorTable::new(
+        vec![
+            GroupSelector { group: 0, conjunctions: vec![vec![0]] },
+            GroupSelector { group: 1, conjunctions: vec![vec![1]] },
+        ],
+        2,
+    );
+    let overrides =
+        vec![config, GroupAllocConfig { reuse_policy: ReusePolicy::ShardedFreeLists, ..config }];
+    let mut a = HaloGroupAllocator::with_group_configs(config, table, overrides);
+    let site = halo_vm::CallSite::new(halo_vm::FuncId(0), 0);
+    let mut gs = halo_vm::GroupState::new(2);
+    let mut mem = halo_vm::Memory::new();
+    let mut rng = halo_vm::SplitMix64::new(23);
+    let mut live: Vec<u64> = Vec::with_capacity(1024);
+    for i in 0..100_000u64 {
+        gs.reset();
+        match i % 3 {
+            0 => gs.set(0),
+            1 => gs.set(1),
+            _ => {} // fallback traffic
+        }
+        let size = 16 + rng.next_below(12) * 16;
+        live.push(a.malloc(size, site, &gs, &mut mem));
+        // Burst-free most of the backlog so chunks empty and recycle.
+        if live.len() == 1024 {
+            for p in live.drain(64..) {
+                a.free(p, &mut mem);
+            }
+        }
+    }
+    for p in live.drain(..) {
+        a.free(p, &mut mem);
+    }
+    let stats = a.stats();
+    stats.grouped_allocs + stats.fallback_allocs + stats.chunks_reused
 }
 
 /// Straightforward reference implementation of the §4.1 affinity queue —

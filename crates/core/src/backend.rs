@@ -1,0 +1,183 @@
+//! The data-driven registry of evaluation backends.
+//!
+//! The §5 evaluation compares one workload under several allocator
+//! configurations: the jemalloc-style baseline, HALO's synthesised
+//! allocator on the rewritten binary, the hot-data-streams comparison
+//! technique, the random four-pool allocator of Fig. 15, and the
+//! ptmalloc2-style boundary-tag baseline of §5.1. Those used to be five
+//! hand-written arms in `evaluate` plus mirrored special cases in the CLI
+//! and every harness; [`BACKENDS`] replaces them with one table. Adding a
+//! backend is one new [`BackendSpec`] entry — the evaluation loop, the
+//! CLI's rendering, and the figure harnesses all enumerate the registry.
+
+use crate::evaluate::EvalConfig;
+use crate::pipeline::{Halo, Optimised};
+use halo_hds::HdsResult;
+use halo_mem::{
+    BackendAllocator, BoundaryTagAllocator, HaloGroupAllocator, RandomGroupAllocator,
+    SizeClassAllocator,
+};
+
+/// Everything a backend may draw on when constructing its allocator.
+///
+/// The pipeline artefacts are optional so light-weight harnesses (the
+/// Fig. 15 and §5.1 allocator comparisons, which never run the pipeline)
+/// can still construct registry backends; specs with
+/// [`BackendSpec::needs_pipeline`] set panic without them.
+pub struct BackendCtx<'a> {
+    /// The evaluation configuration (allocator knobs, measurement seed).
+    pub config: &'a EvalConfig,
+    /// The configured pipeline (for allocator synthesis).
+    pub halo: Option<&'a Halo>,
+    /// The pipeline's artefacts (selector table, per-group plans).
+    pub optimised: Option<&'a Optimised>,
+    /// The hot-data-streams analysis (site map).
+    pub hds: Option<&'a HdsResult>,
+}
+
+/// One evaluation backend: how to build its allocator and how the
+/// evaluation should treat it.
+pub struct BackendSpec {
+    /// Stable identifier (`halo run --json` keys, harness lookups).
+    pub id: &'static str,
+    /// Human-readable name for tables.
+    pub label: &'static str,
+    /// Whether this backend measures the rewritten binary (`true`) or the
+    /// unmodified one.
+    pub rewritten: bool,
+    /// `false`: measured on every evaluation. `true`: measured only when
+    /// [`EvalConfig::extras`] names this backend's id.
+    pub optional: bool,
+    /// Whether construction requires the pipeline artefacts in
+    /// [`BackendCtx`].
+    pub needs_pipeline: bool,
+    make: fn(&BackendCtx) -> Box<dyn BackendAllocator>,
+}
+
+impl BackendSpec {
+    /// Construct this backend's allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec [`needs_pipeline`](Self::needs_pipeline) and the
+    /// context carries no pipeline artefacts.
+    pub fn make_allocator(&self, ctx: &BackendCtx) -> Box<dyn BackendAllocator> {
+        (self.make)(ctx)
+    }
+
+    /// Whether this backend is measured under `config`.
+    pub fn enabled(&self, config: &EvalConfig) -> bool {
+        !self.optional || config.extras.contains(&self.id)
+    }
+}
+
+fn make_baseline(_ctx: &BackendCtx) -> Box<dyn BackendAllocator> {
+    Box::new(SizeClassAllocator::new())
+}
+
+fn make_halo(ctx: &BackendCtx) -> Box<dyn BackendAllocator> {
+    let halo = ctx.halo.expect("halo backend needs the configured pipeline");
+    let optimised = ctx.optimised.expect("halo backend needs the pipeline artefacts");
+    Box::new(halo.make_allocator(optimised))
+}
+
+fn make_hds(ctx: &BackendCtx) -> Box<dyn BackendAllocator> {
+    let hds = ctx.hds.expect("hds backend needs the hot-data-streams analysis");
+    Box::new(HaloGroupAllocator::with_site_groups(ctx.config.halo.alloc, hds.site_map.clone()))
+}
+
+fn make_random(ctx: &BackendCtx) -> Box<dyn BackendAllocator> {
+    Box::new(RandomGroupAllocator::new(ctx.config.measure.seed ^ 0x5eed))
+}
+
+fn make_ptmalloc(_ctx: &BackendCtx) -> Box<dyn BackendAllocator> {
+    Box::new(BoundaryTagAllocator::new())
+}
+
+/// The §5 evaluation backends, in reporting order. `evaluate` measures
+/// every enabled entry; everything downstream renders from the same table.
+pub const BACKENDS: &[BackendSpec] = &[
+    BackendSpec {
+        id: "baseline",
+        label: "jemalloc-style baseline",
+        rewritten: false,
+        optional: false,
+        needs_pipeline: false,
+        make: make_baseline,
+    },
+    BackendSpec {
+        id: "halo",
+        label: "HALO",
+        rewritten: true,
+        optional: false,
+        needs_pipeline: true,
+        make: make_halo,
+    },
+    BackendSpec {
+        id: "hds",
+        label: "hot data streams",
+        rewritten: false,
+        optional: false,
+        needs_pipeline: true,
+        make: make_hds,
+    },
+    BackendSpec {
+        id: "random",
+        label: "random four-pool",
+        rewritten: false,
+        optional: true,
+        needs_pipeline: false,
+        make: make_random,
+    },
+    BackendSpec {
+        id: "ptmalloc",
+        label: "ptmalloc2-style baseline",
+        rewritten: false,
+        optional: true,
+        needs_pipeline: false,
+        make: make_ptmalloc,
+    },
+];
+
+/// Look a backend up by id.
+pub fn backend_spec(id: &str) -> Option<&'static BackendSpec> {
+    BACKENDS.iter().find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_resolvable() {
+        for (i, spec) in BACKENDS.iter().enumerate() {
+            assert!(backend_spec(spec.id).is_some());
+            assert!(
+                BACKENDS[..i].iter().all(|s| s.id != spec.id),
+                "duplicate backend id {}",
+                spec.id
+            );
+        }
+        assert!(backend_spec("no-such-backend").is_none());
+    }
+
+    #[test]
+    fn core_backends_are_always_enabled() {
+        let config = EvalConfig::default();
+        let enabled: Vec<&str> =
+            BACKENDS.iter().filter(|s| s.enabled(&config)).map(|s| s.id).collect();
+        assert_eq!(enabled, ["baseline", "halo", "hds"]);
+        let with_extras =
+            EvalConfig { extras: vec!["random", "ptmalloc"], ..EvalConfig::default() };
+        assert!(BACKENDS.iter().all(|s| s.enabled(&with_extras)));
+    }
+
+    #[test]
+    fn pipeline_free_backends_construct_without_artefacts() {
+        let config = EvalConfig::default();
+        let ctx = BackendCtx { config: &config, halo: None, optimised: None, hds: None };
+        for spec in BACKENDS.iter().filter(|s| !s.needs_pipeline) {
+            let _ = spec.make_allocator(&ctx);
+        }
+    }
+}

@@ -1,19 +1,18 @@
 //! The §5 evaluation methodology for a single workload: profile on the
 //! *train* input, measure on the *ref* input, across all compared
-//! configurations.
+//! configurations — each produced by the [`crate::backend`] registry
+//! rather than a hand-written arm per configuration.
 
+use crate::backend::{BackendCtx, BACKENDS};
 use crate::measure::{measure, MeasureConfig, Measurement};
 use crate::pipeline::{Halo, HaloConfig, Optimised, PipelineError};
 use halo_hds::{analyze, HdsConfig, HdsResult};
-use halo_mem::{
-    BoundaryTagAllocator, FragReport, GroupAllocStats, HaloGroupAllocator, RandomGroupAllocator,
-    SizeClassAllocator,
-};
+use halo_mem::{FragReport, GroupAllocStats, SizeClassAllocator};
 use halo_profile::TraceCollector;
 use halo_vm::{Engine, Program};
 
 /// What to run and with which knobs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EvalConfig {
     /// HALO pipeline configuration.
     pub halo: HaloConfig,
@@ -21,10 +20,9 @@ pub struct EvalConfig {
     pub hds: HdsConfig,
     /// Measurement-run configuration (the *ref* seed lives here).
     pub measure: MeasureConfig,
-    /// Also measure the ptmalloc2-style baseline (§5.1 comparison).
-    pub with_ptmalloc: bool,
-    /// Also measure the random four-pool allocator (Fig. 15).
-    pub with_random: bool,
+    /// Optional backends to measure in addition to the always-on ones —
+    /// registry ids, e.g. `"random"` (Fig. 15) and `"ptmalloc"` (§5.1).
+    pub extras: Vec<&'static str>,
 }
 
 /// One configuration's measurement plus technique-specific extras.
@@ -32,9 +30,9 @@ pub struct EvalConfig {
 pub struct ConfigResult {
     /// The measured execution.
     pub measurement: Measurement,
-    /// Fragmentation of grouped data (HALO and HDS configurations).
+    /// Fragmentation of grouped data (backends with grouped pools).
     pub frag: Option<FragReport>,
-    /// Group-allocator event counters (HALO and HDS configurations).
+    /// Group-allocator event counters (backends with grouped pools).
     pub alloc_stats: Option<GroupAllocStats>,
 }
 
@@ -43,37 +41,67 @@ pub struct ConfigResult {
 pub struct EvalResult {
     /// Workload name.
     pub name: String,
-    /// Unmodified binary under the jemalloc-style baseline.
-    pub baseline: ConfigResult,
-    /// Rewritten binary under the synthesised allocator.
-    pub halo: ConfigResult,
-    /// Unmodified binary under the hot-data-streams allocator.
-    pub hds: ConfigResult,
-    /// Unmodified binary under the random four-pool allocator (Fig. 15).
-    pub random: Option<ConfigResult>,
-    /// Unmodified binary under the ptmalloc-style baseline (§5.1).
-    pub ptmalloc: Option<ConfigResult>,
-    /// The HALO pipeline artefacts (groups, selectors, rewrite report).
+    /// One entry per enabled backend, in registry order: `(backend id,
+    /// result)`. The always-on ids are `baseline`, `halo`, and `hds`;
+    /// whatever [`EvalConfig::extras`] enabled follows.
+    pub backends: Vec<(&'static str, ConfigResult)>,
+    /// The HALO pipeline artefacts (groups + plans, selectors, rewrite
+    /// report).
     pub optimised: Optimised,
     /// The hot-data-streams analysis artefacts (stream counts etc.).
     pub hds_analysis: HdsResult,
 }
 
 impl EvalResult {
+    /// The result of backend `id`, if it was measured.
+    pub fn get(&self, id: &str) -> Option<&ConfigResult> {
+        self.backends.iter().find(|(b, _)| *b == id).map(|(_, r)| r)
+    }
+
+    fn expect_backend(&self, id: &str) -> &ConfigResult {
+        self.get(id).unwrap_or_else(|| panic!("always-on backend '{id}' was measured"))
+    }
+
+    /// Unmodified binary under the jemalloc-style baseline.
+    pub fn baseline(&self) -> &ConfigResult {
+        self.expect_backend("baseline")
+    }
+
+    /// Rewritten binary under the synthesised allocator.
+    pub fn halo(&self) -> &ConfigResult {
+        self.expect_backend("halo")
+    }
+
+    /// Unmodified binary under the hot-data-streams allocator.
+    pub fn hds(&self) -> &ConfigResult {
+        self.expect_backend("hds")
+    }
+
+    /// Unmodified binary under the random four-pool allocator (Fig. 15),
+    /// when the `random` extra was enabled.
+    pub fn random(&self) -> Option<&ConfigResult> {
+        self.get("random")
+    }
+
+    /// Unmodified binary under the ptmalloc-style baseline (§5.1), when
+    /// the `ptmalloc` extra was enabled.
+    pub fn ptmalloc(&self) -> Option<&ConfigResult> {
+        self.get("ptmalloc")
+    }
+
     /// Fig. 13 row: L1D miss reduction (fractions) for (HDS, HALO).
     pub fn miss_reduction_row(&self) -> (f64, f64) {
+        let base = &self.baseline().measurement;
         (
-            self.hds.measurement.miss_reduction_vs(&self.baseline.measurement),
-            self.halo.measurement.miss_reduction_vs(&self.baseline.measurement),
+            self.hds().measurement.miss_reduction_vs(base),
+            self.halo().measurement.miss_reduction_vs(base),
         )
     }
 
     /// Fig. 14 row: speedup (fractions) for (HDS, HALO).
     pub fn speedup_row(&self) -> (f64, f64) {
-        (
-            self.hds.measurement.speedup_vs(&self.baseline.measurement),
-            self.halo.measurement.speedup_vs(&self.baseline.measurement),
-        )
+        let base = &self.baseline().measurement;
+        (self.hds().measurement.speedup_vs(base), self.halo().measurement.speedup_vs(base))
     }
 }
 
@@ -110,9 +138,10 @@ pub fn evaluate_with_arg(
     train_arg: i64,
     config: &EvalConfig,
 ) -> Result<EvalResult, PipelineError> {
-    // --- HALO pipeline on the train input. The auto-granularity policy
-    // validates candidate groupings by measurement, so it must see the
-    // same memory-subsystem geometry the final measurements use.
+    // --- HALO pipeline on the train input. The auto policies (granularity
+    // and per-group reuse) validate candidates by measurement, so they
+    // must see the same memory-subsystem geometry the final measurements
+    // use.
     let mut halo_config = config.halo;
     halo_config.hierarchy = config.measure.hierarchy;
     halo_config.timing = config.measure.timing;
@@ -132,60 +161,30 @@ pub fn evaluate_with_arg(
     let trace = collector.finish();
     let hds_analysis = analyze(&trace, &config.hds);
 
-    // --- Measurement runs on the ref input.
-    let baseline = {
-        let mut alloc = SizeClassAllocator::new();
-        let m = measure(program, &mut alloc, &config.measure)?;
-        ConfigResult { measurement: m, frag: None, alloc_stats: None }
+    // --- Measurement runs on the ref input: every enabled registry
+    // backend, in registry order.
+    let ctx = BackendCtx {
+        config,
+        halo: Some(&halo),
+        optimised: Some(&optimised),
+        hds: Some(&hds_analysis),
     };
+    let mut backends = Vec::new();
+    for spec in BACKENDS.iter().filter(|s| s.enabled(config)) {
+        let mut alloc = spec.make_allocator(&ctx);
+        let target = if spec.rewritten { &optimised.program } else { program };
+        let m = measure(target, &mut alloc, &config.measure)?;
+        backends.push((
+            spec.id,
+            ConfigResult {
+                measurement: m,
+                frag: alloc.backend_frag(),
+                alloc_stats: alloc.backend_stats(),
+            },
+        ));
+    }
 
-    let halo_result = {
-        let mut alloc = halo.make_allocator(&optimised);
-        let m = measure(&optimised.program, &mut alloc, &config.measure)?;
-        ConfigResult {
-            measurement: m,
-            frag: Some(alloc.frag_report()),
-            alloc_stats: Some(alloc.stats()),
-        }
-    };
-
-    let hds_result = {
-        let mut alloc =
-            HaloGroupAllocator::with_site_groups(config.halo.alloc, hds_analysis.site_map.clone());
-        let m = measure(program, &mut alloc, &config.measure)?;
-        ConfigResult {
-            measurement: m,
-            frag: Some(alloc.frag_report()),
-            alloc_stats: Some(alloc.stats()),
-        }
-    };
-
-    let random = if config.with_random {
-        let mut alloc = RandomGroupAllocator::new(config.measure.seed ^ 0x5eed);
-        let m = measure(program, &mut alloc, &config.measure)?;
-        Some(ConfigResult { measurement: m, frag: None, alloc_stats: None })
-    } else {
-        None
-    };
-
-    let ptmalloc = if config.with_ptmalloc {
-        let mut alloc = BoundaryTagAllocator::new();
-        let m = measure(program, &mut alloc, &config.measure)?;
-        Some(ConfigResult { measurement: m, frag: None, alloc_stats: None })
-    } else {
-        None
-    };
-
-    Ok(EvalResult {
-        name: name.to_string(),
-        baseline,
-        halo: halo_result,
-        hds: hds_result,
-        random,
-        ptmalloc,
-        optimised,
-        hds_analysis,
-    })
+    Ok(EvalResult { name: name.to_string(), backends, optimised, hds_analysis })
 }
 
 #[cfg(test)]
@@ -261,8 +260,7 @@ mod tests {
                 grouping: halo_graph::GroupingParams { min_weight: 2, ..Default::default() },
                 ..Default::default()
             },
-            with_random: true,
-            with_ptmalloc: true,
+            extras: vec!["random", "ptmalloc"],
             ..Default::default()
         };
         let result = evaluate(&p, "fig2", 1, &cfg).expect("evaluation runs");
@@ -276,8 +274,8 @@ mod tests {
         // HDS with distinct immediate call sites also gets improvement.
         assert!(hds_mr > 0.0, "HDS miss reduction {hds_mr}");
         // Extras are present.
-        assert!(result.random.is_some() && result.ptmalloc.is_some());
-        assert!(result.halo.frag.is_some());
+        assert!(result.random().is_some() && result.ptmalloc().is_some());
+        assert!(result.halo().frag.is_some());
         assert!(result.optimised.rewrite.sites_instrumented > 0);
         assert!(result.hds_analysis.stats.hot_streams > 0);
     }
@@ -288,14 +286,31 @@ mod tests {
         // produces no more misses than the boundary-tag allocator with its
         // inline headers.
         let p = workload();
-        let cfg = EvalConfig { with_ptmalloc: true, ..Default::default() };
+        let cfg = EvalConfig { extras: vec!["ptmalloc"], ..Default::default() };
         let result = evaluate(&p, "fig2", 1, &cfg).expect("runs");
-        let pt = result.ptmalloc.expect("requested");
+        let pt = result.ptmalloc().expect("requested");
         assert!(
-            result.baseline.measurement.stats.l1_misses <= pt.measurement.stats.l1_misses,
+            result.baseline().measurement.stats.l1_misses <= pt.measurement.stats.l1_misses,
             "jemalloc {} vs ptmalloc {}",
-            result.baseline.measurement.stats.l1_misses,
+            result.baseline().measurement.stats.l1_misses,
             pt.measurement.stats.l1_misses
         );
+    }
+
+    #[test]
+    fn backends_follow_registry_order_and_gating() {
+        let p = workload();
+        let plain = evaluate(&p, "fig2", 1, &EvalConfig::default()).expect("runs");
+        let ids: Vec<&str> = plain.backends.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, ["baseline", "halo", "hds"], "extras absent unless requested");
+        assert!(plain.random().is_none() && plain.ptmalloc().is_none());
+        let cfg = EvalConfig { extras: vec!["random"], ..Default::default() };
+        let with_random = evaluate(&p, "fig2", 1, &cfg).expect("runs");
+        let ids: Vec<&str> = with_random.backends.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, ["baseline", "halo", "hds", "random"]);
+        // Non-grouped backends report no grouped-pool diagnostics.
+        assert!(with_random.baseline().frag.is_none());
+        assert!(with_random.random().expect("requested").frag.is_none());
+        assert!(with_random.halo().frag.is_some());
     }
 }

@@ -74,11 +74,13 @@
 //! # Ok::<(), halo_core::PipelineError>(())
 //! ```
 
+mod backend;
 mod evaluate;
 mod measure;
 mod parallel;
 mod pipeline;
 
+pub use backend::{backend_spec, BackendCtx, BackendSpec, BACKENDS};
 pub use evaluate::{evaluate, evaluate_with_arg, ConfigResult, EvalConfig, EvalResult};
 pub use measure::{measure, measure_with, CacheMonitor, MeasureConfig, Measurement};
 pub use parallel::{par_each_ordered, par_map, parse_halo_threads, thread_count};

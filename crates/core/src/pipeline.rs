@@ -3,12 +3,12 @@
 //! builds).
 
 use crate::measure::{measure, MeasureConfig};
-use halo_graph::{group, Granularity, Group, GroupingParams};
+use halo_graph::{group, Granularity, Group, GroupPlan, GroupingParams, ReusePolicyChoice};
 use halo_ident::{contexts_from_profile, identify, Identification};
-use halo_mem::{GroupAllocConfig, HaloGroupAllocator, SizeClassAllocator};
+use halo_mem::{GroupAllocConfig, HaloGroupAllocator, ReusePolicy, SizeClassAllocator};
 use halo_profile::{Profile, ProfileConfig, Profiler};
 use halo_rewrite::{instrument, RewriteReport};
-use halo_vm::{Engine, EngineLimits, Program, VmError};
+use halo_vm::{Engine, EngineLimits, Program, VmError, PAGE_SIZE};
 
 /// Every tunable of the optimisation pipeline, grouped by stage.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +31,22 @@ pub struct HaloConfig {
     /// falls back (object → page → decline to group). The ref input is
     /// never consulted, preserving the §5.1 train/ref separation.
     pub auto_min_gain: f64,
+    /// Which in-chunk reuse policy group plans start from. `Bump` and
+    /// `Sharded` stamp every group uniformly; `Auto` runs the per-group
+    /// train-input validator: groups whose own chunks fragment beyond
+    /// `reuse_min_frag` are trialled with mimalloc-style sharded free
+    /// lists (and smaller chunks), and a flip is kept only when it cuts
+    /// the measured fragmentation without costing more than
+    /// `reuse_miss_tolerance` of the train-input L1D misses.
+    pub reuse: ReusePolicyChoice,
+    /// Per-group fragmentation fraction (of that group's own peak
+    /// resident chunks) above which the `auto` reuse policy considers the
+    /// group a flip candidate.
+    pub reuse_min_frag: f64,
+    /// Miss budget for an `auto` reuse flip: a candidate plan is rejected
+    /// if it raises train-input L1D misses by more than this fraction over
+    /// the all-bump plan — contiguity keeps the group at bump.
+    pub reuse_miss_tolerance: f64,
     /// Memory-subsystem geometry the `auto` policy validates against.
     /// Must match the geometry the final measurement uses, or auto's
     /// accept/decline decision is made on the wrong cache;
@@ -49,6 +65,9 @@ impl Default for HaloConfig {
             alloc: GroupAllocConfig::default(),
             limits: EngineLimits::default(),
             auto_min_gain: 0.01,
+            reuse: ReusePolicyChoice::Bump,
+            reuse_min_frag: 0.10,
+            reuse_miss_tolerance: 0.01,
             hierarchy: halo_cache::HierarchyConfig::default(),
             timing: halo_cache::TimingModel::default(),
         }
@@ -184,15 +203,21 @@ impl Halo {
         train_arg: i64,
     ) -> Result<Optimised, PipelineError> {
         let profile = self.profile_with_arg(program, train_seed, train_arg)?;
-        match self.config.profile.granularity {
-            Granularity::Object => Ok(self.assemble(program, profile, Granularity::Object, false)),
-            Granularity::Page => Ok(self.assemble(program, profile, Granularity::Page, false)),
-            Granularity::Auto => self.resolve_auto(program, profile, train_seed, train_arg),
+        let optimised = match self.config.profile.granularity {
+            Granularity::Object => self.assemble(program, profile, Granularity::Object, false),
+            Granularity::Page => self.assemble(program, profile, Granularity::Page, false),
+            Granularity::Auto => self.resolve_auto(program, profile, train_seed, train_arg)?,
+        };
+        if self.config.reuse == ReusePolicyChoice::Auto && !optimised.groups.is_empty() {
+            self.resolve_reuse(optimised, train_seed, train_arg)
+        } else {
+            Ok(optimised)
         }
     }
 
-    /// Group `profile` at one concrete granularity and build the rewritten
-    /// binary plus selector machinery.
+    /// Group `profile` at one concrete granularity, stamp every group's
+    /// layout plan from the configuration, and build the rewritten binary
+    /// plus selector machinery.
     fn assemble(
         &self,
         program: &Program,
@@ -204,7 +229,19 @@ impl Halo {
             Granularity::Page => &profile.page_graph,
             _ => &profile.graph,
         };
-        let groups = if auto_declined { Vec::new() } else { group(graph, &self.config.grouping) };
+        let resolved =
+            if granularity == Granularity::Auto { Granularity::Object } else { granularity };
+        let mut groups =
+            if auto_declined { Vec::new() } else { group(graph, &self.config.grouping) };
+        let plan = GroupPlan {
+            granularity: resolved,
+            reuse: self.config.reuse.initial_policy(),
+            chunk_size: self.config.alloc.chunk_size,
+            max_spare_chunks: self.config.alloc.max_spare_chunks,
+        };
+        for g in &mut groups {
+            g.plan = plan;
+        }
         let contexts = contexts_from_profile(&profile);
         let ident = identify(&groups, &contexts);
         let (rewritten, rewrite) = instrument(program, &ident.site_bits);
@@ -212,11 +249,7 @@ impl Halo {
             program: rewritten,
             profile,
             groups,
-            granularity: if granularity == Granularity::Auto {
-                Granularity::Object
-            } else {
-                granularity
-            },
+            granularity: resolved,
             auto_declined,
             ident,
             rewrite,
@@ -259,8 +292,89 @@ impl Halo {
         Ok(self.assemble(program, profile, Granularity::Object, true))
     }
 
+    /// The per-group `auto` reuse policy: starting from the all-bump plans
+    /// stamped by [`Halo::assemble`], measure the optimised binary on the
+    /// *train* input, rank groups by their own fragmentation, and trial
+    /// each offender with mimalloc-style sharded free lists — at the
+    /// group's current chunk size and at progressively smaller chunks
+    /// (small chunks let survivor-pinned memory purge back to the OS). A
+    /// candidate plan is kept only if the measured whole-allocator
+    /// fragmentation fraction strictly improves while train-input L1D
+    /// misses stay within `reuse_miss_tolerance` of the all-bump run —
+    /// groups whose contiguity is winning misses keep bump. The ref input
+    /// is never consulted (§5.1 train/ref separation).
+    fn resolve_reuse(
+        &self,
+        mut optimised: Optimised,
+        train_seed: u64,
+        train_arg: i64,
+    ) -> Result<Optimised, PipelineError> {
+        let train_measure = MeasureConfig {
+            hierarchy: self.config.hierarchy,
+            timing: self.config.timing,
+            limits: self.config.limits,
+            seed: train_seed,
+            entry_arg: train_arg,
+        };
+        let mut alloc = self.make_allocator(&optimised);
+        let bump = measure(&optimised.program, &mut alloc, &train_measure)?;
+        let group_frags = alloc.group_frag_reports();
+        let mut best = (alloc.frag_report().frag_fraction(), bump.stats.l1_misses);
+        let miss_cap =
+            (bump.stats.l1_misses as f64 * (1.0 + self.config.reuse_miss_tolerance)) as u64;
+
+        // Fragmentation-heavy groups first (their flips move the total
+        // most); groups below the threshold — or wasting less than a page —
+        // are never touched.
+        let mut candidates: Vec<usize> = (0..optimised.groups.len())
+            .filter(|&i| {
+                group_frags[i].frag_fraction() >= self.config.reuse_min_frag
+                    && group_frags[i].wasted_bytes() >= PAGE_SIZE
+            })
+            .collect();
+        candidates.sort_by_key(|&i| std::cmp::Reverse(group_frags[i].wasted_bytes()));
+
+        for i in candidates {
+            let bump_plan = optimised.groups[i].plan;
+            let mut accepted: Option<(GroupPlan, (f64, u64))> = None;
+            let mut tried: Vec<GroupPlan> = Vec::new();
+            for chunk_size in
+                [bump_plan.chunk_size, bump_plan.chunk_size / 64, bump_plan.chunk_size / 128]
+            {
+                let chunk_size = chunk_size.max(2 * PAGE_SIZE).min(bump_plan.chunk_size);
+                let candidate =
+                    GroupPlan { reuse: ReusePolicy::ShardedFreeLists, chunk_size, ..bump_plan };
+                if tried.contains(&candidate) {
+                    continue; // the floor collapsed two ladder rungs into one
+                }
+                tried.push(candidate);
+                optimised.groups[i].plan = candidate;
+                let mut alloc = self.make_allocator(&optimised);
+                let measured = measure(&optimised.program, &mut alloc, &train_measure)?;
+                let score = (alloc.frag_report().frag_fraction(), measured.stats.l1_misses);
+                if measured.stats.l1_misses <= miss_cap
+                    && score.0 < best.0
+                    && accepted.as_ref().is_none_or(|(_, s)| score < *s)
+                {
+                    accepted = Some((candidate, score));
+                }
+            }
+            match accepted {
+                Some((plan, score)) => {
+                    optimised.groups[i].plan = plan;
+                    best = score;
+                }
+                None => optimised.groups[i].plan = bump_plan,
+            }
+        }
+        Ok(optimised)
+    }
+
     /// Synthesise the specialised allocator for an optimisation result
-    /// (§4.4) — link this against the rewritten binary at "runtime".
+    /// (§4.4) — link this against the rewritten binary at "runtime". Each
+    /// group's chunks run under its own [`GroupPlan`] (chunk size, spare
+    /// budget, reuse policy), translated here into per-group
+    /// [`GroupAllocConfig`] overrides.
     ///
     /// Under page-granularity grouping the `max_grouped_size` cap is
     /// lifted to the chunk size: the §6 fallback exists precisely to lay
@@ -270,7 +384,17 @@ impl Halo {
         if optimised.granularity == Granularity::Page {
             alloc.max_grouped_size = alloc.max_grouped_size.max(alloc.chunk_size);
         }
-        HaloGroupAllocator::new(alloc, optimised.ident.table.clone())
+        let overrides = optimised
+            .groups
+            .iter()
+            .map(|g| GroupAllocConfig {
+                chunk_size: g.plan.chunk_size,
+                max_spare_chunks: g.plan.max_spare_chunks,
+                reuse_policy: g.plan.reuse,
+                ..alloc
+            })
+            .collect();
+        HaloGroupAllocator::with_group_configs(alloc, optimised.ident.table.clone(), overrides)
     }
 }
 

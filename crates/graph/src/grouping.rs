@@ -44,6 +44,10 @@ pub struct Group {
     /// Σ of member access counts — the "popularity" that orders selector
     /// construction (Fig. 10) and runtime selector evaluation.
     pub accesses: u64,
+    /// This group's layout plan. The clusterer stamps the paper defaults;
+    /// the pipeline overwrites them from its configuration (and, under the
+    /// `auto` reuse policy, from per-group train-input validation).
+    pub plan: crate::GroupPlan,
 }
 
 impl Group {
@@ -115,6 +119,7 @@ pub fn group(graph: &AffinityGraph, params: &GroupingParams) -> Vec<Group> {
                 members: sub.members().to_vec(),
                 weight: sub.weight_sum(),
                 accesses,
+                plan: crate::GroupPlan::default(),
             });
         }
     }

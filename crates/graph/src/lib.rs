@@ -34,6 +34,7 @@ mod alt;
 mod dot;
 mod granularity;
 mod grouping;
+mod plan;
 mod score;
 
 pub use affinity::{AffinityGraph, NodeId};
@@ -41,4 +42,5 @@ pub use alt::{hcs_clusters, modularity_clusters, stoer_wagner_min_cut};
 pub use dot::to_dot;
 pub use granularity::Granularity;
 pub use grouping::{group, Group, GroupingParams};
+pub use plan::{GroupPlan, ReusePolicy, ReusePolicyChoice};
 pub use score::{merge_benefit, score_of_members, SubgraphScore};

@@ -1,0 +1,180 @@
+//! Per-group layout plans.
+//!
+//! The paper's prototype makes exactly one layout decision per binary: a
+//! single global allocator configuration. §6 names the cost — leela's and
+//! roms's Table-1 fragmentation — and suggests mimalloc-style free-list
+//! sharding inside group chunks as the remedy. A [`GroupPlan`] makes the
+//! *group* the unit of optimisation instead: every group carries the
+//! granularity it was formed at plus the allocator knobs (reuse policy,
+//! chunk size, spare-chunk budget) the synthesised allocator applies to
+//! that group's chunks alone. The pipeline stamps plans after grouping and
+//! the `auto` reuse policy revises them per group from train-input
+//! measurements.
+
+use crate::granularity::Granularity;
+use std::fmt;
+use std::str::FromStr;
+
+/// How freed regions inside a group's chunks are recycled.
+///
+/// The paper uses pure bump allocation and names its fragmentation
+/// behaviour as the main avenue for improvement, suggesting "techniques
+/// such as free list sharding [mimalloc] and meshing could be used in
+/// place of bump allocation" (§6). [`ReusePolicy::ShardedFreeLists`]
+/// implements the first suggestion: per-chunk, size-sharded free lists
+/// that let a chunk recycle its own holes without any cross-chunk
+/// bookkeeping, trading a little contiguity for much better practical
+/// fragmentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ReusePolicy {
+    /// The paper's design: regions are never reused until their whole
+    /// chunk empties.
+    #[default]
+    Bump,
+    /// mimalloc-style sharding: freed regions go onto a per-chunk,
+    /// per-size free list consulted before bumping.
+    ShardedFreeLists,
+}
+
+impl fmt::Display for ReusePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReusePolicy::Bump => "bump",
+            ReusePolicy::ShardedFreeLists => "sharded",
+        })
+    }
+}
+
+/// The reuse-policy *policy*: what the pipeline should stamp into group
+/// plans. `Bump` and `Sharded` apply one [`ReusePolicy`] to every group;
+/// `Auto` starts from bump and flips individual fragmentation-heavy groups
+/// to sharded free lists when a train-input measurement validates the flip
+/// (the per-group analogue of the granularity `auto` policy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ReusePolicyChoice {
+    /// The paper's mode: every group bump allocates.
+    #[default]
+    Bump,
+    /// Every group recycles through sharded free lists.
+    Sharded,
+    /// Decide per group, validated on the train input.
+    Auto,
+}
+
+impl ReusePolicyChoice {
+    /// All three choices, in CLI/reporting order.
+    pub const ALL: [ReusePolicyChoice; 3] =
+        [ReusePolicyChoice::Bump, ReusePolicyChoice::Sharded, ReusePolicyChoice::Auto];
+
+    /// The concrete policy groups start from under this choice (`Auto`
+    /// starts at bump and flips groups only on measured evidence).
+    pub fn initial_policy(self) -> ReusePolicy {
+        match self {
+            ReusePolicyChoice::Sharded => ReusePolicy::ShardedFreeLists,
+            ReusePolicyChoice::Bump | ReusePolicyChoice::Auto => ReusePolicy::Bump,
+        }
+    }
+}
+
+impl fmt::Display for ReusePolicyChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReusePolicyChoice::Bump => "bump",
+            ReusePolicyChoice::Sharded => "sharded",
+            ReusePolicyChoice::Auto => "auto",
+        })
+    }
+}
+
+impl FromStr for ReusePolicyChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bump" => Ok(ReusePolicyChoice::Bump),
+            "sharded" => Ok(ReusePolicyChoice::Sharded),
+            "auto" => Ok(ReusePolicyChoice::Auto),
+            other => Err(format!("unknown reuse policy '{other}' (bump|sharded|auto)")),
+        }
+    }
+}
+
+/// One group's layout decisions — the per-group unit of optimisation.
+///
+/// Stamped onto every [`crate::Group`] by the pipeline; the synthesised
+/// allocator turns each plan into a per-group configuration override, so
+/// one binary can run bump-allocated contiguity-critical groups next to
+/// sharded fragmentation-heavy ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupPlan {
+    /// Granularity the group was formed at (never `Auto`: plans record the
+    /// resolved mode).
+    pub granularity: Granularity,
+    /// How this group's chunks recycle freed regions.
+    pub reuse: ReusePolicy,
+    /// Chunk size for this group's chunks, in bytes (a power of two).
+    pub chunk_size: u64,
+    /// Dirty chunks this group may keep spare before they are purged.
+    pub max_spare_chunks: usize,
+}
+
+impl Default for GroupPlan {
+    /// Mirrors the paper-default allocator configuration (1 MiB bump
+    /// chunks, one spare) at object granularity; `halo_mem` pins the
+    /// agreement with `GroupAllocConfig::default` by test.
+    fn default() -> Self {
+        GroupPlan {
+            granularity: Granularity::Object,
+            reuse: ReusePolicy::Bump,
+            chunk_size: 1 << 20,
+            max_spare_chunks: 1,
+        }
+    }
+}
+
+impl fmt::Display for GroupPlan {
+    /// Compact `reuse@chunk` form for reports, e.g. `sharded@8KiB` or
+    /// `bump@1MiB`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (size, unit) = if self.chunk_size >= 1 << 20 {
+            (self.chunk_size >> 20, "MiB")
+        } else {
+            (self.chunk_size >> 10, "KiB")
+        };
+        write!(f, "{}@{}{}", self.reuse, size, unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_choice_parses_and_displays_roundtrip() {
+        for c in ReusePolicyChoice::ALL {
+            assert_eq!(c.to_string().parse::<ReusePolicyChoice>(), Ok(c));
+        }
+        let err = "meshing".parse::<ReusePolicyChoice>().unwrap_err();
+        assert!(err.contains("bump|sharded|auto"), "{err}");
+        assert!("".parse::<ReusePolicyChoice>().is_err());
+    }
+
+    #[test]
+    fn choices_start_from_the_right_policy() {
+        assert_eq!(ReusePolicyChoice::Bump.initial_policy(), ReusePolicy::Bump);
+        assert_eq!(ReusePolicyChoice::Auto.initial_policy(), ReusePolicy::Bump);
+        assert_eq!(ReusePolicyChoice::Sharded.initial_policy(), ReusePolicy::ShardedFreeLists);
+    }
+
+    #[test]
+    fn plan_display_is_compact() {
+        let plan = GroupPlan::default();
+        assert_eq!(plan.to_string(), "bump@1MiB");
+        let sharded = GroupPlan {
+            reuse: ReusePolicy::ShardedFreeLists,
+            chunk_size: 8192,
+            ..GroupPlan::default()
+        };
+        assert_eq!(sharded.to_string(), "sharded@8KiB");
+    }
+}

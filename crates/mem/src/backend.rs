@@ -1,0 +1,45 @@
+//! The allocator-side contract of the evaluation's backend registry.
+//!
+//! Every allocator a `BackendSpec` (in `halo_core`) can construct
+//! implements [`BackendAllocator`]: the plain [`VmAllocator`] interface
+//! plus uniform, optional access to the technique-specific diagnostics the
+//! evaluation reports (fragmentation and group-allocator event counters).
+//! Allocators without grouped pools simply report `None`, so the
+//! evaluation loop needs no per-backend downcasting or special arms.
+
+use crate::group_alloc::{FragReport, GroupAllocStats};
+use crate::{
+    BoundaryTagAllocator, BumpAllocator, HaloGroupAllocator, RandomGroupAllocator,
+    SizeClassAllocator,
+};
+use halo_vm::VmAllocator;
+
+/// A [`VmAllocator`] measurable as an evaluation backend.
+pub trait BackendAllocator: VmAllocator {
+    /// Fragmentation of grouped data at peak (Table 1), if this allocator
+    /// maintains grouped pools.
+    fn backend_frag(&self) -> Option<FragReport> {
+        None
+    }
+
+    /// Group-allocator event counters, if this allocator maintains grouped
+    /// pools.
+    fn backend_stats(&self) -> Option<GroupAllocStats> {
+        None
+    }
+}
+
+impl BackendAllocator for SizeClassAllocator {}
+impl BackendAllocator for BoundaryTagAllocator {}
+impl BackendAllocator for BumpAllocator {}
+impl BackendAllocator for RandomGroupAllocator {}
+
+impl<F: VmAllocator> BackendAllocator for HaloGroupAllocator<F> {
+    fn backend_frag(&self) -> Option<FragReport> {
+        Some(self.frag_report())
+    }
+
+    fn backend_stats(&self) -> Option<GroupAllocStats> {
+        Some(self.stats())
+    }
+}

@@ -2,64 +2,59 @@
 //!
 //! Memory is reserved from the simulated OS in large demand-paged **slabs**
 //! and managed in smaller group-owned **chunks** from which regions are bump
-//! allocated with no per-object headers. Chunks are aligned to their size so
-//! a region's chunk is located by masking the pointer. Each chunk counts its
+//! allocated with no per-object headers. Each chunk counts its
 //! `live_regions`; when the count reaches zero the chunk is empty and can be
 //! reused or freed, subject to a spare-chunk policy that keeps up to
 //! `max_spare_chunks` dirty chunks around before purging pages back to the
 //! OS (as early jemalloc versions did, per §5.1).
 //!
-//! Allocations that are not grouped — selector mismatch or size at or above
-//! the page-size cap — forward to the fallback allocator (the paper uses
-//! `dlsym` to find the next allocator; composition plays that role here).
+//! The allocator honours **per-group configuration overrides**: each group
+//! may run its own chunk size, spare-chunk budget, and in-chunk reuse
+//! policy (bump vs mimalloc-style sharded free lists), so a per-group
+//! layout plan — not one global decision — shapes the heap. Chunk sizes may
+//! therefore differ per group; a freed pointer finds its chunk through an
+//! ordered base-address index rather than pointer masking.
+//!
+//! Allocations that are not grouped — selector mismatch, size at or above
+//! the page-size cap, or too large for the group's own chunks — forward to
+//! the fallback allocator (the paper uses `dlsym` to find the next
+//! allocator; composition plays that role here).
 
 use crate::selector::SelectorTable;
 use crate::stats::AllocatorStats;
 use crate::vmm::Vmm;
 use crate::SizeClassAllocator;
+use halo_graph::ReusePolicy;
 use halo_vm::{CallSite, GroupState, Memory, VmAllocator, PAGE_SIZE};
-use std::collections::HashMap;
-
-/// How freed regions inside group chunks are recycled.
-///
-/// The paper uses pure bump allocation and names its fragmentation
-/// behaviour as the main avenue for improvement, suggesting "techniques
-/// such as free list sharding [mimalloc] and meshing could be used in
-/// place of bump allocation" (§6). [`ReusePolicy::ShardedFreeLists`]
-/// implements the first suggestion: per-chunk, size-sharded free lists
-/// that let a chunk recycle its own holes without any cross-chunk
-/// bookkeeping, trading a little contiguity for much better practical
-/// fragmentation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub enum ReusePolicy {
-    /// The paper's design: regions are never reused until their whole
-    /// chunk empties.
-    #[default]
-    Bump,
-    /// mimalloc-style sharding: freed regions go onto a per-chunk,
-    /// per-size free list consulted before bumping.
-    ShardedFreeLists,
-}
+use std::collections::{BTreeMap, HashMap};
 
 /// Tunables of the group allocator, mirroring the artefact's flags
 /// (`--chunk-size`, `--max-spare-chunks`, `--max-groups` lives in grouping).
+///
+/// One value acts as the allocator-wide default; [`HaloGroupAllocator`]
+/// additionally accepts per-group overrides, of which the **per-group**
+/// fields are `chunk_size`, `max_spare_chunks`, and `reuse_policy` —
+/// `max_grouped_size`, `slab_size`, and `base` remain allocator-global.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupAllocConfig {
-    /// Chunk size in bytes; must be a power of two (chunks are aligned to
-    /// their size for header-by-masking). Paper default: 1 MiB.
+    /// Chunk size in bytes; must be a power of two of at least a page.
+    /// Paper default: 1 MiB.
     pub chunk_size: u64,
-    /// Dirty chunks kept for reuse before purging pages. Paper default: 1;
-    /// omnetpp/xalanc run with 0; `usize::MAX` models the "always reuse"
-    /// configuration.
+    /// Dirty chunks a group may keep for reuse before purging pages. Paper
+    /// default: 1; omnetpp/xalanc run with 0; `usize::MAX` models the
+    /// "always reuse" configuration.
     pub max_spare_chunks: usize,
     /// Requests of this size or larger are never grouped (§4.4 uses the
     /// page size; profiling uses a 4 KiB max grouped-object size).
+    /// Allocator-global (the check precedes group classification).
     pub max_grouped_size: u64,
     /// Bytes reserved per slab. Paper: "large, demand-paged slabs".
+    /// Allocator-global.
     pub slab_size: u64,
-    /// Base of the slab address span.
+    /// Base of the slab address span. Allocator-global.
     pub base: u64,
-    /// In-chunk recycling policy (the paper's future-work axis).
+    /// In-chunk recycling policy (the paper's future-work axis; see
+    /// [`ReusePolicy`]).
     pub reuse_policy: ReusePolicy,
 }
 
@@ -121,6 +116,31 @@ impl FragReport {
     }
 }
 
+/// Running resident/live accounting for one pool (the whole allocator or a
+/// single group), maintaining the Table 1 peak snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+struct PoolUsage {
+    resident: u64,
+    live: u64,
+    frag: FragReport,
+}
+
+impl PoolUsage {
+    /// Maintain the Table 1 snapshot: at the peak resident footprint,
+    /// record the *worst* (smallest) live size observed — a chunk pinned by
+    /// a lone survivor shows up as fragmentation exactly as in the paper.
+    fn note(&mut self) {
+        if self.resident > self.frag.peak_resident_bytes {
+            self.frag.peak_resident_bytes = self.resident;
+            self.frag.live_at_peak_bytes = self.live;
+        } else if self.resident == self.frag.peak_resident_bytes
+            && self.live < self.frag.live_at_peak_bytes
+        {
+            self.frag.live_at_peak_bytes = self.live;
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Chunk {
     group: usize,
@@ -137,11 +157,25 @@ struct Chunk {
     shards: HashMap<u64, Vec<u64>>,
 }
 
+/// An empty-but-dirty chunk waiting for reuse. Its pages stay resident and
+/// are attributed to `owner` (the group that last used it) until the chunk
+/// is purged or handed to another group.
+#[derive(Debug, Clone, Copy)]
+struct SpareChunk {
+    base: u64,
+    high_water: u64,
+    size: u64,
+    owner: usize,
+}
+
 /// The specialised allocator synthesised by the HALO pipeline. Generic over
 /// the fallback allocator `F` (defaults to the jemalloc-style baseline).
 #[derive(Debug)]
 pub struct HaloGroupAllocator<F = SizeClassAllocator> {
     config: GroupAllocConfig,
+    /// Effective configuration per group (the global `config` unless a
+    /// per-group plan overrode it).
+    group_cfg: Vec<GroupAllocConfig>,
     selectors: SelectorTable,
     /// Immediate-call-site classification (the hot-data-streams comparison
     /// technique "utilise[s] the same specialised allocator as HALO, but
@@ -149,19 +183,20 @@ pub struct HaloGroupAllocator<F = SizeClassAllocator> {
     /// the allocation procedure", §5.1). Empty in selector mode.
     site_groups: HashMap<CallSite, usize>,
     vmm: Vmm,
-    /// Cursor into the current slab: `(next_chunk_base, slab_end)`.
+    /// Cursor into the current slab: `(next_free_byte, slab_end)`.
     slab_cursor: Option<(u64, u64)>,
     /// End of the highest slab reserved so far; pointers below `config.base`
     /// or at/above this are fallback-owned.
     slabs_end: u64,
-    /// In-use chunks by base address.
-    chunks: HashMap<u64, Chunk>,
+    /// In-use chunks, ordered by base address so a freed pointer locates
+    /// its (possibly group-sized) chunk by predecessor lookup.
+    chunks: BTreeMap<u64, Chunk>,
     /// Current chunk base per group.
     current: Vec<Option<u64>>,
-    /// Empty-but-dirty chunks available for reuse.
-    spare: Vec<(u64, u64)>, // (base, high_water)
-    /// Purged (clean) chunk bases available for reuse.
-    clean: Vec<u64>,
+    /// Empty-but-dirty chunks available for reuse, oldest first.
+    spare: Vec<SpareChunk>,
+    /// Purged (clean) chunks available for reuse: `(base, size)`.
+    clean: Vec<(u64, u64)>,
     /// Requested size per live grouped region. The real allocator needs no
     /// per-object metadata for `free` (only `live_regions`), but `realloc`
     /// must know how many bytes to copy; a native implementation gets this
@@ -169,16 +204,34 @@ pub struct HaloGroupAllocator<F = SizeClassAllocator> {
     /// does not model, so it is kept out of band here.
     region_sizes: HashMap<u64, u64>,
     fallback: F,
-    live_grouped_bytes: u64,
-    resident_bytes: u64,
-    frag: FragReport,
+    /// Allocator-wide usage and Table 1 snapshot.
+    usage: PoolUsage,
+    /// Per-group usage and Table 1 snapshots (what the per-group `auto`
+    /// reuse policy ranks groups by).
+    group_usage: Vec<PoolUsage>,
     stats: GroupAllocStats,
 }
 
 impl HaloGroupAllocator<SizeClassAllocator> {
     /// Create an allocator with the default jemalloc-style fallback.
     pub fn new(config: GroupAllocConfig, selectors: SelectorTable) -> Self {
-        Self::with_fallback(config, selectors, SizeClassAllocator::new())
+        Self::build(config, selectors, Vec::new(), SizeClassAllocator::new())
+    }
+
+    /// Create an allocator whose group `g` runs under `overrides[g]`
+    /// instead of `config` (missing entries inherit `config`). Only the
+    /// per-group fields are honoured — see [`GroupAllocConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any override's `chunk_size` is not a power of two of at
+    /// least a page, or does not divide the global `slab_size`.
+    pub fn with_group_configs(
+        config: GroupAllocConfig,
+        selectors: SelectorTable,
+        overrides: Vec<GroupAllocConfig>,
+    ) -> Self {
+        Self::build(config, selectors, overrides, SizeClassAllocator::new())
     }
 
     /// Create an allocator classifying by immediate call site (the
@@ -187,9 +240,10 @@ impl HaloGroupAllocator<SizeClassAllocator> {
         config: GroupAllocConfig,
         site_groups: HashMap<CallSite, usize>,
     ) -> Self {
-        let mut a = Self::with_fallback(config, SelectorTable::empty(), SizeClassAllocator::new());
+        let mut a =
+            Self::build(config, SelectorTable::empty(), Vec::new(), SizeClassAllocator::new());
         let num_groups = site_groups.values().map(|&g| g + 1).max().unwrap_or(0);
-        a.current = vec![None; num_groups];
+        a.ensure_groups(num_groups);
         a.site_groups = site_groups;
         a
     }
@@ -203,27 +257,55 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
     /// Panics if `chunk_size` is not a power of two or `slab_size` is not a
     /// multiple of it.
     pub fn with_fallback(config: GroupAllocConfig, selectors: SelectorTable, fallback: F) -> Self {
-        assert!(config.chunk_size.is_power_of_two(), "chunk size must be a power of two");
-        assert!(config.chunk_size >= PAGE_SIZE, "chunks must be at least a page");
-        assert_eq!(config.slab_size % config.chunk_size, 0, "slabs must hold whole chunks");
-        let num_groups = selectors.num_groups();
+        Self::build(config, selectors, Vec::new(), fallback)
+    }
+
+    fn build(
+        config: GroupAllocConfig,
+        selectors: SelectorTable,
+        overrides: Vec<GroupAllocConfig>,
+        fallback: F,
+    ) -> Self {
+        Self::validate_chunk(&config, config.chunk_size);
+        let num_groups = selectors.num_groups().max(overrides.len());
+        let mut group_cfg = vec![config; num_groups];
+        for (g, over) in overrides.into_iter().enumerate() {
+            Self::validate_chunk(&config, over.chunk_size);
+            group_cfg[g] = over;
+        }
         HaloGroupAllocator {
             config,
+            group_cfg,
             selectors,
             vmm: Vmm::new(config.base, 1 << 38),
             slab_cursor: None,
             slabs_end: config.base,
-            chunks: HashMap::new(),
+            chunks: BTreeMap::new(),
             current: vec![None; num_groups],
             site_groups: HashMap::new(),
             spare: Vec::new(),
             clean: Vec::new(),
             region_sizes: HashMap::new(),
             fallback,
-            live_grouped_bytes: 0,
-            resident_bytes: 0,
-            frag: FragReport::default(),
+            usage: PoolUsage::default(),
+            group_usage: vec![PoolUsage::default(); num_groups],
             stats: GroupAllocStats::default(),
+        }
+    }
+
+    fn validate_chunk(config: &GroupAllocConfig, chunk_size: u64) {
+        assert!(chunk_size.is_power_of_two(), "chunk size must be a power of two");
+        assert!(chunk_size >= PAGE_SIZE, "chunks must be at least a page");
+        assert_eq!(config.slab_size % chunk_size, 0, "slabs must hold whole chunks");
+    }
+
+    /// Grow the per-group tables to at least `n` groups (new groups run
+    /// under the global configuration).
+    fn ensure_groups(&mut self, n: usize) {
+        if n > self.current.len() {
+            self.current.resize(n, None);
+            self.group_cfg.resize(n, self.config);
+            self.group_usage.resize(n, PoolUsage::default());
         }
     }
 
@@ -235,7 +317,19 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
     /// Fragmentation of grouped memory at the peak observed so far
     /// (Table 1's measurement).
     pub fn frag_report(&self) -> FragReport {
-        self.frag
+        self.usage.frag
+    }
+
+    /// Per-group fragmentation snapshots (same rule as [`Self::frag_report`],
+    /// scoped to each group's own chunks). Indexed by group.
+    pub fn group_frag_reports(&self) -> Vec<FragReport> {
+        self.group_usage.iter().map(|u| u.frag).collect()
+    }
+
+    /// The effective configuration of `group` (the global configuration
+    /// unless overridden).
+    pub fn group_config(&self, group: usize) -> GroupAllocConfig {
+        self.group_cfg.get(group).copied().unwrap_or(self.config)
     }
 
     /// The fallback allocator (for its own statistics).
@@ -250,41 +344,57 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
 
     /// Bytes of grouped data currently live.
     pub fn live_grouped_bytes(&self) -> u64 {
-        self.live_grouped_bytes
+        self.usage.live
     }
 
     /// Resident bytes currently attributed to group chunks.
     pub fn resident_grouped_bytes(&self) -> u64 {
-        self.resident_bytes
+        self.usage.resident
     }
 
-    fn carve_chunk(&mut self) -> u64 {
-        let cs = self.config.chunk_size;
-        match self.slab_cursor {
-            Some((next, end)) if next + cs <= end => {
-                self.slab_cursor = Some((next + cs, end));
-                next
-            }
-            _ => {
-                let base = self.vmm.reserve(self.config.slab_size, cs);
-                self.slabs_end = self.slabs_end.max(base + self.config.slab_size);
-                self.slab_cursor = Some((base + cs, base + self.config.slab_size));
-                base
+    /// Dirty (resident) bytes of a chunk whose bump high-water mark is
+    /// `high_water`, in whole pages.
+    fn dirty_bytes(base: u64, high_water: u64) -> u64 {
+        (high_water - base).div_ceil(PAGE_SIZE) * PAGE_SIZE
+    }
+
+    fn carve_chunk(&mut self, cs: u64) -> u64 {
+        if let Some((next, end)) = self.slab_cursor {
+            // Chunks of different groups may differ in size; align each to
+            // its own size within the slab.
+            let base = (next + cs - 1) & !(cs - 1);
+            if base + cs <= end {
+                self.slab_cursor = Some((base + cs, end));
+                return base;
             }
         }
+        let slab = self.vmm.reserve(self.config.slab_size, cs);
+        self.slabs_end = self.slabs_end.max(slab + self.config.slab_size);
+        self.slab_cursor = Some((slab + cs, slab + self.config.slab_size));
+        slab
     }
 
     fn acquire_chunk(&mut self, group: usize) -> u64 {
-        let cs = self.config.chunk_size;
-        let (base, high_water) = if let Some((base, hw)) = self.spare.pop() {
+        let cs = self.group_cfg[group].chunk_size;
+        // Reuse pools are shared between groups, but only a chunk of the
+        // group's own size qualifies.
+        let (base, high_water) = if let Some(i) = self.spare.iter().position(|s| s.size == cs) {
+            let s = self.spare.remove(i);
             self.stats.chunks_reused += 1;
-            (base, hw)
-        } else if let Some(base) = self.clean.pop() {
+            let dirty = Self::dirty_bytes(s.base, s.high_water);
+            if s.owner != group && dirty > 0 {
+                // The dirty pages change hands with the chunk.
+                self.group_usage[s.owner].resident -= dirty;
+                self.group_usage[group].resident += dirty;
+            }
+            (s.base, s.high_water)
+        } else if let Some(i) = self.clean.iter().position(|&(_, size)| size == cs) {
+            let (base, _) = self.clean.remove(i);
             self.stats.chunks_reused += 1;
             (base, base)
         } else {
             self.stats.chunks_created += 1;
-            let base = self.carve_chunk();
+            let base = self.carve_chunk(cs);
             (base, base)
         };
         self.chunks.insert(
@@ -303,20 +413,21 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
     }
 
     fn group_malloc(&mut self, group: usize, size: u64) -> u64 {
-        let cs = self.config.chunk_size;
+        let cfg = self.group_cfg[group];
         let rounded = (size.max(1) + 7) & !7;
         // Sharded reuse: recycle a freed same-size region from the group's
         // current chunk before bumping (mimalloc-style, §6 future work).
-        if self.config.reuse_policy == ReusePolicy::ShardedFreeLists {
+        if cfg.reuse_policy == ReusePolicy::ShardedFreeLists {
             if let Some(base) = self.current[group] {
                 if let Some(chunk) = self.chunks.get_mut(&base) {
                     if let Some(list) = chunk.shards.get_mut(&rounded) {
                         if let Some(ptr) = list.pop() {
                             chunk.live_regions += 1;
                             self.region_sizes.insert(ptr, size);
-                            self.live_grouped_bytes += size;
+                            self.usage.live += size;
+                            self.group_usage[group].live += size;
                             self.stats.grouped_allocs += 1;
-                            self.note_usage();
+                            self.note_usage(group);
                             return ptr;
                         }
                     }
@@ -339,73 +450,79 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
         c.bump += rounded;
         c.live_regions += 1;
         if c.bump > c.high_water {
-            let old_dirty = (c.high_water - chunk_base).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            let old_dirty = Self::dirty_bytes(chunk_base, c.high_water);
             c.high_water = c.bump;
-            let new_dirty = (c.high_water - chunk_base).div_ceil(PAGE_SIZE) * PAGE_SIZE;
-            self.resident_bytes += new_dirty - old_dirty;
+            let new_dirty = Self::dirty_bytes(chunk_base, c.high_water);
+            self.usage.resident += new_dirty - old_dirty;
+            self.group_usage[group].resident += new_dirty - old_dirty;
         }
         self.region_sizes.insert(ptr, size);
-        self.live_grouped_bytes += size;
+        self.usage.live += size;
+        self.group_usage[group].live += size;
         self.stats.grouped_allocs += 1;
-        let _ = cs;
-        self.note_usage();
+        self.note_usage(group);
         ptr
     }
 
-    /// Maintain the Table 1 snapshot: at the peak resident footprint,
-    /// record the *worst* (smallest) live size observed — a chunk pinned by
-    /// a lone survivor shows up as fragmentation exactly as in the paper.
-    fn note_usage(&mut self) {
-        if self.resident_bytes > self.frag.peak_resident_bytes {
-            self.frag.peak_resident_bytes = self.resident_bytes;
-            self.frag.live_at_peak_bytes = self.live_grouped_bytes;
-        } else if self.resident_bytes == self.frag.peak_resident_bytes
-            && self.live_grouped_bytes < self.frag.live_at_peak_bytes
-        {
-            self.frag.live_at_peak_bytes = self.live_grouped_bytes;
-        }
+    /// Refresh the global and per-group Table 1 snapshots.
+    fn note_usage(&mut self, group: usize) {
+        self.usage.note();
+        self.group_usage[group].note();
     }
 
     fn group_free(&mut self, ptr: u64, mem: &mut Memory) {
-        let cs = self.config.chunk_size;
-        let chunk_base = ptr & !(cs - 1);
         let size =
             self.region_sizes.remove(&ptr).expect("group free of pointer without live region");
-        self.live_grouped_bytes -= size;
+        // Chunk sizes vary per group: locate the containing chunk by
+        // predecessor lookup on the ordered base index.
+        let (&chunk_base, chunk) =
+            self.chunks.range_mut(..=ptr).next_back().expect("chunk containing freed pointer");
+        debug_assert!(ptr < chunk.end, "freed pointer within the located chunk");
+        let group = chunk.group;
+        let cfg = self.group_cfg[group];
+        self.usage.live -= size;
+        self.group_usage[group].live -= size;
         self.stats.grouped_frees += 1;
-        let sharded = self.config.reuse_policy == ReusePolicy::ShardedFreeLists;
-        let chunk = self.chunks.get_mut(&chunk_base).expect("chunk header by masking");
         debug_assert!(chunk.live_regions > 0);
         chunk.live_regions -= 1;
         if chunk.live_regions > 0 {
-            if sharded {
+            if cfg.reuse_policy == ReusePolicy::ShardedFreeLists {
                 let rounded = (size.max(1) + 7) & !7;
                 chunk.shards.entry(rounded).or_default().push(ptr);
             }
-            self.note_usage();
+            self.note_usage(group);
             return;
         }
         // Chunk is empty: reuse or free (§4.4).
-        if self.current[chunk.group] == Some(chunk_base) {
+        if self.current[group] == Some(chunk_base) {
             // Still the group's current chunk: reset the bump pointer and
             // keep using it in place (its pages stay dirty/resident).
             chunk.bump = chunk_base;
             chunk.shards.clear();
             self.stats.chunks_reused += 1;
-            self.note_usage();
+            self.note_usage(group);
             return;
         }
         let chunk = self.chunks.remove(&chunk_base).expect("just observed");
-        self.spare.push((chunk_base, chunk.high_water));
-        while self.spare.len() > self.config.max_spare_chunks {
-            let (base, hw) = self.spare.remove(0);
-            let dirty = (hw - base).div_ceil(PAGE_SIZE) * PAGE_SIZE;
-            self.resident_bytes -= dirty;
-            mem.discard(base, cs);
-            self.clean.push(base);
+        self.spare.push(SpareChunk {
+            base: chunk_base,
+            high_water: chunk.high_water,
+            size: chunk.end - chunk_base,
+            owner: group,
+        });
+        // Each group keeps at most its own spare-chunk budget in the pool;
+        // the oldest excess donation is purged back to the OS.
+        while self.spare.iter().filter(|s| s.owner == group).count() > cfg.max_spare_chunks {
+            let i = self.spare.iter().position(|s| s.owner == group).expect("counted above");
+            let s = self.spare.remove(i);
+            let dirty = Self::dirty_bytes(s.base, s.high_water);
+            self.usage.resident -= dirty;
+            self.group_usage[s.owner].resident -= dirty;
+            mem.discard(s.base, s.size);
+            self.clean.push((s.base, s.size));
             self.stats.chunks_purged += 1;
         }
-        self.note_usage();
+        self.note_usage(group);
     }
 }
 
@@ -414,7 +531,7 @@ where
     F: AllocatorStats,
 {
     fn live_bytes(&self) -> u64 {
-        self.live_grouped_bytes + self.fallback.live_bytes()
+        self.usage.live + self.fallback.live_bytes()
     }
 
     fn live_objects(&self) -> usize {
@@ -432,7 +549,13 @@ impl<F: VmAllocator> VmAllocator for HaloGroupAllocator<F> {
             if let Some(group) =
                 self.selectors.classify(gs).or_else(|| self.site_groups.get(&site).copied())
             {
-                return self.group_malloc(group, size);
+                // A request too large for the group's own (possibly
+                // plan-shrunken) chunks forwards like any other
+                // non-groupable request.
+                let rounded = (size.max(1) + 7) & !7;
+                if rounded <= self.group_cfg[group].chunk_size {
+                    return self.group_malloc(group, size);
+                }
             }
         }
         self.stats.fallback_allocs += 1;
@@ -472,6 +595,7 @@ impl<F: VmAllocator> VmAllocator for HaloGroupAllocator<F> {
 mod tests {
     use super::*;
     use crate::selector::GroupSelector;
+    use halo_graph::GroupPlan;
 
     fn site() -> CallSite {
         CallSite::new(halo_vm::FuncId(0), 0)
@@ -767,5 +891,222 @@ mod tests {
         a.free(g, &mut mem);
         a.free(f, &mut mem);
         assert_eq!(a.live_bytes(), 0);
+    }
+
+    // --- per-group configuration overrides -----------------------------
+
+    /// Group 0 on 8 KiB chunks, group 1 on 16 KiB chunks.
+    fn mixed_chunk_alloc() -> HaloGroupAllocator {
+        let global = GroupAllocConfig { slab_size: 16384 * 8, ..small_config() };
+        HaloGroupAllocator::with_group_configs(
+            global,
+            two_group_table(),
+            vec![global, GroupAllocConfig { chunk_size: 16384, ..global }],
+        )
+    }
+
+    #[test]
+    fn per_group_chunk_sizes_coexist() {
+        let mut a = mixed_chunk_alloc();
+        let mut gs = GroupState::new(2);
+        let mut mem = Memory::new();
+        // Group 1's 16 KiB chunks hold eight 2 KiB regions where group 0's
+        // 8 KiB chunks hold four.
+        gs.set(1);
+        let g1: Vec<u64> = (0..8).map(|_| a.malloc(2048, site(), &gs, &mut mem)).collect();
+        assert!(g1.windows(2).all(|w| w[1] == w[0] + 2048), "one contiguous 16 KiB chunk");
+        gs.clear(1);
+        gs.set(0);
+        let g0: Vec<u64> = (0..5).map(|_| a.malloc(2048, site(), &gs, &mut mem)).collect();
+        // Chunks are aligned to their own size, so the 8 KiB mask finds
+        // group 0's chunk boundaries: four regions per chunk, then roll.
+        let m = |p: u64| p & !(8192 - 1);
+        assert!(g0[..4].iter().all(|&p| m(p) == m(g0[0])), "first four share one 8 KiB chunk");
+        assert_ne!(m(g0[4]), m(g0[0]), "group 0 rolls to a second chunk after four regions");
+        // Frees locate the right chunk despite the mixed sizes.
+        for &p in g1.iter().chain(&g0) {
+            a.free(p, &mut mem);
+        }
+        assert_eq!(a.live_grouped_bytes(), 0);
+    }
+
+    #[test]
+    fn per_group_reuse_policies_are_independent() {
+        let global = small_config();
+        let mut a = HaloGroupAllocator::with_group_configs(
+            global,
+            two_group_table(),
+            vec![
+                global, // group 0: bump
+                GroupAllocConfig { reuse_policy: ReusePolicy::ShardedFreeLists, ..global },
+            ],
+        );
+        let mut gs = GroupState::new(2);
+        let mut mem = Memory::new();
+        for group in [0u16, 1] {
+            gs.reset();
+            gs.set(group);
+            let p1 = a.malloc(64, site(), &gs, &mut mem);
+            let _p2 = a.malloc(64, site(), &gs, &mut mem);
+            a.free(p1, &mut mem);
+            let p3 = a.malloc(64, site(), &gs, &mut mem);
+            if group == 1 {
+                assert_eq!(p3, p1, "sharded group recycles the hole");
+            } else {
+                assert_ne!(p3, p1, "bump group never reuses until the chunk empties");
+            }
+        }
+    }
+
+    #[test]
+    fn per_group_spare_budgets_are_independent() {
+        let global = small_config(); // budget 1
+        let mut a = HaloGroupAllocator::with_group_configs(
+            global,
+            two_group_table(),
+            vec![GroupAllocConfig { max_spare_chunks: 0, ..global }, global],
+        );
+        let mut gs = GroupState::new(2);
+        let mut mem = Memory::new();
+        // For each group: fill a chunk, roll to the next, then empty the
+        // first so it leaves the in-use set.
+        fn cycle(a: &mut HaloGroupAllocator, gs: &mut GroupState, mem: &mut Memory, bit: u16) {
+            gs.reset();
+            gs.set(bit);
+            let ptrs: Vec<u64> = (0..4).map(|_| a.malloc(2048, site(), gs, mem)).collect();
+            let _keep = a.malloc(2048, site(), gs, mem);
+            for &p in &ptrs {
+                a.free(p, mem);
+            }
+        }
+        cycle(&mut a, &mut gs, &mut mem, 0);
+        assert_eq!(a.stats().chunks_purged, 1, "budget-0 group purges immediately");
+        cycle(&mut a, &mut gs, &mut mem, 1);
+        assert_eq!(a.stats().chunks_purged, 1, "budget-1 group keeps its spare");
+    }
+
+    #[test]
+    fn oversized_for_group_chunk_falls_back() {
+        // Global cap admits the request, but the group's plan shrank its
+        // chunks below the request size: it must forward to the fallback
+        // rather than overflow a chunk.
+        let global =
+            GroupAllocConfig { max_grouped_size: 16384, slab_size: 16384 * 8, ..small_config() };
+        let mut a = HaloGroupAllocator::with_group_configs(
+            global,
+            two_group_table(),
+            vec![GroupAllocConfig { chunk_size: 4096, ..global }],
+        );
+        let mut gs = GroupState::new(2);
+        let mut mem = Memory::new();
+        gs.set(0);
+        let p = a.malloc(6000, site(), &gs, &mut mem);
+        assert!(!a.is_group_allocated(p), "request larger than the group's chunk");
+        assert_eq!(a.stats().fallback_allocs, 1);
+        let q = a.malloc(4000, site(), &gs, &mut mem);
+        assert!(a.is_group_allocated(q), "request fitting the group's chunk is grouped");
+    }
+
+    #[test]
+    fn spare_chunks_only_serve_matching_sizes() {
+        let mut a = mixed_chunk_alloc();
+        let mut gs = GroupState::new(2);
+        let mut mem = Memory::new();
+        // Group 0 donates an 8 KiB spare.
+        gs.set(0);
+        let ptrs: Vec<u64> = (0..4).map(|_| a.malloc(2048, site(), &gs, &mut mem)).collect();
+        let _keep = a.malloc(2048, site(), &gs, &mut mem);
+        for &p in &ptrs {
+            a.free(p, &mut mem);
+        }
+        let created = a.stats().chunks_created;
+        // Group 1 needs a 16 KiB chunk: the 8 KiB spare must not serve it.
+        gs.reset();
+        gs.set(1);
+        let p = a.malloc(2048, site(), &gs, &mut mem);
+        assert_eq!(a.stats().chunks_created, created + 1, "fresh carve, spare size mismatch");
+        assert!(a.is_group_allocated(p));
+    }
+
+    #[test]
+    fn per_group_frag_reports_isolate_the_offender() {
+        let global = small_config();
+        let mut a = HaloGroupAllocator::new(global, two_group_table());
+        let mut gs = GroupState::new(2);
+        let mut mem = Memory::new();
+        // Group 0: survivor pathology (free all but the first).
+        gs.set(0);
+        let ptrs: Vec<u64> = (0..16).map(|_| a.malloc(256, site(), &gs, &mut mem)).collect();
+        for &p in &ptrs[1..] {
+            a.free(p, &mut mem);
+        }
+        // Group 1: everything stays live (three pages' worth, so its peak
+        // is hit mid-growth with most of the pool live).
+        gs.reset();
+        gs.set(1);
+        for _ in 0..33 {
+            a.malloc(256, site(), &gs, &mut mem);
+        }
+        let reports = a.group_frag_reports();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].frag_fraction() > 0.9, "group 0 is the offender: {reports:?}");
+        assert!(reports[1].frag_fraction() < 0.5, "group 1 is healthy: {reports:?}");
+        // The global report spans both pools.
+        assert_eq!(
+            a.frag_report().peak_resident_bytes,
+            reports.iter().map(|r| r.peak_resident_bytes).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn homogeneous_overrides_match_the_plain_constructor() {
+        // with_group_configs with every entry equal to the global config
+        // must behave exactly like new(): same pointers, same stats.
+        let cfg = small_config();
+        let mut plain = HaloGroupAllocator::new(cfg, two_group_table());
+        let mut over =
+            HaloGroupAllocator::with_group_configs(cfg, two_group_table(), vec![cfg, cfg]);
+        let mut gs = GroupState::new(2);
+        let mut mem_a = Memory::new();
+        let mut mem_b = Memory::new();
+        let mut ptrs_a = Vec::new();
+        let mut ptrs_b = Vec::new();
+        for i in 0..64u64 {
+            gs.reset();
+            gs.set((i % 2) as u16);
+            let size = 32 + (i % 7) * 24;
+            ptrs_a.push(plain.malloc(size, site(), &gs, &mut mem_a));
+            ptrs_b.push(over.malloc(size, site(), &gs, &mut mem_b));
+            if i % 3 == 0 {
+                plain.free(ptrs_a.pop().unwrap(), &mut mem_a);
+                over.free(ptrs_b.pop().unwrap(), &mut mem_b);
+            }
+        }
+        assert_eq!(ptrs_a, ptrs_b);
+        assert_eq!(plain.stats(), over.stats());
+        assert_eq!(plain.frag_report(), over.frag_report());
+    }
+
+    #[test]
+    fn group_plan_default_mirrors_alloc_config_default() {
+        // GroupPlan::default (halo_graph) and GroupAllocConfig::default
+        // (this crate) describe the same paper-default layout; if one
+        // changes, the other — and this test — must follow.
+        let plan = GroupPlan::default();
+        let cfg = GroupAllocConfig::default();
+        assert_eq!(plan.chunk_size, cfg.chunk_size);
+        assert_eq!(plan.max_spare_chunks, cfg.max_spare_chunks);
+        assert_eq!(plan.reuse, cfg.reuse_policy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_override_chunk_size_panics() {
+        let cfg = small_config();
+        let _ = HaloGroupAllocator::with_group_configs(
+            cfg,
+            two_group_table(),
+            vec![GroupAllocConfig { chunk_size: 12288, ..cfg }],
+        );
     }
 }

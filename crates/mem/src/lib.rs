@@ -27,6 +27,7 @@
 //! stage's output (Fig. 10): per-group DNF formulae over group-state bits,
 //! evaluated in group-popularity order with first match winning.
 
+mod backend;
 mod boundary_tag;
 mod bump;
 mod group_alloc;
@@ -37,11 +38,12 @@ mod size_class;
 mod stats;
 mod vmm;
 
+pub use backend::BackendAllocator;
 pub use boundary_tag::BoundaryTagAllocator;
 pub use bump::BumpAllocator;
-pub use group_alloc::{
-    FragReport, GroupAllocConfig, GroupAllocStats, HaloGroupAllocator, ReusePolicy,
-};
+pub use group_alloc::{FragReport, GroupAllocConfig, GroupAllocStats, HaloGroupAllocator};
+/// Re-exported from `halo_graph`, where per-group layout plans live.
+pub use halo_graph::ReusePolicy;
 pub use random_group::RandomGroupAllocator;
 pub use selector::{GroupSelector, SelectorTable};
 pub use size_class::{SizeClassAllocator, SIZE_CLASSES, SMALL_MAX};

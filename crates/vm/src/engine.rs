@@ -115,6 +115,41 @@ pub trait VmAllocator {
     }
 }
 
+/// Boxed (possibly trait-object) allocators forward wholesale, so harness
+/// code can hold heterogeneous backends as `Box<dyn …>` and still hand
+/// them to the engine.
+impl<A: VmAllocator + ?Sized> VmAllocator for Box<A> {
+    fn malloc(&mut self, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory) -> u64 {
+        (**self).malloc(size, site, gs, mem)
+    }
+
+    fn free(&mut self, ptr: u64, mem: &mut Memory) {
+        (**self).free(ptr, mem)
+    }
+
+    fn realloc(
+        &mut self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        (**self).realloc(ptr, size, site, gs, mem)
+    }
+
+    fn calloc(
+        &mut self,
+        count: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        (**self).calloc(count, size, site, gs, mem)
+    }
+}
+
 /// Execution limits protecting against runaway workloads.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineLimits {

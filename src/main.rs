@@ -12,7 +12,7 @@
 //! ```
 
 use halo::core::{evaluate_with_arg, measure, par_each_ordered, EvalConfig, EvalResult};
-use halo::graph::Granularity;
+use halo::graph::{Granularity, ReusePolicyChoice};
 use halo::mem::SizeClassAllocator;
 use halo::workloads::{all, Workload};
 use std::fmt::Write as _;
@@ -90,6 +90,12 @@ fn usage() {
          \t--granularity object|page|auto  grouping granularity (default: the\n\
          \t                              paper's object mode; roms/omnetpp default\n\
          \t                              to auto, the §6 page-fallback policy)\n\
+         \t--reuse-policy bump|sharded|auto  in-chunk reuse policy for group\n\
+         \t                              plans (default: the paper's bump mode;\n\
+         \t                              leela/health/roms default to auto, which\n\
+         \t                              flips fragmentation-heavy groups to\n\
+         \t                              sharded free lists when the train input\n\
+         \t                              validates the flip)\n\
          \t--hds                         also run the hot-data-streams technique\n\
          \t--random                      also run the random four-pool allocator\n\
          \t--ptmalloc                    also run the ptmalloc2-style baseline\n\
@@ -109,6 +115,7 @@ struct Flags {
     max_groups: Option<usize>,
     merge_tolerance: Option<f64>,
     granularity: Option<Granularity>,
+    reuse_policy: Option<ReusePolicyChoice>,
     hds: bool,
     random: bool,
     ptmalloc: bool,
@@ -126,6 +133,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         max_groups: None,
         merge_tolerance: None,
         granularity: None,
+        reuse_policy: None,
         hds: false,
         random: false,
         ptmalloc: false,
@@ -163,6 +171,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     Some(value("--merge-tolerance")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--granularity" => flags.granularity = Some(value("--granularity")?.parse()?),
+            "--reuse-policy" => flags.reuse_policy = Some(value("--reuse-policy")?.parse()?),
             "--metric" => flags.metric = value("--metric")?,
             "--out" => flags.out = Some(value("--out")?),
             "--hds" => flags.hds = true,
@@ -219,8 +228,16 @@ fn config_for(workload: &Workload, flags: &Flags) -> EvalConfig {
     if let Some(g) = flags.granularity {
         config.halo.profile.granularity = g;
     }
-    config.with_random = flags.random;
-    config.with_ptmalloc = flags.ptmalloc;
+    if let Some(r) = flags.reuse_policy {
+        config.halo.reuse = r;
+    }
+    config.extras.clear();
+    if flags.random {
+        config.extras.push("random");
+    }
+    if flags.ptmalloc {
+        config.extras.push("ptmalloc");
+    }
     config
 }
 
@@ -291,25 +308,80 @@ fn cmd_baseline(args: &[String]) -> Result<(), String> {
 }
 
 fn run_one(w: &Workload, flags: &Flags) -> Result<EvalResult, String> {
-    let mut config = config_for(w, flags);
-    config.with_random = flags.random;
-    config.with_ptmalloc = flags.ptmalloc;
+    let config = config_for(w, flags);
     evaluate_with_arg(&w.program, w.name, w.train.seed, w.train.arg, &config)
         .map_err(|e| format!("{}: {e}", w.name))
+}
+
+/// The resolved per-group plan summary as a JSON array.
+fn plans_json(r: &EvalResult) -> String {
+    let mut out = String::from("[");
+    for (i, g) in r.optimised.groups.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let spare = if g.plan.max_spare_chunks == usize::MAX {
+            "\"inf\"".to_string()
+        } else {
+            g.plan.max_spare_chunks.to_string()
+        };
+        let _ = write!(
+            out,
+            "{{\"group\":{},\"members\":{},\"granularity\":\"{}\",\"reuse\":\"{}\",\"chunk_size\":{},\"max_spare_chunks\":{}}}",
+            i,
+            g.members.len(),
+            g.plan.granularity,
+            g.plan.reuse,
+            g.plan.chunk_size,
+            spare,
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// The resolved per-group plan summary for the human-readable row, e.g.
+/// `[g0 sharded@8KiB, g1 bump@1MiB]`.
+fn plans_text(r: &EvalResult) -> String {
+    let body: Vec<String> =
+        r.optimised.groups.iter().enumerate().map(|(i, g)| format!("g{i} {}", g.plan)).collect();
+    format!("[{}]", body.join(", "))
 }
 
 fn render_run(r: &EvalResult, flags: &Flags) -> String {
     let (hds_mr, halo_mr) = r.miss_reduction_row();
     let (hds_su, halo_su) = r.speedup_row();
+    let base = r.baseline();
+    let halo = r.halo();
+    let hds = r.hds();
+    // Optional backends render generically from the registry — a new
+    // backend is one registry entry, not a new arm here.
+    let extras = || {
+        r.backends.iter().filter_map(|(id, res)| {
+            let spec = halo::core::backend_spec(id).expect("measured backends are registered");
+            spec.optional.then_some((spec, res))
+        })
+    };
     let mut out = String::new();
     if flags.json {
-        let frag = r.halo.frag.unwrap_or_default();
+        let frag = halo.frag.unwrap_or_default();
+        let mut extra_json = String::new();
+        for (spec, res) in extras() {
+            let _ = write!(
+                extra_json,
+                ",\"{}\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4}}}",
+                spec.id,
+                res.measurement.stats.l1_misses,
+                res.measurement.miss_reduction_vs(&base.measurement),
+                res.measurement.speedup_vs(&base.measurement),
+            );
+        }
         let _ = writeln!(
             out,
-            "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"granularity\":\"{}\",\"auto_declined\":{},\"frag_pct\":{:.4},\"frag_bytes\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}}}",
+            "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"granularity\":\"{}\",\"auto_declined\":{},\"frag_fraction\":{:.4},\"wasted_bytes\":{},\"plans\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}{}}}",
             r.name,
-            r.halo.measurement.stats.l1_misses,
-            r.halo.measurement.cycles,
+            halo.measurement.stats.l1_misses,
+            halo.measurement.cycles,
             halo_mr,
             halo_su,
             r.optimised.groups.len(),
@@ -318,59 +390,58 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
             r.optimised.auto_declined,
             frag.frag_fraction(),
             frag.wasted_bytes(),
-            r.hds.measurement.stats.l1_misses,
+            plans_json(r),
+            hds.measurement.stats.l1_misses,
             hds_mr,
             hds_su,
             r.hds_analysis.stats.hot_streams,
-            r.baseline.measurement.stats.l1_misses,
-            r.baseline.measurement.cycles,
+            base.measurement.stats.l1_misses,
+            base.measurement.cycles,
+            extra_json,
         );
     } else {
         let _ = writeln!(out, "=== {} ===", r.name);
         let _ = writeln!(
             out,
             "  baseline: {} L1D misses, {:.2} Mcycles",
-            r.baseline.measurement.stats.l1_misses,
-            r.baseline.measurement.cycles / 1e6
+            base.measurement.stats.l1_misses,
+            base.measurement.cycles / 1e6
         );
         let _ = writeln!(
             out,
-            "  HALO:     {} L1D misses ({:+.1}%), {:.2} Mcycles ({:+.1}%), {} groups via {} sites, {} granularity{}",
-            r.halo.measurement.stats.l1_misses,
+            "  HALO:     {} L1D misses ({:+.1}%), {:.2} Mcycles ({:+.1}%), {} groups via {} sites, {} granularity{}{}",
+            halo.measurement.stats.l1_misses,
             halo_mr * 100.0,
-            r.halo.measurement.cycles / 1e6,
+            halo.measurement.cycles / 1e6,
             halo_su * 100.0,
             r.optimised.groups.len(),
             r.optimised.ident.site_bits.len(),
             r.optimised.granularity,
             if r.optimised.auto_declined { " (auto declined to group)" } else { "" },
+            if r.optimised.groups.is_empty() {
+                String::new()
+            } else {
+                format!(", plans {}", plans_text(r))
+            },
         );
         if flags.hds {
             let _ = writeln!(
                 out,
                 "  HDS:      {} L1D misses ({:+.1}%), speedup {:+.1}%, {} hot streams",
-                r.hds.measurement.stats.l1_misses,
+                hds.measurement.stats.l1_misses,
                 hds_mr * 100.0,
                 hds_su * 100.0,
                 r.hds_analysis.stats.hot_streams,
             );
         }
-        if let Some(random) = &r.random {
+        for (spec, res) in extras() {
             let _ = writeln!(
                 out,
-                "  random:   {} L1D misses, speedup {:+.1}%",
-                random.measurement.stats.l1_misses,
-                random.measurement.speedup_vs(&r.baseline.measurement) * 100.0,
-            );
-        }
-        if let Some(pt) = &r.ptmalloc {
-            let _ = writeln!(
-                out,
-                "  ptmalloc: {} L1D misses ({:+.1}% vs jemalloc-style)",
-                pt.measurement.stats.l1_misses,
-                (1.0 - r.baseline.measurement.stats.l1_misses as f64
-                    / pt.measurement.stats.l1_misses.max(1) as f64)
-                    * 100.0,
+                "  {:<9} {} L1D misses ({:+.1}%), speedup {:+.1}%",
+                format!("{}:", spec.id),
+                res.measurement.stats.l1_misses,
+                res.measurement.miss_reduction_vs(&base.measurement) * 100.0,
+                res.measurement.speedup_vs(&base.measurement) * 100.0,
             );
         }
     }
@@ -447,6 +518,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         || flags.max_groups.is_some()
         || flags.merge_tolerance.is_some()
         || flags.granularity.is_some()
+        || flags.reuse_policy.is_some()
         || flags.metric != "misses" // the parse-time default
         || flags.hds
         || flags.random
@@ -467,6 +539,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     rows.push(time_samples("profile/object_find_100k", 10, || {
         std::hint::black_box(halo_bench::object_find_100k());
     }));
+    rows.push(time_samples("mem/group_alloc_malloc_free_100k", 10, || {
+        std::hint::black_box(halo_bench::group_alloc_malloc_free_100k());
+    }));
 
     // End-to-end pipeline (profile → group → identify → rewrite →
     // measure) on the two cheapest workloads.
@@ -479,7 +554,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         rows.push(time_samples(label, 3, || {
             let r = evaluate_with_arg(&w.program, w.name, w.train.seed, w.train.arg, &config)
                 .expect("bench workload runs");
-            std::hint::black_box(r.halo.measurement.stats.l1_misses);
+            std::hint::black_box(r.halo().measurement.stats.l1_misses);
         }));
     }
 

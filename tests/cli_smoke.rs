@@ -95,6 +95,39 @@ fn run_accepts_and_reports_granularity() {
 }
 
 #[test]
+fn run_accepts_and_reports_reuse_policy() {
+    for policy in ["bump", "sharded", "auto"] {
+        let out = halo(&["run", "--benchmark", "toy", "--reuse-policy", policy, "--json"]);
+        assert!(out.status.success(), "--reuse-policy {policy} failed: {}", stderr(&out));
+        let text = stdout(&out);
+        for key in ["\"frag_fraction\":", "\"wasted_bytes\":", "\"plans\":["] {
+            assert!(text.contains(key), "JSON row is missing {key}: {text}");
+        }
+        // The plan summary carries the per-group knobs.
+        for key in ["\"reuse\":", "\"chunk_size\":", "\"max_spare_chunks\":"] {
+            assert!(text.contains(key), "plan summary is missing {key}: {text}");
+        }
+    }
+    // An explicit sharded choice must surface in the resolved plans.
+    let sharded = halo(&["run", "--benchmark", "toy", "--reuse-policy", "sharded", "--json"]);
+    assert!(stdout(&sharded).contains("\"reuse\":\"sharded\""), "{}", stdout(&sharded));
+    let bad = halo(&["run", "--benchmark", "toy", "--reuse-policy", "meshing"]);
+    assert!(!bad.status.success());
+    assert!(
+        stderr(&bad).contains("unknown reuse policy 'meshing' (bump|sharded|auto)"),
+        "{}",
+        stderr(&bad)
+    );
+}
+
+#[test]
+fn bench_rejects_run_configuration_flags() {
+    let out = halo(&["bench", "--reuse-policy", "sharded"]);
+    assert!(!out.status.success(), "bench must reject run-configuration flags");
+    assert!(stderr(&out).contains("halo bench only accepts"), "{}", stderr(&out));
+}
+
+#[test]
 fn baseline_runs_the_toy_workload() {
     let out = halo(&["baseline", "--benchmark", "toy", "--json"]);
     assert!(out.status.success(), "halo baseline failed: {}", stderr(&out));
@@ -142,6 +175,7 @@ fn bench_writes_the_baseline_json() {
     for key in [
         "\"schema\": \"halo-bench/v1\"",
         "profile/affinity_queue_100k",
+        "mem/group_alloc_malloc_free_100k",
         "pipeline/evaluate_toy",
         "\"best_ns\"",
         "\"mean_ns\"",

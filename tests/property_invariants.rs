@@ -488,6 +488,52 @@ proptest! {
     }
 
     #[test]
+    fn per_group_overrides_with_uniform_config_match_the_global_path(
+        script in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..200),
+        bits in 0u8..4,
+    ) {
+        // Uniform per-group overrides must be behaviourally invisible:
+        // the overrides constructor with every entry equal to the global
+        // config replays any operation sequence pointer-for-pointer
+        // against the plain constructor (the refactor from masked chunk
+        // lookup + global spare pool to ordered lookup + per-group
+        // budgets must not shift the homogeneous case).
+        let table = || SelectorTable::new(
+            vec![
+                GroupSelector { group: 0, conjunctions: vec![vec![0]] },
+                GroupSelector { group: 1, conjunctions: vec![vec![1]] },
+            ],
+            2,
+        );
+        let config = GroupAllocConfig { chunk_size: 16 * 1024, slab_size: 16 * 1024 * 8, ..Default::default() };
+        let mut gs = GroupState::new(2);
+        if bits & 1 != 0 { gs.set(0); }
+        if bits & 2 != 0 { gs.set(1); }
+        let mut plain = HaloGroupAllocator::new(config, table());
+        let mut over = HaloGroupAllocator::with_group_configs(config, table(), vec![config, config]);
+        let mut mem_a = Memory::new();
+        let mut mem_b = Memory::new();
+        let mut live: Vec<u64> = Vec::new();
+        for (op, raw) in script {
+            if op % 3 == 2 && !live.is_empty() {
+                let p = live.swap_remove(raw as usize % live.len());
+                plain.free(p, &mut mem_a);
+                over.free(p, &mut mem_b);
+            } else {
+                let size = 1 + raw % 6000;
+                let pa = plain.malloc(size, site(), &gs, &mut mem_a);
+                let pb = over.malloc(size, site(), &gs, &mut mem_b);
+                prop_assert_eq!(pa, pb, "allocation placement diverged");
+                live.push(pa);
+            }
+            prop_assert_eq!(plain.live_grouped_bytes(), over.live_grouped_bytes());
+            prop_assert_eq!(plain.resident_grouped_bytes(), over.resident_grouped_bytes());
+        }
+        prop_assert_eq!(plain.stats(), over.stats());
+        prop_assert_eq!(plain.frag_report(), over.frag_report());
+    }
+
+    #[test]
     fn selector_tables_classify_by_popularity_order(
         masks in proptest::collection::vec(proptest::collection::vec(0u16..12, 1..3), 1..6),
         set_bits in proptest::collection::vec(0u16..12, 0..12),
@@ -504,5 +550,91 @@ proptest! {
         }
         let expected = selectors.iter().find(|s| s.matches(&gs)).map(|s| s.group);
         prop_assert_eq!(table.classify(&gs), expected);
+    }
+}
+
+/// One rendered sweep row under per-group plans: pipeline + measurement at
+/// *train* scale (fast, and exactly the path the per-group auto validator
+/// races through), with the resolved plans in the output so a plan-order
+/// or plan-content divergence shows up byte-for-byte.
+fn plan_sweep_row(w: &halo::workloads::Workload, config: &halo::core::EvalConfig) -> String {
+    let halo = halo::core::Halo::new(config.halo);
+    let opt = halo
+        .optimise_with_arg(&w.program, w.train.seed, w.train.arg)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let mut base_alloc = SizeClassAllocator::new();
+    let base = halo::core::measure(&w.program, &mut base_alloc, &config.measure).expect("base");
+    let mut alloc = halo.make_allocator(&opt);
+    let m = halo::core::measure(&opt.program, &mut alloc, &config.measure).expect("halo");
+    let frag = alloc.frag_report();
+    let plans: Vec<String> =
+        opt.groups.iter().enumerate().map(|(i, g)| format!("g{i}:{}", g.plan)).collect();
+    format!(
+        "{} misses={} mr={:.6} frag={:.6} wasted={} plans=[{}]",
+        w.name,
+        m.stats.l1_misses,
+        m.miss_reduction_vs(&base),
+        frag.frag_fraction(),
+        frag.wasted_bytes(),
+        plans.join(","),
+    )
+}
+
+proptest! {
+    // Each case runs several pipeline+measure jobs; keep the count low
+    // (HALO_PROPTEST_CASES can raise it).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn per_group_plan_sweeps_are_serial_parallel_identical(
+        choice_idx in 0usize..3,
+        chunk_idx in 0usize..3,
+        spare_idx in 0usize..3,
+    ) {
+        // The PR-2 invariant — multi-workload sweeps produce byte-identical
+        // output at any thread count — must survive per-group plans: the
+        // reuse validator runs extra train measurements per job, and a
+        // nondeterministic or cross-job-leaking resolution would diverge
+        // between the serial and parallel paths (or between repeated runs).
+        //
+        // HALO_THREADS pins the pool above the container's core count. Set
+        // once, to a constant, and never unset: every case (and any other
+        // par_map user in this binary, of which there are none) sees the
+        // same value regardless of test scheduling. Rust's std::env locks
+        // set_var/var against each other, and this pure-Rust test binary
+        // never calls libc getenv directly, so the write is race-free.
+        static PIN_THREADS: std::sync::Once = std::sync::Once::new();
+        PIN_THREADS.call_once(|| std::env::set_var("HALO_THREADS", "4"));
+        let choice = halo::graph::ReusePolicyChoice::ALL[choice_idx];
+        let chunk_exp = [14u32, 17, 20][chunk_idx];
+        let spare = [0, 1, usize::MAX][spare_idx];
+        let workloads: Vec<halo::workloads::Workload> = ["toy", "leela", "health"]
+            .iter()
+            .map(|n| {
+                let mut all = halo::workloads::all();
+                all.push(halo::workloads::toy::build());
+                let i = all.iter().position(|w| w.name == *n).unwrap();
+                all.swap_remove(i)
+            })
+            .collect();
+        let configs: Vec<halo::core::EvalConfig> = workloads
+            .iter()
+            .map(|w| {
+                let mut config = halo_bench::paper_config(w);
+                config.halo.reuse = choice;
+                config.halo.alloc.chunk_size = 1 << chunk_exp;
+                config.halo.alloc.slab_size = (1u64 << chunk_exp) * 64;
+                config.halo.alloc.max_spare_chunks = spare;
+                // Train scale keeps each job cheap.
+                config.measure.seed = w.train.seed;
+                config.measure.entry_arg = w.train.arg;
+                config
+            })
+            .collect();
+        let jobs: Vec<(&halo::workloads::Workload, &halo::core::EvalConfig)> =
+            workloads.iter().zip(&configs).collect();
+        let serial: Vec<String> = jobs.iter().map(|(w, c)| plan_sweep_row(w, c)).collect();
+        let parallel = halo::core::par_map(&jobs, |(w, c)| plan_sweep_row(w, c));
+        prop_assert_eq!(&serial, &parallel, "serial and parallel sweep rows diverge");
     }
 }
