@@ -164,6 +164,9 @@ fn bench_allocators(c: &mut Criterion) {
     c.bench_function("mem/group_alloc_malloc_free_100k", |b| {
         b.iter(halo_bench::group_alloc_malloc_free_100k)
     });
+    // Shared with `halo bench` likewise: the thread-safe sharded runtime
+    // under real producer/consumer threads and remote frees.
+    c.bench_function("mem/sharded_alloc_mt", |b| b.iter(halo_bench::sharded_alloc_mt));
     c.bench_function("mem/group_alloc_malloc_free_1k", |b| {
         let table =
             SelectorTable::new(vec![GroupSelector { group: 0, conjunctions: vec![vec![0]] }], 1);

@@ -100,6 +100,7 @@ pub fn paper_config(workload: &Workload) -> EvalConfig {
             ..MeasureConfig::default()
         },
         extras: Vec::new(),
+        ..EvalConfig::default()
     }
 }
 
@@ -264,6 +265,68 @@ pub fn group_alloc_malloc_free_100k() -> u64 {
     }
     let stats = a.stats();
     stats.grouped_allocs + stats.fallback_allocs + stats.chunks_reused
+}
+
+/// The `mem/sharded_alloc_mt` micro-workload: four OS threads (two
+/// producers, two consumers) hammer one 4-shard
+/// [`halo_mem::ShardedHaloAllocator`] through the [`halo_vm::SyncVmAllocator`]
+/// face — 50k mallocs, every pointer freed on a *different* thread so the
+/// whole stream rides the owner-shard remote-free queues. One body shared
+/// by the Criterion micro-bench and `halo bench` so the concurrent hot
+/// path's regressions land in `BENCH_profile.json` like the rest.
+pub fn sharded_alloc_mt() -> u64 {
+    use halo_mem::{GroupSelector, SelectorTable, ShardedHaloAllocator};
+    use halo_vm::SyncVmAllocator as _;
+    const PRODUCERS: usize = 2;
+    const MALLOCS_PER_PRODUCER: u64 = 25_000;
+    let config = GroupAllocConfig {
+        chunk_size: 65_536,
+        slab_size: 65_536 * 64,
+        ..GroupAllocConfig::default()
+    };
+    let table = SelectorTable::new(
+        vec![
+            GroupSelector { group: 0, conjunctions: vec![vec![0]] },
+            GroupSelector { group: 1, conjunctions: vec![vec![1]] },
+        ],
+        2,
+    );
+    let site = halo_vm::CallSite::new(halo_vm::FuncId(0), 0);
+    let alloc = ShardedHaloAllocator::new(4, config, table, Vec::new());
+    std::thread::scope(|scope| {
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..PRODUCERS).map(|_| std::sync::mpsc::channel::<u64>()).unzip();
+        for (p, tx) in senders.into_iter().enumerate() {
+            let alloc = &alloc;
+            scope.spawn(move || {
+                let mut mem = halo_vm::Memory::new();
+                let mut gs = halo_vm::GroupState::new(2);
+                gs.set((p % 2) as u16);
+                let mut rng = halo_vm::SplitMix64::new(p as u64 + 29);
+                for _ in 0..MALLOCS_PER_PRODUCER {
+                    let size = 16 + rng.next_below(12) * 16;
+                    tx.send(alloc.malloc(size, site, &gs, &mut mem)).expect("consumer alive");
+                }
+            });
+        }
+        for rx in receivers {
+            let alloc = &alloc;
+            scope.spawn(move || {
+                let mut mem = halo_vm::Memory::new();
+                for ptr in rx {
+                    alloc.free(ptr, &mut mem);
+                }
+            });
+        }
+    });
+    let mut mem = halo_vm::Memory::new();
+    alloc.drain_remote(&mut mem);
+    let stats = alloc.sharded_stats();
+    assert_eq!(
+        stats.alloc.grouped_allocs + stats.alloc.fallback_allocs,
+        PRODUCERS as u64 * MALLOCS_PER_PRODUCER
+    );
+    stats.alloc.grouped_allocs + stats.remote_frees + stats.remote_drained
 }
 
 /// Straightforward reference implementation of the §4.1 affinity queue —

@@ -86,6 +86,12 @@ fn make_hds(ctx: &BackendCtx) -> Box<dyn BackendAllocator> {
     Box::new(HaloGroupAllocator::with_site_groups(ctx.config.halo.alloc, hds.site_map.clone()))
 }
 
+fn make_halo_sharded(ctx: &BackendCtx) -> Box<dyn BackendAllocator> {
+    let halo = ctx.halo.expect("halo-sharded backend needs the configured pipeline");
+    let optimised = ctx.optimised.expect("halo-sharded backend needs the pipeline artefacts");
+    Box::new(halo.make_sharded_allocator(optimised, ctx.config.shards))
+}
+
 fn make_random(ctx: &BackendCtx) -> Box<dyn BackendAllocator> {
     Box::new(RandomGroupAllocator::new(ctx.config.measure.seed ^ 0x5eed))
 }
@@ -120,6 +126,14 @@ pub const BACKENDS: &[BackendSpec] = &[
         optional: false,
         needs_pipeline: true,
         make: make_hds,
+    },
+    BackendSpec {
+        id: "halo-sharded",
+        label: "HALO (sharded)",
+        rewritten: true,
+        optional: true,
+        needs_pipeline: true,
+        make: make_halo_sharded,
     },
     BackendSpec {
         id: "random",
@@ -167,8 +181,10 @@ mod tests {
         let enabled: Vec<&str> =
             BACKENDS.iter().filter(|s| s.enabled(&config)).map(|s| s.id).collect();
         assert_eq!(enabled, ["baseline", "halo", "hds"]);
-        let with_extras =
-            EvalConfig { extras: vec!["random", "ptmalloc"], ..EvalConfig::default() };
+        let with_extras = EvalConfig {
+            extras: vec!["halo-sharded", "random", "ptmalloc"],
+            ..EvalConfig::default()
+        };
         assert!(BACKENDS.iter().all(|s| s.enabled(&with_extras)));
     }
 

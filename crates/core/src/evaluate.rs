@@ -12,7 +12,7 @@ use halo_profile::TraceCollector;
 use halo_vm::{Engine, Program};
 
 /// What to run and with which knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EvalConfig {
     /// HALO pipeline configuration.
     pub halo: HaloConfig,
@@ -21,8 +21,24 @@ pub struct EvalConfig {
     /// Measurement-run configuration (the *ref* seed lives here).
     pub measure: MeasureConfig,
     /// Optional backends to measure in addition to the always-on ones —
-    /// registry ids, e.g. `"random"` (Fig. 15) and `"ptmalloc"` (§5.1).
+    /// registry ids, e.g. `"random"` (Fig. 15), `"ptmalloc"` (§5.1), and
+    /// `"halo-sharded"` (the thread-safe sharded runtime).
     pub extras: Vec<&'static str>,
+    /// Shard count for the `halo-sharded` backend (`--shards` on the
+    /// CLI). Ignored unless that backend is enabled.
+    pub shards: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            halo: HaloConfig::default(),
+            hds: HdsConfig::default(),
+            measure: MeasureConfig::default(),
+            extras: Vec::new(),
+            shards: 4,
+        }
+    }
 }
 
 /// One configuration's measurement plus technique-specific extras.
@@ -59,7 +75,7 @@ impl EvalResult {
     }
 
     fn expect_backend(&self, id: &str) -> &ConfigResult {
-        self.get(id).unwrap_or_else(|| panic!("always-on backend '{id}' was measured"))
+        self.get(id).unwrap_or_else(|| panic!("always-on backend '{id}' was not measured"))
     }
 
     /// Unmodified binary under the jemalloc-style baseline.
@@ -295,6 +311,88 @@ mod tests {
             result.baseline().measurement.stats.l1_misses,
             pt.measurement.stats.l1_misses
         );
+    }
+
+    #[test]
+    fn sharded_backend_measures_like_halo_on_single_threaded_programs() {
+        // A program that never switches logical threads drives every
+        // request through shard 0, whose address layout is identical to
+        // the plain allocator's — so the sharded backend's measurement
+        // must reproduce the halo backend's exactly, at any shard count.
+        let p = workload();
+        let cfg = EvalConfig {
+            halo: HaloConfig {
+                grouping: halo_graph::GroupingParams { min_weight: 2, ..Default::default() },
+                ..Default::default()
+            },
+            extras: vec!["halo-sharded"],
+            shards: 4,
+            ..Default::default()
+        };
+        let result = evaluate(&p, "fig2", 1, &cfg).expect("evaluation runs");
+        let sharded = result.get("halo-sharded").expect("requested backend");
+        let halo = result.halo();
+        assert_eq!(sharded.measurement.stats.l1_misses, halo.measurement.stats.l1_misses);
+        assert_eq!(sharded.measurement.cycles, halo.measurement.cycles);
+        assert_eq!(sharded.frag, halo.frag, "one active shard: aggregate equals plain");
+        assert_eq!(sharded.alloc_stats, halo.alloc_stats);
+    }
+
+    /// A cross-thread malloc/free stream: logical thread 1 builds a list,
+    /// logical thread 2 frees every node — under a sharded backend each
+    /// free lands on a foreign shard's remote queue.
+    fn cross_thread_workload() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main");
+        m.thread_switch(1);
+        m.imm(r(9), 0);
+        m.imm(r(10), 0);
+        m.imm(r(11), 64);
+        m.imm(r(0), 24);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, r(10), r(11), done);
+        m.malloc(r(0), r(1));
+        m.store(r(9), r(1), 0, Width::W8);
+        m.mov(r(9), r(1));
+        m.add_imm(r(10), r(10), 1);
+        m.jump(top);
+        m.bind(done);
+        m.thread_switch(2);
+        m.imm(r(13), 0); // explicit null for the list-walk terminator
+        let ftop = m.label();
+        let fdone = m.label();
+        m.bind(ftop);
+        m.branch(Cond::Eq, r(9), r(13), fdone);
+        m.load(r(2), r(9), 0, Width::W8);
+        m.free(r(9));
+        m.mov(r(9), r(2));
+        m.jump(ftop);
+        m.bind(fdone);
+        m.ret(None);
+        let main = m.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn sharded_backend_reports_exact_free_counts_on_cross_thread_streams() {
+        // The program frees everything it allocates, but on a different
+        // logical thread: the sharded allocator defers those frees to the
+        // owners' remote queues, and the engine's end-of-run flush
+        // (`run_finished` → `drain_remote`) must apply them before the
+        // evaluation snapshots the counters — otherwise the backend
+        // appears to leak.
+        let p = cross_thread_workload();
+        let cfg = EvalConfig { extras: vec!["halo-sharded"], shards: 2, ..EvalConfig::default() };
+        let result = evaluate(&p, "mt", 1, &cfg).expect("evaluation runs");
+        let s = result.get("halo-sharded").expect("requested").alloc_stats.expect("grouped");
+        assert_eq!(
+            s.grouped_allocs + s.fallback_allocs,
+            s.grouped_frees + s.fallback_frees,
+            "every free (including remote-queued ones) is applied before reporting: {s:?}"
+        );
+        assert_eq!(s.grouped_allocs + s.fallback_allocs, 64);
     }
 
     #[test]

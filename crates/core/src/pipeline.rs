@@ -5,7 +5,9 @@
 use crate::measure::{measure, MeasureConfig};
 use halo_graph::{group, Granularity, Group, GroupPlan, GroupingParams, ReusePolicyChoice};
 use halo_ident::{contexts_from_profile, identify, Identification};
-use halo_mem::{GroupAllocConfig, HaloGroupAllocator, ReusePolicy, SizeClassAllocator};
+use halo_mem::{
+    GroupAllocConfig, HaloGroupAllocator, ReusePolicy, ShardedHaloAllocator, SizeClassAllocator,
+};
 use halo_profile::{Profile, ProfileConfig, Profiler};
 use halo_rewrite::{instrument, RewriteReport};
 use halo_vm::{Engine, EngineLimits, Program, VmError, PAGE_SIZE};
@@ -380,6 +382,27 @@ impl Halo {
     /// lifted to the chunk size: the §6 fallback exists precisely to lay
     /// out objects the object-granularity cap excludes.
     pub fn make_allocator(&self, optimised: &Optimised) -> HaloGroupAllocator {
+        let (alloc, overrides) = self.alloc_plan(optimised);
+        HaloGroupAllocator::with_group_configs(alloc, optimised.ident.table.clone(), overrides)
+    }
+
+    /// Synthesise the thread-safe sharded runtime for an optimisation
+    /// result: `shards` complete group allocators (each honouring the same
+    /// per-group plans as [`Halo::make_allocator`]) behind thread-keyed
+    /// shard selection and remote-free queues. With `shards == 1` it is
+    /// the plain allocator pointer for pointer.
+    pub fn make_sharded_allocator(
+        &self,
+        optimised: &Optimised,
+        shards: usize,
+    ) -> ShardedHaloAllocator {
+        let (alloc, overrides) = self.alloc_plan(optimised);
+        ShardedHaloAllocator::new(shards, alloc, optimised.ident.table.clone(), overrides)
+    }
+
+    /// The global allocator configuration plus one per-group override per
+    /// plan — the translation both allocator constructors share.
+    fn alloc_plan(&self, optimised: &Optimised) -> (GroupAllocConfig, Vec<GroupAllocConfig>) {
         let mut alloc = self.config.alloc;
         if optimised.granularity == Granularity::Page {
             alloc.max_grouped_size = alloc.max_grouped_size.max(alloc.chunk_size);
@@ -394,7 +417,7 @@ impl Halo {
                 ..alloc
             })
             .collect();
-        HaloGroupAllocator::with_group_configs(alloc, optimised.ident.table.clone(), overrides)
+        (alloc, overrides)
     }
 }
 

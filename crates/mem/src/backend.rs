@@ -10,7 +10,7 @@
 use crate::group_alloc::{FragReport, GroupAllocStats};
 use crate::{
     BoundaryTagAllocator, BumpAllocator, HaloGroupAllocator, RandomGroupAllocator,
-    SizeClassAllocator,
+    ShardedHaloAllocator, SizeClassAllocator,
 };
 use halo_vm::VmAllocator;
 
@@ -35,6 +35,16 @@ impl BackendAllocator for BumpAllocator {}
 impl BackendAllocator for RandomGroupAllocator {}
 
 impl<F: VmAllocator> BackendAllocator for HaloGroupAllocator<F> {
+    fn backend_frag(&self) -> Option<FragReport> {
+        Some(self.frag_report())
+    }
+
+    fn backend_stats(&self) -> Option<GroupAllocStats> {
+        Some(self.stats())
+    }
+}
+
+impl BackendAllocator for ShardedHaloAllocator {
     fn backend_frag(&self) -> Option<FragReport> {
         Some(self.frag_report())
     }

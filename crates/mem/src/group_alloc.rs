@@ -260,6 +260,22 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
         Self::build(config, selectors, Vec::new(), fallback)
     }
 
+    /// [`Self::with_group_configs`] with an explicit fallback — the shape
+    /// [`crate::ShardedHaloAllocator`] needs: per-shard plans *and* a
+    /// per-shard fallback rooted at a shard-private base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::with_group_configs`].
+    pub fn with_group_configs_and_fallback(
+        config: GroupAllocConfig,
+        selectors: SelectorTable,
+        overrides: Vec<GroupAllocConfig>,
+        fallback: F,
+    ) -> Self {
+        Self::build(config, selectors, overrides, fallback)
+    }
+
     fn build(
         config: GroupAllocConfig,
         selectors: SelectorTable,
@@ -511,8 +527,14 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
             owner: group,
         });
         // Each group keeps at most its own spare-chunk budget in the pool;
-        // the oldest excess donation is purged back to the OS.
-        while self.spare.iter().filter(|s| s.owner == group).count() > cfg.max_spare_chunks {
+        // the oldest excess donation is purged back to the OS. Under the
+        // "always reuse" budget (usize::MAX) no donation can ever exceed
+        // it, so skip the ownership scan entirely — the pool is unbounded
+        // precisely in that configuration, and an O(pool) count per
+        // emptied chunk would make teardown quadratic.
+        while cfg.max_spare_chunks != usize::MAX
+            && self.spare.iter().filter(|s| s.owner == group).count() > cfg.max_spare_chunks
+        {
             let i = self.spare.iter().position(|s| s.owner == group).expect("counted above");
             let s = self.spare.remove(i);
             let dirty = Self::dirty_bytes(s.base, s.high_water);

@@ -19,6 +19,10 @@
 //!   demand-paged slabs, with bump allocation inside chunks, a
 //!   `live_regions` count in the chunk bookkeeping, and spare-chunk
 //!   reuse/purging. Non-grouped requests forward to a fallback allocator.
+//! * [`ShardedHaloAllocator`] — the thread-safe sharded runtime: N
+//!   complete group allocators at disjoint address strides, thread-keyed
+//!   shard selection, and mimalloc-style owner-shard remote-free queues,
+//!   so the grouped layout survives a multi-threaded malloc/free stream.
 //! * [`rt`] — a *native* (non-simulated) group-pool runtime implementing
 //!   [`std::alloc::GlobalAlloc`], demonstrating the synthesised-allocator
 //!   half of HALO on real memory.
@@ -34,6 +38,7 @@ mod group_alloc;
 mod random_group;
 pub mod rt;
 mod selector;
+mod sharded;
 mod size_class;
 mod stats;
 mod vmm;
@@ -46,6 +51,7 @@ pub use group_alloc::{FragReport, GroupAllocConfig, GroupAllocStats, HaloGroupAl
 pub use halo_graph::ReusePolicy;
 pub use random_group::RandomGroupAllocator;
 pub use selector::{GroupSelector, SelectorTable};
+pub use sharded::{ShardedAllocStats, ShardedHaloAllocator, GROUP_SHARD_STRIDE};
 pub use size_class::{SizeClassAllocator, SIZE_CLASSES, SMALL_MAX};
 pub use stats::AllocatorStats;
 pub use vmm::Vmm;

@@ -1,0 +1,734 @@
+//! A thread-safe, sharded front for the HALO group allocator.
+//!
+//! The paper's specialised allocator ([`HaloGroupAllocator`]) is a
+//! single-arena design: correct under one thread, a bottleneck (and a data
+//! race) under many. Production allocators solve this with per-thread
+//! arenas (jemalloc) or per-heap sharding with remote-free queues
+//! (mimalloc); [`ShardedHaloAllocator`] brings that architecture to the
+//! grouped allocator so HALO's layout optimisation survives a
+//! multi-threaded malloc/free stream:
+//!
+//! * **N shards**, each a complete [`HaloGroupAllocator`] — same selector
+//!   table, same per-group [`GroupAllocConfig`] overrides — behind its own
+//!   mutex, rooted at a shard-private slice of the address space
+//!   ([`GROUP_SHARD_STRIDE`] bytes of group slabs plus a private fallback
+//!   range). Any pointer's owning shard is therefore pure address
+//!   arithmetic, no lock required.
+//! * **Thread-keyed shard selection.** Each OS thread is assigned a shard
+//!   slot round-robin on first use (the moral equivalent of a TLS arena
+//!   pointer; see the `tracking-allocator` thread-token pattern), and the
+//!   simulated program's logical thread — delivered through
+//!   [`halo_vm::VmAllocator::thread_switched`] — offsets it, which is how a
+//!   single-threaded [`halo_vm::Engine`] drives a genuinely multi-threaded
+//!   allocation stream deterministically.
+//! * **Owner-shard remote-free queues.** `free(p)` from a thread mapped to
+//!   a different shard than `p`'s owner never takes the owner's allocator
+//!   lock (which its owning thread may be holding for a long grouped
+//!   operation) and never takes any global lock: the pointer is pushed
+//!   onto the owner's dedicated remote queue (its own small mutex), and
+//!   the owner applies the queued frees the next time it enters its shard
+//!   — mimalloc's deferred-free protocol.
+//!
+//! Aggregation (`frag_report`, `group_frag_reports`, `stats`) sums the
+//! per-shard snapshots; DESIGN.md §10 explains why that preserves the
+//! Table 1 peak-snapshot semantics per shard (each shard is an
+//! independent arena, exactly as jemalloc's per-thread arenas are counted
+//! in practice).
+
+use crate::group_alloc::{FragReport, GroupAllocConfig, GroupAllocStats};
+use crate::selector::SelectorTable;
+use crate::stats::AllocatorStats;
+use crate::{HaloGroupAllocator, SizeClassAllocator};
+use halo_vm::{CallSite, GroupState, Memory, SyncVmAllocator, VmAllocator};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::thread::ThreadId;
+
+/// Group-slab address space per shard. Matches the [`HaloGroupAllocator`]
+/// reservation span exactly, so shard group regions tile with no gaps:
+/// `owner = (ptr - base) / GROUP_SHARD_STRIDE`.
+pub const GROUP_SHARD_STRIDE: u64 = 1 << 38;
+
+/// Fallback address space per shard (16 GiB — orders of magnitude above
+/// any simulated workload; exceeding it is a loud `Vmm` panic, not
+/// aliasing).
+const FALLBACK_SHARD_STRIDE: u64 = 1 << 34;
+
+/// Process-unique ids so the per-thread shard-slot cache can tell
+/// allocator instances apart.
+static NEXT_ALLOC_ID: AtomicUsize = AtomicUsize::new(0);
+
+#[derive(Debug, Clone, Copy)]
+struct ThreadState {
+    /// Round-robin slot assigned to the OS thread on first use.
+    slot: usize,
+    /// Logical (simulated) thread last announced via `thread_switched`.
+    logical: u16,
+}
+
+thread_local! {
+    /// Last-used (allocator id, thread state): makes shard selection
+    /// lock-free in the steady state. `usize::MAX` never collides with a
+    /// real allocator id.
+    static THREAD_CACHE: Cell<(usize, ThreadState)> =
+        const { Cell::new((usize::MAX, ThreadState { slot: 0, logical: 0 })) };
+}
+
+#[derive(Debug, Default)]
+struct ThreadRegistry {
+    slots: HashMap<ThreadId, ThreadState>,
+    next_slot: usize,
+}
+
+#[derive(Debug)]
+struct Shard {
+    inner: Mutex<HaloGroupAllocator<SizeClassAllocator>>,
+    /// Pointers freed by threads mapped to other shards, waiting for this
+    /// shard to apply them ("remote frees").
+    remote: Mutex<Vec<u64>>,
+    /// Lock-free view of the remote queue's length, written while the
+    /// queue lock is held: lets the hot path skip the queue mutex
+    /// entirely when nothing is pending (mimalloc's deferred-free flag).
+    /// A stale zero read merely defers draining to the next shard entry.
+    pending: AtomicUsize,
+}
+
+/// Cross-shard event counters, alongside the summed per-shard
+/// [`GroupAllocStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardedAllocStats {
+    /// Per-shard group-allocator counters, summed.
+    pub alloc: GroupAllocStats,
+    /// Frees enqueued onto a foreign shard's remote queue.
+    pub remote_frees: u64,
+    /// Queued remote frees applied by their owner shard so far.
+    pub remote_drained: u64,
+}
+
+/// The thread-safe sharded HALO runtime (see module docs).
+#[derive(Debug)]
+pub struct ShardedHaloAllocator {
+    id: usize,
+    /// The shard-0 configuration (shard `i` runs the same knobs at base
+    /// `base + i * GROUP_SHARD_STRIDE`).
+    config: GroupAllocConfig,
+    fallback_base: u64,
+    shards: Vec<Shard>,
+    threads: Mutex<ThreadRegistry>,
+    remote_frees: AtomicU64,
+    remote_drained: AtomicU64,
+}
+
+impl ShardedHaloAllocator {
+    /// Create an allocator with `shards` shards, each a full
+    /// [`HaloGroupAllocator`] with the given selector table and per-group
+    /// configuration overrides (the translated [`halo_graph::GroupPlan`]s;
+    /// empty for all-default groups).
+    ///
+    /// With `shards == 1` the allocator degenerates to exactly the plain
+    /// single-arena allocator: same bases, same placement, pointer for
+    /// pointer (the differential identity the property tests pin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, if the per-shard fallback ranges would
+    /// reach `config.base` (with the default base that allows up to 24
+    /// shards), or under the same override conditions as
+    /// [`HaloGroupAllocator::with_group_configs`].
+    pub fn new(
+        shards: usize,
+        config: GroupAllocConfig,
+        selectors: SelectorTable,
+        overrides: Vec<GroupAllocConfig>,
+    ) -> Self {
+        assert!(shards >= 1, "a sharded allocator needs at least one shard");
+        let fallback_base = SizeClassAllocator::DEFAULT_BASE;
+        assert!(
+            shards <= Self::max_shards(&config),
+            "address layout: {shards} shards of fallback space would reach the group base \
+             {:#x} (at most {} fit); lower the shard count or raise the base",
+            config.base,
+            Self::max_shards(&config)
+        );
+        let shards = (0..shards)
+            .map(|i| {
+                let base = config.base + i as u64 * GROUP_SHARD_STRIDE;
+                let shard_cfg = GroupAllocConfig { base, ..config };
+                let shard_overrides =
+                    overrides.iter().map(|o| GroupAllocConfig { base, ..*o }).collect();
+                let fallback = SizeClassAllocator::with_base_span(
+                    fallback_base + i as u64 * FALLBACK_SHARD_STRIDE,
+                    FALLBACK_SHARD_STRIDE,
+                );
+                Shard {
+                    inner: Mutex::new(HaloGroupAllocator::with_group_configs_and_fallback(
+                        shard_cfg,
+                        selectors.clone(),
+                        shard_overrides,
+                        fallback,
+                    )),
+                    remote: Mutex::new(Vec::new()),
+                    pending: AtomicUsize::new(0),
+                }
+            })
+            .collect();
+        ShardedHaloAllocator {
+            id: NEXT_ALLOC_ID.fetch_add(1, Ordering::Relaxed),
+            config,
+            fallback_base,
+            shards,
+            threads: Mutex::new(ThreadRegistry::default()),
+            remote_frees: AtomicU64::new(0),
+            remote_drained: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Largest shard count the address layout supports for `config`: the
+    /// per-shard fallback tiles must all fit below the group base.
+    /// Callers validating user input (the CLI's `--shards`) check this
+    /// bound up front; [`Self::new`] asserts it.
+    pub fn max_shards(config: &GroupAllocConfig) -> usize {
+        (config.base.saturating_sub(SizeClassAllocator::DEFAULT_BASE) / FALLBACK_SHARD_STRIDE)
+            as usize
+    }
+
+    /// The calling thread's state, consulting the registry only on a
+    /// cache miss (first touch, or after using a different allocator).
+    fn thread_state(&self) -> ThreadState {
+        THREAD_CACHE.with(|cache| {
+            let (id, state) = cache.get();
+            if id == self.id {
+                return state;
+            }
+            let state = self.registry_state(None);
+            cache.set((self.id, state));
+            state
+        })
+    }
+
+    /// Look up (or create) the calling thread's registry entry, optionally
+    /// recording a logical-thread switch.
+    fn registry_state(&self, set_logical: Option<u16>) -> ThreadState {
+        let tid = std::thread::current().id();
+        let mut reg = self.threads.lock().expect("thread registry lock");
+        let next = reg.next_slot;
+        let known = reg.slots.len();
+        let entry = reg.slots.entry(tid).or_insert(ThreadState { slot: next, logical: 0 });
+        if let Some(logical) = set_logical {
+            entry.logical = logical;
+        }
+        let state = *entry;
+        if reg.slots.len() > known {
+            reg.next_slot = next + 1;
+        }
+        state
+    }
+
+    fn set_logical(&self, logical: u16) {
+        let state = self.registry_state(Some(logical));
+        THREAD_CACHE.with(|cache| cache.set((self.id, state)));
+    }
+
+    /// The shard serving the calling (OS, logical) thread pair.
+    fn current_shard(&self) -> usize {
+        let state = self.thread_state();
+        (state.slot + state.logical as usize) % self.shards.len()
+    }
+
+    /// The shard owning `ptr`, by address arithmetic alone.
+    fn owner_of(&self, ptr: u64) -> usize {
+        let n = self.shards.len() as u64;
+        if ptr >= self.config.base && ptr < self.config.base + n * GROUP_SHARD_STRIDE {
+            ((ptr - self.config.base) / GROUP_SHARD_STRIDE) as usize
+        } else if ptr >= self.fallback_base && ptr < self.fallback_base + n * FALLBACK_SHARD_STRIDE
+        {
+            ((ptr - self.fallback_base) / FALLBACK_SHARD_STRIDE) as usize
+        } else {
+            panic!("pointer {ptr:#x} belongs to no shard of this allocator")
+        }
+    }
+
+    /// Take shard `s`'s queued remote frees. The hot path (`force` off)
+    /// reads the lock-free pending flag first and skips the queue mutex
+    /// when it shows empty; `drain_remote` forces the lock so the
+    /// join-time flush is authoritative even against a racing push.
+    fn take_remote(&self, s: usize, force: bool) -> Vec<u64> {
+        let shard = &self.shards[s];
+        if !force && shard.pending.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut queue = shard.remote.lock().expect("remote queue");
+        shard.pending.store(0, Ordering::Release);
+        std::mem::take(&mut *queue)
+    }
+
+    /// Enter shard `s`: apply its queued remote frees (the owner services
+    /// its queue on every entry, so queues drain as long as the shard
+    /// stays active), then return the held allocator lock.
+    ///
+    /// Lock discipline: the remote queue's mutex and the allocator's mutex
+    /// are taken strictly one after the other, never nested, and no
+    /// operation ever holds two shards' allocator locks — so there is no
+    /// ordering to violate.
+    fn service_shard(
+        &self,
+        s: usize,
+        mem: &mut Memory,
+        force: bool,
+    ) -> MutexGuard<'_, HaloGroupAllocator<SizeClassAllocator>> {
+        let pending = self.take_remote(s, force);
+        let mut inner = self.shards[s].inner.lock().expect("shard allocator lock");
+        if !pending.is_empty() {
+            self.remote_drained.fetch_add(pending.len() as u64, Ordering::Relaxed);
+            for ptr in pending {
+                inner.free(ptr, mem);
+            }
+        }
+        inner
+    }
+
+    fn malloc_impl(&self, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory) -> u64 {
+        let s = self.current_shard();
+        let mut inner = self.service_shard(s, mem, false);
+        inner.malloc(size, site, gs, mem)
+    }
+
+    fn free_impl(&self, ptr: u64, mem: &mut Memory) {
+        let owner = self.owner_of(ptr);
+        if owner == self.current_shard() {
+            let mut inner = self.service_shard(owner, mem, false);
+            inner.free(ptr, mem);
+        } else {
+            // Count before queueing so a concurrent drain can never
+            // observe more frees applied than were ever queued.
+            self.remote_frees.fetch_add(1, Ordering::Relaxed);
+            let shard = &self.shards[owner];
+            let mut queue = shard.remote.lock().expect("remote queue");
+            queue.push(ptr);
+            shard.pending.store(queue.len(), Ordering::Release);
+        }
+    }
+
+    fn realloc_impl(
+        &self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        // The whole operation runs on the owning shard (which knows the
+        // old region's size); ownership of the object stays with its
+        // original shard even when a foreign thread grows it.
+        let owner = self.owner_of(ptr);
+        let mut inner = self.service_shard(owner, mem, false);
+        inner.realloc(ptr, size, site, gs, mem)
+    }
+
+    /// Apply every queued remote free on every shard — the join-time
+    /// flush (a shard left idle forever would otherwise never service its
+    /// queue). [`halo_vm::Engine`] invokes this automatically when an
+    /// execution completes (via `run_finished`), so measured runs report
+    /// exact free counters; call it directly after joining native driver
+    /// threads.
+    pub fn drain_remote(&self, mem: &mut Memory) {
+        for s in 0..self.shards.len() {
+            drop(self.service_shard(s, mem, true));
+        }
+    }
+
+    /// Remote frees queued and not yet applied, across all shards.
+    pub fn remote_pending(&self) -> usize {
+        self.shards.iter().map(|s| s.remote.lock().expect("remote queue").len()).sum()
+    }
+
+    /// Summed per-shard event counters plus the remote-free counters.
+    pub fn sharded_stats(&self) -> ShardedAllocStats {
+        // Load drained before queued: a queue+drain racing between the
+        // two loads then inflates `remote_frees`, never `remote_drained`,
+        // so a snapshot can never show more frees applied than queued.
+        let remote_drained = self.remote_drained.load(Ordering::Acquire);
+        let remote_frees = self.remote_frees.load(Ordering::Acquire);
+        ShardedAllocStats { alloc: self.stats(), remote_frees, remote_drained }
+    }
+
+    /// Per-shard group-allocator counters, summed across shards.
+    pub fn stats(&self) -> GroupAllocStats {
+        let mut total = GroupAllocStats::default();
+        for shard in &self.shards {
+            // Full destructuring (no `..`): a field added to
+            // GroupAllocStats must show up here or this stops compiling —
+            // a silently-unsummed counter would poison every aggregate.
+            let GroupAllocStats {
+                grouped_allocs,
+                fallback_allocs,
+                grouped_frees,
+                fallback_frees,
+                chunks_created,
+                chunks_reused,
+                chunks_purged,
+            } = shard.inner.lock().expect("shard allocator lock").stats();
+            total.grouped_allocs += grouped_allocs;
+            total.fallback_allocs += fallback_allocs;
+            total.grouped_frees += grouped_frees;
+            total.fallback_frees += fallback_frees;
+            total.chunks_created += chunks_created;
+            total.chunks_reused += chunks_reused;
+            total.chunks_purged += chunks_purged;
+        }
+        total
+    }
+
+    /// Aggregate Table 1 snapshot: the field-wise sum of each shard's own
+    /// peak snapshot. Each shard is an independent arena, so its snapshot
+    /// keeps the paper's semantics exactly; the sum is the standard
+    /// per-arena accounting (see DESIGN.md §10).
+    pub fn frag_report(&self) -> FragReport {
+        let mut total = FragReport::default();
+        for shard in &self.shards {
+            let r = shard.inner.lock().expect("shard allocator lock").frag_report();
+            Self::accumulate_frag(&mut total, r);
+        }
+        total
+    }
+
+    /// Per-group fragmentation snapshots summed across shards (group `g`'s
+    /// report aggregates every shard's group-`g` pool).
+    pub fn group_frag_reports(&self) -> Vec<FragReport> {
+        let mut totals: Vec<FragReport> = Vec::new();
+        for shard in &self.shards {
+            let reports = shard.inner.lock().expect("shard allocator lock").group_frag_reports();
+            if reports.len() > totals.len() {
+                totals.resize(reports.len(), FragReport::default());
+            }
+            for (total, r) in totals.iter_mut().zip(reports) {
+                Self::accumulate_frag(total, r);
+            }
+        }
+        totals
+    }
+
+    /// Field-wise snapshot sum, fully destructured like [`Self::stats`]:
+    /// a field added to [`FragReport`] must be accounted for here or this
+    /// stops compiling.
+    fn accumulate_frag(total: &mut FragReport, r: FragReport) {
+        let FragReport { peak_resident_bytes, live_at_peak_bytes } = r;
+        total.peak_resident_bytes += peak_resident_bytes;
+        total.live_at_peak_bytes += live_at_peak_bytes;
+    }
+
+    /// Bytes of grouped data currently live, across all shards. Remote
+    /// frees still queued count as live — they have not been applied yet.
+    pub fn live_grouped_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().expect("shard allocator lock").live_grouped_bytes())
+            .sum()
+    }
+
+    /// Resident bytes attributed to group chunks, across all shards.
+    pub fn resident_grouped_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().expect("shard allocator lock").resident_grouped_bytes())
+            .sum()
+    }
+
+    /// Whether `ptr` lies in any shard's group slabs.
+    pub fn is_group_allocated(&self, ptr: u64) -> bool {
+        let n = self.shards.len() as u64;
+        if !(self.config.base..self.config.base + n * GROUP_SHARD_STRIDE).contains(&ptr) {
+            return false;
+        }
+        let owner = ((ptr - self.config.base) / GROUP_SHARD_STRIDE) as usize;
+        self.shards[owner].inner.lock().expect("shard allocator lock").is_group_allocated(ptr)
+    }
+}
+
+impl SyncVmAllocator for ShardedHaloAllocator {
+    fn malloc(&self, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory) -> u64 {
+        self.malloc_impl(size, site, gs, mem)
+    }
+
+    fn free(&self, ptr: u64, mem: &mut Memory) {
+        self.free_impl(ptr, mem)
+    }
+
+    fn realloc(
+        &self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        self.realloc_impl(ptr, size, site, gs, mem)
+    }
+
+    fn thread_switched(&self, thread: u16) {
+        self.set_logical(thread)
+    }
+
+    fn run_finished(&self, mem: &mut Memory) {
+        self.drain_remote(mem);
+        // Process-exit semantics: the finished program's last
+        // ThreadSwitch must not leak into a later run on this OS thread
+        // (placement would silently differ from a fresh first run).
+        self.set_logical(0);
+    }
+}
+
+/// The exclusive-access face, so the sharded runtime plugs into every
+/// existing single-threaded harness (`measure`, the backend registry)
+/// unchanged.
+impl VmAllocator for ShardedHaloAllocator {
+    fn malloc(&mut self, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory) -> u64 {
+        self.malloc_impl(size, site, gs, mem)
+    }
+
+    fn free(&mut self, ptr: u64, mem: &mut Memory) {
+        self.free_impl(ptr, mem)
+    }
+
+    fn realloc(
+        &mut self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        self.realloc_impl(ptr, size, site, gs, mem)
+    }
+
+    fn thread_switched(&mut self, thread: u16) {
+        self.set_logical(thread)
+    }
+
+    fn run_finished(&mut self, mem: &mut Memory) {
+        SyncVmAllocator::run_finished(&*self, mem)
+    }
+}
+
+impl AllocatorStats for ShardedHaloAllocator {
+    fn live_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.inner.lock().expect("shard allocator lock").live_bytes()).sum()
+    }
+
+    fn live_objects(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().expect("shard allocator lock").live_objects())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::GroupSelector;
+
+    fn site() -> CallSite {
+        CallSite::new(halo_vm::FuncId(0), 0)
+    }
+
+    fn two_group_table() -> SelectorTable {
+        SelectorTable::new(
+            vec![
+                GroupSelector { group: 0, conjunctions: vec![vec![0]] },
+                GroupSelector { group: 1, conjunctions: vec![vec![1]] },
+            ],
+            2,
+        )
+    }
+
+    fn small_config() -> GroupAllocConfig {
+        GroupAllocConfig {
+            chunk_size: 8192,
+            max_spare_chunks: 1,
+            max_grouped_size: 4096,
+            slab_size: 8192 * 8,
+            ..GroupAllocConfig::default()
+        }
+    }
+
+    fn sharded(n: usize) -> (ShardedHaloAllocator, GroupState, Memory) {
+        (
+            ShardedHaloAllocator::new(n, small_config(), two_group_table(), Vec::new()),
+            GroupState::new(2),
+            Memory::new(),
+        )
+    }
+
+    #[test]
+    fn logical_threads_land_on_distinct_shards() {
+        let (a, mut gs, mut mem) = sharded(2);
+        gs.set(0);
+        SyncVmAllocator::thread_switched(&a, 0);
+        let p0 = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        SyncVmAllocator::thread_switched(&a, 1);
+        let p1 = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        assert!(a.is_group_allocated(p0) && a.is_group_allocated(p1));
+        assert_ne!(a.owner_of(p0), a.owner_of(p1), "thread key picks the shard");
+        // Same logical thread → same shard, contiguous bumping resumes.
+        let p1b = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        assert_eq!(p1b, p1 + 64);
+    }
+
+    #[test]
+    fn foreign_free_queues_then_owner_drains() {
+        let (a, mut gs, mut mem) = sharded(2);
+        gs.set(0);
+        SyncVmAllocator::thread_switched(&a, 0);
+        let p = SyncVmAllocator::malloc(&a, 128, site(), &gs, &mut mem);
+        let live_before = a.live_grouped_bytes();
+        // A different logical thread frees the pointer: deferred, not lost.
+        SyncVmAllocator::thread_switched(&a, 1);
+        SyncVmAllocator::free(&a, p, &mut mem);
+        assert_eq!(a.remote_pending(), 1, "foreign free is queued");
+        assert_eq!(a.live_grouped_bytes(), live_before, "not applied yet");
+        assert_eq!(a.sharded_stats().remote_frees, 1);
+        // The owner re-enters its shard: queue drains before allocating.
+        SyncVmAllocator::thread_switched(&a, 0);
+        let q = SyncVmAllocator::malloc(&a, 128, site(), &gs, &mut mem);
+        assert_eq!(a.remote_pending(), 0);
+        assert_eq!(q, p, "freed region was recycled by the in-place chunk reset");
+        assert_eq!(a.sharded_stats().remote_drained, 1);
+    }
+
+    #[test]
+    fn drain_remote_flushes_idle_shards() {
+        let (a, mut gs, mut mem) = sharded(4);
+        gs.set(1);
+        for t in 0..4u16 {
+            SyncVmAllocator::thread_switched(&a, t);
+            let p = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+            // Free everything from logical thread (t + 1): always foreign.
+            SyncVmAllocator::thread_switched(&a, t + 1);
+            SyncVmAllocator::free(&a, p, &mut mem);
+        }
+        assert_eq!(a.remote_pending(), 4);
+        assert!(a.live_grouped_bytes() > 0);
+        a.drain_remote(&mut mem);
+        assert_eq!(a.remote_pending(), 0);
+        assert_eq!(a.live_grouped_bytes(), 0);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn run_finished_resets_the_logical_thread() {
+        let (a, mut gs, mut mem) = sharded(2);
+        gs.set(0);
+        SyncVmAllocator::thread_switched(&a, 0);
+        let base_run = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        SyncVmAllocator::thread_switched(&a, 1);
+        let foreign = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        SyncVmAllocator::run_finished(&a, &mut mem);
+        // A later run on this OS thread must start from its base shard
+        // again, not wherever the previous program's last ThreadSwitch
+        // left it — otherwise reusing an allocator across engine runs
+        // places differently than a fresh first run.
+        let next_run = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        assert_eq!(a.owner_of(next_run), a.owner_of(base_run));
+        assert_ne!(a.owner_of(next_run), a.owner_of(foreign));
+    }
+
+    #[test]
+    fn fallback_pointers_route_home_too() {
+        let (a, gs, mut mem) = sharded(2);
+        // No group bits set: everything falls back, per shard.
+        SyncVmAllocator::thread_switched(&a, 0);
+        let p0 = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        SyncVmAllocator::thread_switched(&a, 1);
+        let p1 = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        assert!(!a.is_group_allocated(p0) && !a.is_group_allocated(p1));
+        assert_ne!(a.owner_of(p0), a.owner_of(p1), "per-shard fallbacks");
+        // Cross-thread fallback free defers like a grouped one.
+        SyncVmAllocator::free(&a, p0, &mut mem);
+        assert_eq!(a.remote_pending(), 1);
+        a.drain_remote(&mut mem);
+        SyncVmAllocator::thread_switched(&a, 1);
+        SyncVmAllocator::free(&a, p1, &mut mem);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn aggregates_sum_over_shards_and_groups() {
+        let (a, mut gs, mut mem) = sharded(2);
+        for (t, bit) in [(0u16, 0u16), (1, 1)] {
+            SyncVmAllocator::thread_switched(&a, t);
+            gs.reset();
+            gs.set(bit);
+            for _ in 0..16 {
+                let p = SyncVmAllocator::malloc(&a, 256, site(), &gs, &mut mem);
+                mem.write(p, 8, 1);
+            }
+        }
+        let stats = a.stats();
+        assert_eq!(stats.grouped_allocs, 32);
+        let frag = a.frag_report();
+        assert!(frag.peak_resident_bytes >= 2 * 4096, "both shards contribute");
+        let groups = a.group_frag_reports();
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0].peak_resident_bytes > 0 && groups[1].peak_resident_bytes > 0);
+        assert_eq!(
+            groups.iter().map(|r| r.peak_resident_bytes).sum::<u64>(),
+            frag.peak_resident_bytes
+        );
+    }
+
+    #[test]
+    fn os_threads_get_round_robin_slots() {
+        let (a, mut gs, mut mem) = sharded(2);
+        gs.set(0);
+        let here = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        let there = std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut mem = Memory::new();
+                let mut gs = GroupState::new(2);
+                gs.set(0);
+                SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem)
+            })
+            .join()
+            .expect("worker thread")
+        });
+        assert_ne!(a.owner_of(here), a.owner_of(there), "second OS thread gets the next shard");
+    }
+
+    #[test]
+    fn shards_one_matches_the_plain_allocator_addresses() {
+        // The differential identity in miniature (the property test in
+        // tests/property_invariants.rs replays randomized traces).
+        let (a, mut gs, mut mem_a) = sharded(1);
+        let mut plain = HaloGroupAllocator::new(small_config(), two_group_table());
+        let mut mem_b = Memory::new();
+        gs.set(0);
+        for i in 0..32u64 {
+            let size = 16 + (i % 5) * 24;
+            let pa = SyncVmAllocator::malloc(&a, size, site(), &gs, &mut mem_a);
+            let pb = plain.malloc(size, site(), &gs, &mut mem_b);
+            assert_eq!(pa, pb);
+        }
+        assert_eq!(a.stats(), plain.stats());
+        assert_eq!(a.frag_report(), plain.frag_report());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedHaloAllocator::new(0, small_config(), two_group_table(), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "address layout")]
+    fn absurd_shard_counts_trip_the_layout_guard() {
+        let _ = ShardedHaloAllocator::new(64, small_config(), two_group_table(), Vec::new());
+    }
+}

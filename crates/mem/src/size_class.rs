@@ -62,8 +62,16 @@ impl SizeClassAllocator {
     /// Create an allocator rooted at `base` (for composition without
     /// address-range collisions).
     pub fn with_base(base: u64) -> Self {
+        Self::with_base_span(base, 1 << 38)
+    }
+
+    /// Create an allocator rooted at `base` whose reservations must stay
+    /// within `span` bytes. Tiled instances (one fallback per shard of a
+    /// sharded allocator) use this so exceeding the tile is a loud
+    /// reservation panic, never silent aliasing of a neighbour's range.
+    pub fn with_base_span(base: u64, span: u64) -> Self {
         SizeClassAllocator {
-            vmm: Vmm::new(base, 1 << 38),
+            vmm: Vmm::new(base, span),
             free_slots: vec![BTreeSet::new(); SIZE_CLASSES.len()],
             runs: vec![None; SIZE_CLASSES.len()],
             slots: HashMap::new(),

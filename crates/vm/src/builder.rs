@@ -322,6 +322,14 @@ impl FunctionBuilder<'_> {
         self
     }
 
+    /// Mark the following instructions as executing on logical thread
+    /// `thread` (how single-threaded workload models encode a
+    /// multi-threaded malloc/free stream).
+    pub fn thread_switch(&mut self, thread: u16) -> &mut Self {
+        self.emit(Op::ThreadSwitch(thread));
+        self
+    }
+
     /// No-op.
     pub fn nop(&mut self) -> &mut Self {
         self.emit(Op::Nop);

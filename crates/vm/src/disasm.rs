@@ -84,6 +84,7 @@ impl fmt::Display for Op {
             Op::Rand { dst, bound } => write!(f, "rand  {dst}, {bound}"),
             Op::Ret(Some(r)) => write!(f, "ret   {r}"),
             Op::Ret(None) => write!(f, "ret"),
+            Op::ThreadSwitch(t) => write!(f, "tswch #{t}"),
             Op::GroupSet(b) => write!(f, "gset  #{b}"),
             Op::GroupClear(b) => write!(f, "gclr  #{b}"),
             Op::Nop => write!(f, "nop"),

@@ -59,6 +59,12 @@ pub trait Monitor {
         let _ = amount;
     }
 
+    /// The program switched to logical thread `thread` (see
+    /// [`crate::Op::ThreadSwitch`]).
+    fn on_thread_switch(&mut self, thread: u16) {
+        let _ = thread;
+    }
+
     /// One instruction retired (fired for every executed op, including the
     /// ops that also fire a more specific event).
     fn on_instruction(&mut self) {}
@@ -113,6 +119,128 @@ pub trait VmAllocator {
         }
         ptr
     }
+
+    /// The executing program switched to logical thread `thread`
+    /// ([`crate::Op::ThreadSwitch`]). This is the simulated stand-in for
+    /// the TLS read a native allocator performs on every request:
+    /// thread-aware allocators key their arena/shard selection off it.
+    /// The default ignores it — single-arena allocators are oblivious to
+    /// threading.
+    fn thread_switched(&mut self, thread: u16) {
+        let _ = thread;
+    }
+
+    /// The execution driving this allocator completed normally — the
+    /// process-exit moment. Allocators with deferred work (queued remote
+    /// frees, lazy purges) apply it here so post-run diagnostics (live
+    /// bytes, free counters, fragmentation) reflect the whole stream.
+    /// The default does nothing.
+    fn run_finished(&mut self, mem: &mut Memory) {
+        let _ = mem;
+    }
+}
+
+/// A thread-safe allocator: the same operations as [`VmAllocator`], but
+/// through a shared reference, so one allocator instance can serve
+/// engines (or native driver threads) running concurrently on many OS
+/// threads. Implementors synchronise internally — per-shard locks,
+/// remote-free queues — rather than relying on `&mut` exclusivity.
+///
+/// Any `&S` where `S: SyncVmAllocator` is itself a [`VmAllocator`], so a
+/// shared allocator plugs into [`Engine::run`] unchanged: each thread
+/// holds its own `&S` handle (and its own [`Memory`]) while the allocator
+/// state is shared.
+pub trait SyncVmAllocator: Sync {
+    /// Allocate `size` bytes and return the address (never 0 on success).
+    fn malloc(&self, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory) -> u64;
+
+    /// Release a pointer previously returned by this allocator. May be
+    /// called from a different thread than the allocating one.
+    fn free(&self, ptr: u64, mem: &mut Memory);
+
+    /// Resize an allocation, moving it if necessary.
+    fn realloc(
+        &self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64;
+
+    /// Allocate and zero `count * size` bytes (defaults to malloc+zero).
+    fn calloc(
+        &self,
+        count: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        let total = count.saturating_mul(size);
+        let ptr = self.malloc(total, site, gs, mem);
+        if ptr != 0 {
+            mem.zero(ptr, total);
+        }
+        ptr
+    }
+
+    /// The calling OS thread's program switched to logical thread
+    /// `thread` (see [`VmAllocator::thread_switched`]).
+    fn thread_switched(&self, thread: u16) {
+        let _ = thread;
+    }
+
+    /// An execution driving this allocator completed normally (see
+    /// [`VmAllocator::run_finished`]). With several engines sharing the
+    /// allocator this fires once per engine, so implementations must
+    /// tolerate concurrent and repeated calls.
+    fn run_finished(&self, mem: &mut Memory) {
+        let _ = mem;
+    }
+}
+
+/// Shared references to thread-safe allocators run anywhere a plain
+/// [`VmAllocator`] is expected — this is the bridge that lets one
+/// allocator serve many engines.
+impl<A: SyncVmAllocator> VmAllocator for &A {
+    fn malloc(&mut self, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory) -> u64 {
+        SyncVmAllocator::malloc(*self, size, site, gs, mem)
+    }
+
+    fn free(&mut self, ptr: u64, mem: &mut Memory) {
+        SyncVmAllocator::free(*self, ptr, mem)
+    }
+
+    fn realloc(
+        &mut self,
+        ptr: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        SyncVmAllocator::realloc(*self, ptr, size, site, gs, mem)
+    }
+
+    fn calloc(
+        &mut self,
+        count: u64,
+        size: u64,
+        site: CallSite,
+        gs: &GroupState,
+        mem: &mut Memory,
+    ) -> u64 {
+        SyncVmAllocator::calloc(*self, count, size, site, gs, mem)
+    }
+
+    fn thread_switched(&mut self, thread: u16) {
+        SyncVmAllocator::thread_switched(*self, thread)
+    }
+
+    fn run_finished(&mut self, mem: &mut Memory) {
+        SyncVmAllocator::run_finished(*self, mem)
+    }
 }
 
 /// Boxed (possibly trait-object) allocators forward wholesale, so harness
@@ -147,6 +275,14 @@ impl<A: VmAllocator + ?Sized> VmAllocator for Box<A> {
         mem: &mut Memory,
     ) -> u64 {
         (**self).calloc(count, size, site, gs, mem)
+    }
+
+    fn thread_switched(&mut self, thread: u16) {
+        (**self).thread_switched(thread)
+    }
+
+    fn run_finished(&mut self, mem: &mut Memory) {
+        (**self).run_finished(mem)
     }
 }
 
@@ -513,9 +649,18 @@ impl<'p> Engine<'p> {
                         }
                         None => {
                             stats.return_value = value;
+                            // The process-exit moment: let the allocator
+                            // apply deferred work (e.g. queued remote
+                            // frees) so post-run diagnostics see the
+                            // whole stream.
+                            alloc.run_finished(&mut self.memory);
                             return Ok(stats);
                         }
                     }
+                }
+                Op::ThreadSwitch(t) => {
+                    alloc.thread_switched(*t);
+                    monitor.on_thread_switch(*t);
                 }
                 Op::GroupSet(b) => self.group_state.set(*b),
                 Op::GroupClear(b) => self.group_state.clear(*b),
@@ -877,6 +1022,104 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn thread_switch_reaches_allocator_and_monitor() {
+        struct ThreadAware {
+            inner: MallocOnlyAllocator,
+            switches: Vec<u16>,
+            finishes: u32,
+        }
+        impl VmAllocator for ThreadAware {
+            fn malloc(&mut self, size: u64, s: CallSite, g: &GroupState, m: &mut Memory) -> u64 {
+                self.inner.malloc(size, s, g, m)
+            }
+            fn free(&mut self, ptr: u64, m: &mut Memory) {
+                self.inner.free(ptr, m)
+            }
+            fn realloc(
+                &mut self,
+                p: u64,
+                s: u64,
+                site: CallSite,
+                g: &GroupState,
+                m: &mut Memory,
+            ) -> u64 {
+                self.inner.realloc(p, s, site, g, m)
+            }
+            fn thread_switched(&mut self, thread: u16) {
+                self.switches.push(thread);
+            }
+            fn run_finished(&mut self, _mem: &mut Memory) {
+                self.finishes += 1;
+            }
+        }
+        struct ThreadMonitor(Vec<u16>);
+        impl Monitor for ThreadMonitor {
+            fn on_thread_switch(&mut self, thread: u16) {
+                self.0.push(thread);
+            }
+        }
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.thread_switch(2);
+        f.imm(r(0), 8);
+        f.malloc(r(0), r(1));
+        f.thread_switch(0);
+        f.free(r(1));
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let mut alloc =
+            ThreadAware { inner: MallocOnlyAllocator::new(), switches: Vec::new(), finishes: 0 };
+        let mut mon = ThreadMonitor(Vec::new());
+        Engine::new(&p).run(&mut alloc, &mut mon).expect("runs");
+        assert_eq!(alloc.switches, vec![2, 0]);
+        assert_eq!(mon.0, vec![2, 0]);
+        assert_eq!(alloc.finishes, 1, "run_finished fires exactly once on normal exit");
+        // Oblivious allocators and monitors ignore the op entirely.
+        let mut plain = MallocOnlyAllocator::new();
+        let stats = Engine::new(&p).run(&mut plain, &mut NullMonitor).expect("runs");
+        assert_eq!(stats.allocs, 1);
+    }
+
+    #[test]
+    fn shared_reference_to_sync_allocator_is_a_vm_allocator() {
+        // A Mutex-wrapped bump allocator exercises the &S bridge: two
+        // engines (each with its own Memory) share one allocator.
+        struct Locked(std::sync::Mutex<MallocOnlyAllocator>);
+        impl SyncVmAllocator for Locked {
+            fn malloc(&self, size: u64, s: CallSite, g: &GroupState, m: &mut Memory) -> u64 {
+                self.0.lock().unwrap().malloc(size, s, g, m)
+            }
+            fn free(&self, ptr: u64, m: &mut Memory) {
+                self.0.lock().unwrap().free(ptr, m)
+            }
+            fn realloc(
+                &self,
+                p: u64,
+                s: u64,
+                site: CallSite,
+                g: &GroupState,
+                m: &mut Memory,
+            ) -> u64 {
+                self.0.lock().unwrap().realloc(p, s, site, g, m)
+            }
+        }
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.imm(r(0), 32);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        let main = f.finish();
+        let p = pb.finish(main);
+        let shared = Locked(std::sync::Mutex::new(MallocOnlyAllocator::new()));
+        let mut h1 = &shared;
+        let mut h2 = &shared;
+        let a = Engine::new(&p).run(&mut h1, &mut NullMonitor).unwrap().return_value.unwrap();
+        let b = Engine::new(&p).run(&mut h2, &mut NullMonitor).unwrap().return_value.unwrap();
+        assert_ne!(a, b, "one shared heap: the second run bumps past the first");
     }
 
     #[test]

@@ -71,7 +71,7 @@ mod rng;
 pub use builder::{FunctionBuilder, Label, ProgramBuilder};
 pub use engine::{
     AllocKind, Engine, EngineLimits, ExitStats, MallocOnlyAllocator, Monitor, NullMonitor,
-    VmAllocator, VmError,
+    SyncVmAllocator, VmAllocator, VmError,
 };
 pub use group_state::GroupState;
 pub use ids::{CallSite, Cond, FuncId, Reg, Width};

@@ -132,6 +132,15 @@ pub enum Op {
     },
     /// Return from the current function, optionally with a value.
     Ret(Option<Reg>),
+    /// The program's flow of control is now executing on logical thread
+    /// `n` (0 is the main thread). The single-threaded interpreter uses
+    /// this to model multi-threaded programs: a workload interleaves the
+    /// per-thread slices of its malloc/free stream and marks each slice
+    /// with the thread it belongs to, exactly the information a native
+    /// allocator reads from TLS. Forwarded to the allocator (thread-keyed
+    /// shard selection) and the monitor; no other architectural state
+    /// changes.
+    ThreadSwitch(u16),
     /// Set bit `n` of the shared group-state vector (inserted by the
     /// rewriter immediately before a monitored call site).
     GroupSet(u16),

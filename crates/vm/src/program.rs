@@ -206,7 +206,12 @@ fn regs_in_range(op: &Op) -> bool {
         Op::Rand { dst, bound } => ok(dst) && ok(bound),
         Op::Branch { a, b, .. } => ok(a) && ok(b),
         Op::Ret(r) => r.as_ref().is_none_or(ok),
-        Op::Jump(_) | Op::Compute(_) | Op::GroupSet(_) | Op::GroupClear(_) | Op::Nop => true,
+        Op::Jump(_)
+        | Op::Compute(_)
+        | Op::ThreadSwitch(_)
+        | Op::GroupSet(_)
+        | Op::GroupClear(_)
+        | Op::Nop => true,
     }
 }
 

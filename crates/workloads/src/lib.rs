@@ -30,9 +30,11 @@ pub mod leela;
 pub mod omnetpp;
 pub mod povray;
 pub mod roms;
+pub mod server;
 pub mod toy;
 pub(crate) mod util;
 pub mod xalanc;
+pub mod xalanc_mt;
 
 use halo_vm::Program;
 
@@ -84,6 +86,13 @@ pub fn all() -> Vec<Workload> {
         leela::build(),
         roms::build(),
     ]
+}
+
+/// The multi-threaded workload models (not part of the paper's 11): each
+/// encodes a threaded malloc/free stream via [`halo_vm::Op::ThreadSwitch`]
+/// so thread-keyed allocators (`--shards`) have something to shard.
+pub fn multithreaded() -> Vec<Workload> {
+    vec![server::build(), xalanc_mt::build()]
 }
 
 #[cfg(test)]

@@ -1,0 +1,222 @@
+//! `xalanc-mt`: the XSLT processor with documents partitioned across
+//! worker threads.
+//!
+//! Batch XML pipelines shard their document set over a worker pool; each
+//! worker runs the same deep parse chain as the single-threaded `xalanc`
+//! model (a shared memory-manager malloc site reachable only through
+//! nested — and partly indirect — parse frames), building a worker-local
+//! DOM. The workers' allocation streams interleave round-robin, so under
+//! a single-arena baseline every worker's nodes are scattered between the
+//! other workers' nodes; HALO's grouping (and, under `--shards`, the
+//! per-thread sharding) restores per-document locality. Transformation
+//! passes then walk each worker's DOM normalising attributes — the hot,
+//! layout-sensitive phase. Teardown happens on the main thread, freeing
+//! every node a worker allocated: with a sharded backend each free is
+//! routed home through the owner shard's remote queue.
+
+use crate::util::{counted_loop, r, walk_list, ZERO};
+use crate::{RunSpec, Workload};
+use halo_vm::{Cond, ProgramBuilder, Width};
+
+/// Worker logical threads 1..=WORKERS (0 is the coordinating main thread).
+const WORKERS: u16 = 4;
+const PARSE_DEPTH: usize = 4;
+const TRANSFORM_PASSES: i64 = 8;
+
+/// Build the xalanc-mt workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let xalan_alloc = pb.declare("xalan_alloc");
+    let create_elem = pb.declare("create_elem");
+    let create_attr = pb.declare("create_attr");
+    let create_text = pb.declare("create_text");
+    let parse: Vec<_> = (0..PARSE_DEPTH).map(|i| pb.declare(&format!("parse{i}"))).collect();
+
+    {
+        // The memory manager: one malloc site for every node kind.
+        let mut f = pb.define(xalan_alloc);
+        f.argc(1);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        f.finish();
+    }
+    {
+        // Element: [next:8][tag:8][attrs:8][text:8][ns:8][pad] = 48.
+        let mut f = pb.define(create_elem);
+        f.argc(1);
+        f.imm(r(2), 48);
+        f.call(xalan_alloc, &[r(2)], Some(r(1)));
+        f.imm(r(3), 5);
+        f.store(r(3), r(1), 8, Width::W8);
+        f.ret(Some(r(1)));
+        f.finish();
+    }
+    {
+        // Attribute: [next:8][value:8][norm:8][pad:8] = 32, linked onto
+        // the parent element.
+        let mut f = pb.define(create_attr);
+        f.argc(1);
+        let parent = r(0);
+        f.imm(r(2), 32);
+        f.call(xalan_alloc, &[r(2)], Some(r(1)));
+        f.imm(r(3), 2);
+        f.store(r(3), r(1), 8, Width::W8); // value
+        f.load(r(4), parent, 16, Width::W8); // parent.attrs
+        f.store(r(4), r(1), 0, Width::W8); // attr.next
+        f.store(r(1), parent, 16, Width::W8);
+        f.ret(Some(r(1)));
+        f.finish();
+    }
+    {
+        // Text node: 32 bytes, linked at parent.text so teardown can
+        // return it (the single-threaded model drops the pointer).
+        let mut f = pb.define(create_text);
+        f.argc(1);
+        let parent = r(0);
+        f.imm(r(2), 32);
+        f.call(xalan_alloc, &[r(2)], Some(r(1)));
+        f.imm(r(3), 1);
+        f.store(r(3), r(1), 8, Width::W8);
+        f.store(r(1), parent, 24, Width::W8); // parent.text
+        f.ret(Some(r(1)));
+        f.finish();
+    }
+
+    // The parse chain: parse_i(kind_fn, parent) forwards down; the middle
+    // hop is indirect and the bottom dispatches indirectly through the
+    // kind function id — both call sites shared by every node kind, so
+    // only deep context separates them (the xalanc signature).
+    for i in 0..PARSE_DEPTH {
+        let mut f = pb.define(parse[i]);
+        f.argc(2); // r0 = kind function id, r1 = parent
+        if i + 1 < PARSE_DEPTH {
+            if i == PARSE_DEPTH / 2 {
+                f.imm(r(2), parse[i + 1].0 as i64);
+                f.call_indirect(r(2), &[r(0), r(1)], Some(r(3)));
+            } else {
+                f.call(parse[i + 1], &[r(0), r(1)], Some(r(3)));
+            }
+        } else {
+            f.call_indirect(r(0), &[r(1)], Some(r(3)));
+        }
+        f.ret(Some(r(3)));
+        f.finish();
+    }
+
+    let mut m = pb.function("main");
+    m.argc(1);
+    let rounds = r(20);
+    m.mov(rounds, r(0));
+    // Per-worker DOM heads live in one heap cell array (8 bytes each).
+    let heads = r(27);
+    m.imm(r(1), (WORKERS as i64) * 8);
+    m.malloc(r(1), heads);
+    for w in 0..WORKERS {
+        m.store(ZERO, heads, (w as i64) * 8, Width::W8);
+    }
+    m.imm(r(21), create_elem.0 as i64);
+    m.imm(r(22), create_attr.0 as i64);
+    m.imm(r(23), create_text.0 as i64);
+    // Parse: each round hands one document (element + two attributes +
+    // one text node) to every worker, round-robin — the interleaving a
+    // real worker pool produces.
+    counted_loop(&mut m, r(24), rounds, |m| {
+        for w in 0..WORKERS {
+            m.thread_switch(w + 1);
+            m.imm(r(2), 0);
+            m.call(parse[0], &[r(21), r(2)], Some(r(3)));
+            // Push the new element onto the worker's DOM list.
+            m.load(r(8), heads, (w as i64) * 8, Width::W8);
+            m.store(r(8), r(3), 0, Width::W8);
+            m.store(r(3), heads, (w as i64) * 8, Width::W8);
+            m.call(parse[0], &[r(22), r(3)], Some(r(4))); // attr 1
+            m.call(parse[0], &[r(22), r(3)], Some(r(4))); // attr 2
+            m.call(parse[0], &[r(23), r(3)], Some(r(5))); // text (cold)
+        }
+    });
+    // Transform: each worker normalises its own partition's attributes.
+    m.imm(r(25), TRANSFORM_PASSES);
+    counted_loop(&mut m, r(26), r(25), |m| {
+        for w in 0..WORKERS {
+            m.thread_switch(w + 1);
+            m.load(r(9), heads, (w as i64) * 8, Width::W8);
+            walk_list(m, r(9), r(6), |m| {
+                m.load(r(1), r(6), 8, Width::W8); // tag
+                m.load(r(2), r(6), 16, Width::W8); // attr head
+                let top = m.label();
+                let done = m.label();
+                m.bind(top);
+                m.branch(Cond::Eq, r(2), ZERO, done);
+                m.load(r(3), r(2), 8, Width::W8); // attr.value
+                m.add(r(3), r(3), r(1));
+                m.store(r(3), r(2), 16, Width::W8); // attr.norm
+                m.load(r(2), r(2), 0, Width::W8);
+                m.jump(top);
+                m.bind(done);
+            });
+        }
+    });
+    // Teardown on the main thread: free every worker's DOM cross-thread.
+    m.thread_switch(0);
+    for w in 0..WORKERS {
+        m.load(r(9), heads, (w as i64) * 8, Width::W8);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(Cond::Eq, r(9), ZERO, done);
+        m.load(r(10), r(9), 0, Width::W8); // elem.next
+        m.load(r(2), r(9), 16, Width::W8); // attr chain
+        {
+            let atop = m.label();
+            let adone = m.label();
+            m.bind(atop);
+            m.branch(Cond::Eq, r(2), ZERO, adone);
+            m.load(r(3), r(2), 0, Width::W8);
+            m.free(r(2));
+            m.mov(r(2), r(3));
+            m.jump(atop);
+            m.bind(adone);
+        }
+        m.load(r(4), r(9), 24, Width::W8); // text node
+        m.free(r(4));
+        m.free(r(9));
+        m.mov(r(9), r(10));
+        m.jump(top);
+        m.bind(done);
+    }
+    m.free(heads);
+    m.ret(None);
+    let main = m.finish();
+
+    Workload {
+        name: "xalanc-mt",
+        program: pb.finish(main),
+        train: RunSpec { seed: 797, arg: 150 },
+        reference: RunSpec { seed: 898, arg: 1200 },
+        note: "xalanc's deep parse chain with documents partitioned across \
+               4 worker threads; main-thread teardown frees cross-thread",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_vm::{Engine, EngineLimits, MallocOnlyAllocator, NullMonitor};
+
+    #[test]
+    fn xalanc_mt_partitions_parses_and_drains() {
+        let w = build();
+        let mut alloc = MallocOnlyAllocator::new();
+        let stats = Engine::new(&w.program)
+            .with_seed(w.train.seed)
+            .with_entry_arg(w.train.arg)
+            .with_limits(EngineLimits { max_instructions: 200_000_000, max_call_depth: 64 })
+            .run(&mut alloc, &mut NullMonitor)
+            .expect("runs");
+        let rounds = w.train.arg as u64;
+        // Heads cell + 4 workers × 4 nodes per round.
+        assert_eq!(stats.allocs, 1 + rounds * (WORKERS as u64) * 4);
+        assert_eq!(stats.frees, stats.allocs, "teardown frees every node");
+        assert!(stats.max_depth > PARSE_DEPTH, "deep call chains");
+    }
+}

@@ -96,6 +96,10 @@ fn usage() {
          \t                              flips fragmentation-heavy groups to\n\
          \t                              sharded free lists when the train input\n\
          \t                              validates the flip)\n\
+         \t--shards <n>                  also run the thread-safe sharded HALO\n\
+         \t                              runtime with n shards (the mt workloads\n\
+         \t                              `server` and `xalanc-mt` exercise its\n\
+         \t                              cross-thread remote-free path)\n\
          \t--hds                         also run the hot-data-streams technique\n\
          \t--random                      also run the random four-pool allocator\n\
          \t--ptmalloc                    also run the ptmalloc2-style baseline\n\
@@ -116,6 +120,7 @@ struct Flags {
     merge_tolerance: Option<f64>,
     granularity: Option<Granularity>,
     reuse_policy: Option<ReusePolicyChoice>,
+    shards: Option<usize>,
     hds: bool,
     random: bool,
     ptmalloc: bool,
@@ -134,6 +139,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         merge_tolerance: None,
         granularity: None,
         reuse_policy: None,
+        shards: None,
         hds: false,
         random: false,
         ptmalloc: false,
@@ -172,6 +178,27 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--granularity" => flags.granularity = Some(value("--granularity")?.parse()?),
             "--reuse-policy" => flags.reuse_policy = Some(value("--reuse-policy")?.parse()?),
+            "--shards" => {
+                let v = value("--shards")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid shard count '{v}' (a positive integer)"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                // The CLI never moves the group base, so the default
+                // layout's bound applies; checking here turns what would
+                // be a constructor panic into a clear parse error.
+                let max = halo::mem::ShardedHaloAllocator::max_shards(
+                    &halo::mem::GroupAllocConfig::default(),
+                );
+                if n > max {
+                    return Err(format!(
+                        "--shards {n} exceeds the address layout's limit of {max} shards"
+                    ));
+                }
+                flags.shards = Some(n);
+            }
             "--metric" => flags.metric = value("--metric")?,
             "--out" => flags.out = Some(value("--out")?),
             "--hds" => flags.hds = true,
@@ -188,8 +215,11 @@ fn find_workloads(selector: Option<&str>) -> Result<Vec<Workload>, String> {
     let mut workloads = all();
     workloads.push(halo::workloads::toy::build()); // the Fig. 2 example
     match selector {
+        // The default sweep stays the paper set (+ toy): the mt models
+        // are selectable by name but do not change the figure sweeps.
         None | Some("all") => Ok(workloads),
         Some(names) => {
+            workloads.extend(halo::workloads::multithreaded());
             // Comma-separated selection, e.g. `--benchmark toy,povray`.
             let mut picked: Vec<Workload> = Vec::new();
             for name in names.split(',') {
@@ -232,6 +262,10 @@ fn config_for(workload: &Workload, flags: &Flags) -> EvalConfig {
         config.halo.reuse = r;
     }
     config.extras.clear();
+    if let Some(n) = flags.shards {
+        config.shards = n;
+        config.extras.push("halo-sharded");
+    }
     if flags.random {
         config.extras.push("random");
     }
@@ -252,6 +286,13 @@ fn paper_defaults(workload: &Workload) -> EvalConfig {
 fn cmd_list() -> Result<(), String> {
     println!("{:<10} {:>12} {:>12}  note", "benchmark", "train arg", "ref arg");
     for w in all() {
+        println!("{:<10} {:>12} {:>12}  {}", w.name, w.train.arg, w.reference.arg, w.note);
+    }
+    println!(
+        "\nmulti-threaded models (select by name; not part of `--benchmark all`;\n\
+         use --shards to shard the allocator):"
+    );
+    for w in halo::workloads::multithreaded() {
         println!("{:<10} {:>12} {:>12}  {}", w.name, w.train.arg, w.reference.arg, w.note);
     }
     Ok(())
@@ -519,6 +560,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         || flags.merge_tolerance.is_some()
         || flags.granularity.is_some()
         || flags.reuse_policy.is_some()
+        || flags.shards.is_some()
         || flags.metric != "misses" // the parse-time default
         || flags.hds
         || flags.random
@@ -541,6 +583,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }));
     rows.push(time_samples("mem/group_alloc_malloc_free_100k", 10, || {
         std::hint::black_box(halo_bench::group_alloc_malloc_free_100k());
+    }));
+    rows.push(time_samples("mem/sharded_alloc_mt", 10, || {
+        std::hint::black_box(halo_bench::sharded_alloc_mt());
     }));
 
     // End-to-end pipeline (profile → group → identify → rewrite →

@@ -121,10 +121,98 @@ fn run_accepts_and_reports_reuse_policy() {
 }
 
 #[test]
+fn reuse_policy_parse_errors_reach_stderr_with_failure_exit() {
+    // The "clear parse error" contract: a bad value or a missing value
+    // must fail the process (non-zero exit) and say what was wrong on
+    // stderr — on every subcommand that accepts the flag, not just `run`.
+    for command in ["run", "plot"] {
+        let bad = halo(&[command, "--benchmark", "toy", "--reuse-policy", "meshing"]);
+        assert!(!bad.status.success(), "halo {command} must reject a bad reuse policy");
+        assert_eq!(bad.stdout.len(), 0, "no result rows before the error ({command})");
+        let err = stderr(&bad);
+        assert!(
+            err.contains("unknown reuse policy 'meshing' (bump|sharded|auto)"),
+            "halo {command} parse error must name the value and the choices: {err}"
+        );
+    }
+    let missing = halo(&["run", "--benchmark", "toy", "--reuse-policy"]);
+    assert!(!missing.status.success());
+    assert!(stderr(&missing).contains("--reuse-policy needs a value"), "{}", stderr(&missing));
+}
+
+#[test]
+fn shards_flag_enables_the_sharded_backend() {
+    let out = halo(&["run", "--benchmark", "toy", "--shards", "2", "--json"]);
+    assert!(out.status.success(), "halo run --shards failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("\"halo-sharded\":{"),
+        "JSON row must carry the sharded backend's results: {text}"
+    );
+    for key in ["\"l1d_misses\":", "\"miss_reduction\":", "\"speedup\":"] {
+        assert!(text.contains(key), "sharded JSON section is missing {key}: {text}");
+    }
+    // Without the flag the backend stays off.
+    let plain = halo(&["run", "--benchmark", "toy", "--json"]);
+    assert!(!stdout(&plain).contains("halo-sharded"), "{}", stdout(&plain));
+    // Invalid counts are clear parse errors.
+    let zero = halo(&["run", "--benchmark", "toy", "--shards", "0"]);
+    assert!(!zero.status.success());
+    assert!(stderr(&zero).contains("--shards must be at least 1"), "{}", stderr(&zero));
+    let junk = halo(&["run", "--benchmark", "toy", "--shards", "many"]);
+    assert!(!junk.status.success());
+    assert!(stderr(&junk).contains("invalid shard count 'many'"), "{}", stderr(&junk));
+    // Beyond the address layout's bound: a clear parse error, not a
+    // panic out of the allocator constructor.
+    let huge = halo(&["run", "--benchmark", "toy", "--shards", "25"]);
+    assert!(!huge.status.success());
+    assert!(
+        stderr(&huge).contains("--shards 25 exceeds the address layout's limit"),
+        "{}",
+        stderr(&huge)
+    );
+}
+
+#[test]
 fn bench_rejects_run_configuration_flags() {
     let out = halo(&["bench", "--reuse-policy", "sharded"]);
     assert!(!out.status.success(), "bench must reject run-configuration flags");
     assert!(stderr(&out).contains("halo bench only accepts"), "{}", stderr(&out));
+    let sharded = halo(&["bench", "--shards", "4"]);
+    assert!(!sharded.status.success(), "bench must reject --shards");
+    assert!(stderr(&sharded).contains("halo bench only accepts"), "{}", stderr(&sharded));
+}
+
+#[test]
+fn multithreaded_sweep_is_deterministic_serial_vs_parallel() {
+    // The acceptance bar for the sharded runtime: the mt workloads produce
+    // byte-identical JSON rows whether the sweep runs serially or fanned
+    // out — shard selection must not leak any OS-thread nondeterminism
+    // into the measurements.
+    let args = ["run", "--benchmark", "server,xalanc-mt", "--shards", "4", "--json"];
+    let serial = Command::new(env!("CARGO_BIN_EXE_halo"))
+        .args(args)
+        .env("HALO_THREADS", "1")
+        .output()
+        .expect("the halo binary must spawn");
+    let parallel = Command::new(env!("CARGO_BIN_EXE_halo"))
+        .args(args)
+        .env("HALO_THREADS", "4")
+        .output()
+        .expect("the halo binary must spawn");
+    assert!(serial.status.success(), "serial mt run failed: {}", stderr(&serial));
+    assert!(parallel.status.success(), "parallel mt run failed: {}", stderr(&parallel));
+    assert_eq!(
+        serial.stdout,
+        parallel.stdout,
+        "mt sweep rows must be byte-identical:\n--- serial ---\n{}\n--- parallel ---\n{}",
+        stdout(&serial),
+        stdout(&parallel)
+    );
+    let text = stdout(&serial);
+    for key in ["\"benchmark\":\"server\"", "\"benchmark\":\"xalanc-mt\"", "\"halo-sharded\":{"] {
+        assert!(text.contains(key), "mt sweep output is missing {key}:\n{text}");
+    }
 }
 
 #[test]

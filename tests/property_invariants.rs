@@ -5,7 +5,7 @@ use halo::graph::{group, AffinityGraph, Granularity, GroupingParams, NodeId};
 use halo::hds::Grammar;
 use halo::mem::{
     AllocatorStats, BoundaryTagAllocator, GroupAllocConfig, GroupSelector, HaloGroupAllocator,
-    SelectorTable, SizeClassAllocator,
+    SelectorTable, ShardedHaloAllocator, SizeClassAllocator,
 };
 use halo::profile::{AffinityQueue, ObjectTracker, ProfileConfig, Profiler, QueueEntry};
 use halo::vm::{AllocKind, CallSite, FuncId, GroupState, Memory, Monitor, VmAllocator};
@@ -531,6 +531,81 @@ proptest! {
         }
         prop_assert_eq!(plain.stats(), over.stats());
         prop_assert_eq!(plain.frag_report(), over.frag_report());
+    }
+
+    #[test]
+    fn sharded_with_one_shard_matches_the_plain_allocator(
+        script in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..200),
+        bits in 0u8..4,
+        reuse_bits in 0u8..4,
+        chunk_choice in 0u8..3,
+    ) {
+        // The differential identity behind the sharded runtime: with a
+        // single shard there is no foreign thread, so the thread-keyed
+        // front (shard selection, remote-queue servicing, the extra lock
+        // hop) must be behaviourally invisible — any malloc/free trace
+        // replays pointer-for-pointer against the plain single-arena
+        // allocator under the same per-group plans.
+        let table = || SelectorTable::new(
+            vec![
+                GroupSelector { group: 0, conjunctions: vec![vec![0]] },
+                GroupSelector { group: 1, conjunctions: vec![vec![1]] },
+            ],
+            2,
+        );
+        let config = GroupAllocConfig {
+            chunk_size: 32 * 1024,
+            slab_size: 32 * 1024 * 8,
+            ..Default::default()
+        };
+        // Randomized per-group plans: the identity must hold whatever the
+        // groups' reuse policies and (valid) chunk sizes are.
+        let chunk_for = |g: u8| match (chunk_choice + g) % 3 {
+            0 => 8 * 1024,
+            1 => 16 * 1024,
+            _ => 32 * 1024,
+        };
+        let overrides: Vec<GroupAllocConfig> = (0..2u8)
+            .map(|g| GroupAllocConfig {
+                chunk_size: chunk_for(g),
+                reuse_policy: if reuse_bits & (1 << g) != 0 {
+                    halo::mem::ReusePolicy::ShardedFreeLists
+                } else {
+                    halo::mem::ReusePolicy::Bump
+                },
+                ..config
+            })
+            .collect();
+        let mut gs = GroupState::new(2);
+        if bits & 1 != 0 { gs.set(0); }
+        if bits & 2 != 0 { gs.set(1); }
+        let mut plain =
+            HaloGroupAllocator::with_group_configs(config, table(), overrides.clone());
+        let mut sharded = ShardedHaloAllocator::new(1, config, table(), overrides);
+        let mut mem_a = Memory::new();
+        let mut mem_b = Memory::new();
+        let mut live: Vec<u64> = Vec::new();
+        for (op, raw) in script {
+            if op % 3 == 2 && !live.is_empty() {
+                let p = live.swap_remove(raw as usize % live.len());
+                plain.free(p, &mut mem_a);
+                sharded.free(p, &mut mem_b);
+            } else {
+                let size = 1 + raw % 6000;
+                let pa = plain.malloc(size, site(), &gs, &mut mem_a);
+                let pb = sharded.malloc(size, site(), &gs, &mut mem_b);
+                prop_assert_eq!(pa, pb, "allocation placement diverged");
+                live.push(pa);
+            }
+            prop_assert_eq!(plain.live_grouped_bytes(), sharded.live_grouped_bytes());
+            prop_assert_eq!(plain.resident_grouped_bytes(), sharded.resident_grouped_bytes());
+        }
+        prop_assert_eq!(plain.stats(), sharded.stats());
+        prop_assert_eq!(plain.frag_report(), sharded.frag_report());
+        prop_assert_eq!(plain.group_frag_reports(), sharded.group_frag_reports());
+        let remote = sharded.sharded_stats();
+        prop_assert_eq!(remote.remote_frees, 0, "one shard: every free is local");
+        prop_assert_eq!(sharded.remote_pending(), 0);
     }
 
     #[test]
