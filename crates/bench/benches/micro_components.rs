@@ -118,6 +118,13 @@ fn bench_object_tracker(c: &mut Criterion) {
     });
 }
 
+fn bench_coherent_cache(c: &mut Criterion) {
+    // Shared body with `halo bench` (same name ⇒ comparable rows in
+    // BENCH_profile.json): four logical threads through the MESI-lite
+    // coherent hierarchy, mixing private and contended shared lines.
+    c.bench_function("cache/coherent_access_100k", |b| b.iter(halo_bench::coherent_access_100k));
+}
+
 fn bench_sequitur(c: &mut Criterion) {
     let mut rng = SplitMix64::new(3);
     let input: Vec<u32> = (0..50_000).map(|_| rng.next_below(32) as u32).collect();
@@ -199,6 +206,7 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_grouping, bench_affinity_queue, bench_object_tracker,
-              bench_sequitur, bench_selector_classify, bench_allocators
+              bench_coherent_cache, bench_sequitur, bench_selector_classify,
+              bench_allocators
 }
 criterion_main!(benches);

@@ -329,6 +329,38 @@ pub fn sharded_alloc_mt() -> u64 {
     stats.alloc.grouped_allocs + stats.remote_frees + stats.remote_drained
 }
 
+/// The `cache/coherent_access_100k` micro-workload: four logical threads
+/// round-robin over a [`halo_cache::CoherentHierarchy`] (Xeon W-2195
+/// geometry), each mostly walking a private 16 KiB region but with every
+/// eighth access landing in one shared 4 KiB region and every fourth
+/// access a store — so the MESI-lite probe, invalidation, and upgrade
+/// paths all stay hot. One body shared by the Criterion micro-bench and
+/// `halo bench` so coherence-model regressions land in
+/// `BENCH_profile.json` like the rest.
+pub fn coherent_access_100k() -> u64 {
+    use halo_cache::{CoherentHierarchy, HierarchyConfig};
+    const THREADS: u16 = 4;
+    let mut h = CoherentHierarchy::new(HierarchyConfig::xeon_w2195());
+    let mut rng = halo_vm::SplitMix64::new(37);
+    for i in 0..100_000u64 {
+        let t = (i % THREADS as u64) as u16;
+        h.set_thread(t);
+        let store = rng.next_below(4) == 0;
+        let addr = if rng.next_below(8) == 0 {
+            // Shared 4 KiB region all threads contend on.
+            0x10_0000 + rng.next_below(4096)
+        } else {
+            // Per-thread private 16 KiB region.
+            0x20_0000 + t as u64 * 0x1_0000 + rng.next_below(16_384)
+        };
+        h.access(addr, 8, store);
+    }
+    let s = h.stats();
+    let c = h.coherence();
+    assert!(c.invalidations > 0, "shared stores must ping-pong lines: {c:?}");
+    s.l1_hits + s.l1_misses + c.invalidations + c.upgrades + c.remote_fills
+}
+
 /// Straightforward reference implementation of the §4.1 affinity queue —
 /// the seed code's shape (`VecDeque` scan, fresh `HashSet` + `Vec` per
 /// `record`). It exists in exactly one place so its two consumers cannot
@@ -413,6 +445,16 @@ mod tests {
         assert_eq!(pct(-0.03), "-3.0%");
         assert_eq!(human_bytes(31980), "31.23KiB");
         assert_eq!(human_bytes(2 << 20), "2.00MiB");
+    }
+
+    #[test]
+    fn coherent_access_body_is_deterministic_and_contended() {
+        // The checksum folds in the coherence counters, so any drift in
+        // the MESI-lite model shows up as a bench-row value change too.
+        let a = coherent_access_100k();
+        let b = coherent_access_100k();
+        assert_eq!(a, b);
+        assert!(a > 100_000, "hits + misses alone already exceed the access count");
     }
 
     #[test]

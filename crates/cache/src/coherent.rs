@@ -1,0 +1,523 @@
+//! Thread-aware cache hierarchy with a MESI-lite coherence cost model.
+//!
+//! [`CacheHierarchy`](crate::CacheHierarchy) is oblivious to which logical
+//! thread issued an access, so a sharded allocator's true/false-sharing
+//! behaviour is invisible to it. [`CoherentHierarchy`] gives every logical
+//! thread (announced via `Op::ThreadSwitch` upstream) its own private L1D
+//! and dTLB over the *shared* L2/L3, and tracks a per-line MESI-lite state
+//! in each private L1:
+//!
+//! * a demand fill is **Exclusive** when no other thread holds the line,
+//!   **Shared** otherwise (a read miss also downgrades remote
+//!   Modified/Exclusive copies to Shared);
+//! * a write hit on Exclusive upgrades silently to **Modified**;
+//! * a write hit on Shared is a bus upgrade: it counts one `upgrade`,
+//!   invalidates every remote copy (one `invalidation` each), and leaves
+//!   the writer Modified;
+//! * a write miss invalidates every remote copy before filling Modified.
+//!
+//! Invalidations are the cycle-model hook: each one charges
+//! [`TimingModel::coherence_penalty`](crate::TimingModel) via
+//! [`TimingModel::cycles_coherent`](crate::TimingModel::cycles_coherent),
+//! so false sharing (two threads writing disjoint halves of one line)
+//! shows up as time, exactly the cost per-thread sharding removes.
+//!
+//! When only one logical thread ever runs, no line can ever be Shared, so
+//! every counter here stays zero and the hit/miss/TLB stream — private L1
+//! over shared L2/L3 with the same adjacent-line prefetch — is
+//! *bit-identical* to [`CacheHierarchy`](crate::CacheHierarchy); the
+//! differential property suite pins that identity.
+
+use crate::hierarchy::{AccessStats, HierarchyConfig};
+use crate::set_assoc::{CacheConfig, SetAssocCache};
+use std::collections::HashMap;
+
+/// MESI-lite state of a line in one thread's private L1D.
+///
+/// The model folds the snooping protocol's transient states away: a line
+/// is either absent ([`Invalid`](LineState::Invalid)) or resident in
+/// exactly one of the three stable states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Not resident in that thread's L1D.
+    Invalid,
+    /// Resident, clean, and possibly replicated in other threads' L1Ds.
+    Shared,
+    /// Resident, clean, and the only L1 copy.
+    Exclusive,
+    /// Resident, written, and the only L1 copy.
+    Modified,
+}
+
+/// Coherence-traffic counters accumulated by a [`CoherentHierarchy`].
+///
+/// All three counters are zero for any run that only ever uses one
+/// logical thread — the single-thread identity the differential tests pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Remote L1 copies invalidated by a write (the per-event cost the
+    /// timing model charges [`coherence_penalty`] for).
+    ///
+    /// [`coherence_penalty`]: crate::TimingModel::coherence_penalty
+    pub invalidations: u64,
+    /// Write hits on Shared lines (bus upgrades, S→M). Informational:
+    /// the invalidations they broadcast are counted separately.
+    pub upgrades: u64,
+    /// Demand misses filled while another thread held the line (served by
+    /// cache-to-cache transfer on real hardware) — the true-sharing read
+    /// traffic that sharding cannot remove.
+    pub remote_fills: u64,
+}
+
+/// Per-thread slice of a [`CoherentHierarchy`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadAccessStats {
+    /// Logical thread id (the `Op::ThreadSwitch` operand).
+    pub thread: u16,
+    /// The accesses this thread issued and how its private L1/TLB and the
+    /// shared L2/L3 served them.
+    pub stats: AccessStats,
+}
+
+/// One logical thread's private structures: L1D, dTLB, and the MESI-lite
+/// state of each resident L1 line.
+#[derive(Debug)]
+struct ThreadDomain {
+    l1: SetAssocCache,
+    tlb: SetAssocCache,
+    /// `line number → state` for lines resident in `l1` (and only those —
+    /// eviction and invalidation both remove the entry).
+    states: HashMap<u64, LineState>,
+    stats: AccessStats,
+}
+
+impl ThreadDomain {
+    fn new(config: &HierarchyConfig) -> Self {
+        ThreadDomain {
+            l1: SetAssocCache::new(config.l1),
+            tlb: SetAssocCache::new(CacheConfig {
+                size_bytes: (config.tlb_entries as u64).max(config.tlb_ways as u64),
+                line_bytes: 1,
+                ways: config.tlb_ways,
+            }),
+            states: HashMap::new(),
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// Drop `line` from this L1 (and its state). Returns whether a copy
+    /// was actually present.
+    fn invalidate(&mut self, line: u64) -> bool {
+        if self.l1.invalidate_line(line) {
+            self.states.remove(&line);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-thread L1Ds and dTLBs over a shared L2/L3, with MESI-lite
+/// coherence between the L1s. See the [module docs](self).
+#[derive(Debug)]
+pub struct CoherentHierarchy {
+    config: HierarchyConfig,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+    /// Indexed by logical thread id; grown on demand by [`set_thread`].
+    ///
+    /// [`set_thread`]: CoherentHierarchy::set_thread
+    threads: Vec<ThreadDomain>,
+    current: usize,
+    stats: AccessStats,
+    coherence: CoherenceStats,
+}
+
+impl CoherentHierarchy {
+    /// Build an empty hierarchy; accesses are attributed to logical
+    /// thread 0 until [`set_thread`](CoherentHierarchy::set_thread) says
+    /// otherwise (matching the engine, which starts on thread 0).
+    pub fn new(config: HierarchyConfig) -> Self {
+        CoherentHierarchy {
+            config,
+            l2: SetAssocCache::new(config.l2),
+            l3: SetAssocCache::new(config.l3),
+            threads: vec![ThreadDomain::new(&config)],
+            current: 0,
+            stats: AccessStats::default(),
+            coherence: CoherenceStats::default(),
+        }
+    }
+
+    /// The geometry this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Route subsequent accesses through logical thread `thread`'s private
+    /// L1D/dTLB (the `Monitor::on_thread_switch` hook).
+    pub fn set_thread(&mut self, thread: u16) {
+        let t = thread as usize;
+        while self.threads.len() <= t {
+            self.threads.push(ThreadDomain::new(&self.config));
+        }
+        self.current = t;
+    }
+
+    /// Aggregate counters across all threads (field-for-field the sum of
+    /// [`thread_stats`](CoherentHierarchy::thread_stats)).
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Coherence-traffic counters.
+    pub fn coherence(&self) -> CoherenceStats {
+        self.coherence
+    }
+
+    /// Per-thread counters, for every logical thread that issued at least
+    /// one access, in thread-id order.
+    pub fn thread_stats(&self) -> Vec<ThreadAccessStats> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.stats.loads + d.stats.stores > 0)
+            .map(|(t, d)| ThreadAccessStats { thread: t as u16, stats: d.stats })
+            .collect()
+    }
+
+    /// MESI-lite state of the line containing `addr` in `thread`'s L1D
+    /// (Invalid for unknown threads) — the hook the reference-model
+    /// property test compares line-for-line.
+    pub fn line_state(&self, thread: u16, addr: u64) -> LineState {
+        let Some(domain) = self.threads.get(thread as usize) else {
+            return LineState::Invalid;
+        };
+        let line = self.l2.line_of(addr);
+        domain.states.get(&line).copied().unwrap_or(LineState::Invalid)
+    }
+
+    /// Reset all counters but keep cache contents and states.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+        self.coherence = CoherenceStats::default();
+        for domain in &mut self.threads {
+            domain.stats = AccessStats::default();
+        }
+    }
+
+    /// Simulate a data access of `width` bytes at `addr` on the current
+    /// logical thread. Line/page splitting and the shared-level walk
+    /// mirror [`CacheHierarchy::access`](crate::CacheHierarchy::access)
+    /// exactly.
+    pub fn access(&mut self, addr: u64, width: u8, store: bool) {
+        if store {
+            self.stats.stores += 1;
+            self.threads[self.current].stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+            self.threads[self.current].stats.loads += 1;
+        }
+        // dTLB: per page touched, on the current thread's private TLB.
+        let first_page = addr / self.config.page_bytes;
+        let last_page = (addr + width.max(1) as u64 - 1) / self.config.page_bytes;
+        for page in first_page..=last_page {
+            if !self.threads[self.current].tlb.access(page) {
+                self.stats.tlb_misses += 1;
+                self.threads[self.current].stats.tlb_misses += 1;
+            }
+        }
+        // Caches: per line touched.
+        let line_bytes = self.config.l1.line_bytes;
+        let first_line = addr / line_bytes;
+        let last_line = (addr + width.max(1) as u64 - 1) / line_bytes;
+        for line in first_line..=last_line {
+            self.access_one_line(line * line_bytes, store);
+        }
+    }
+
+    fn access_one_line(&mut self, line_addr: u64, store: bool) {
+        let t = self.current;
+        let line = self.threads[t].l1.line_of(line_addr);
+        let (hit, evicted) = self.threads[t].l1.access_line(line);
+        if let Some(victim) = evicted {
+            // A capacity/conflict victim silently loses its state; dirty
+            // write-back is not modelled (the shared L2 filled the line on
+            // the original demand miss, as in the plain hierarchy).
+            self.threads[t].states.remove(&victim);
+        }
+        if hit {
+            self.stats.l1_hits += 1;
+            self.threads[t].stats.l1_hits += 1;
+            if store {
+                self.write_hit(t, line);
+            }
+            return;
+        }
+        self.stats.l1_misses += 1;
+        self.threads[t].stats.l1_misses += 1;
+        // Coherence probe: does any other thread hold the line? Writes
+        // invalidate remote copies, reads downgrade them to Shared.
+        let mut remote_copies = false;
+        for u in 0..self.threads.len() {
+            if u == t {
+                continue;
+            }
+            if store {
+                if self.threads[u].invalidate(line) {
+                    remote_copies = true;
+                    self.coherence.invalidations += 1;
+                }
+            } else if self.threads[u].states.contains_key(&line) {
+                remote_copies = true;
+                self.threads[u].states.insert(line, LineState::Shared);
+            }
+        }
+        if remote_copies {
+            self.coherence.remote_fills += 1;
+        }
+        let state = match (store, remote_copies) {
+            (true, _) => LineState::Modified,
+            (false, true) => LineState::Shared,
+            (false, false) => LineState::Exclusive,
+        };
+        self.threads[t].states.insert(line, state);
+        // Shared levels: exactly the plain hierarchy's walk (same calls,
+        // same order), so single-thread L2/L3 contents stay bit-identical.
+        let line_bytes = self.config.l1.line_bytes;
+        let l2_hit = self.l2.access(line_addr);
+        if !l2_hit {
+            self.stats.l2_misses += 1;
+            self.threads[t].stats.l2_misses += 1;
+            if !self.l3.access(line_addr) {
+                self.stats.l3_misses += 1;
+                self.threads[t].stats.l3_misses += 1;
+            }
+        }
+        if self.config.adjacent_line_prefetch {
+            for neighbour in
+                [line_addr.wrapping_add(line_bytes), line_addr.wrapping_sub(line_bytes)]
+            {
+                self.l2.access(neighbour);
+                self.l3.access(neighbour);
+            }
+        }
+    }
+
+    /// MESI-lite write-hit transition for `line` resident in thread `t`.
+    fn write_hit(&mut self, t: usize, line: u64) {
+        let state = *self.threads[t].states.get(&line).expect("resident line has a state");
+        match state {
+            LineState::Modified => {}
+            LineState::Exclusive => {
+                // Silent upgrade: no bus traffic, no counters.
+                self.threads[t].states.insert(line, LineState::Modified);
+            }
+            LineState::Shared => {
+                // Bus upgrade: announce ownership, killing every remote
+                // copy. Counted even when remote copies were since evicted
+                // (the writer cannot know — the upgrade is still issued).
+                self.coherence.upgrades += 1;
+                for u in 0..self.threads.len() {
+                    if u != t && self.threads[u].invalidate(line) {
+                        self.coherence.invalidations += 1;
+                    }
+                }
+                self.threads[t].states.insert(line, LineState::Modified);
+            }
+            LineState::Invalid => unreachable!("a hit line is never Invalid"),
+        }
+    }
+
+    /// Flush all levels, TLBs, and line states (counters are preserved).
+    pub fn flush(&mut self) {
+        self.l2.flush();
+        self.l3.flush();
+        for domain in &mut self.threads {
+            domain.l1.flush();
+            domain.tlb.flush();
+            domain.states.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CacheHierarchy;
+    use crate::timing::TimingModel;
+
+    const LINE: u64 = 64;
+
+    fn coherent() -> CoherentHierarchy {
+        CoherentHierarchy::new(HierarchyConfig::tiny())
+    }
+
+    #[test]
+    fn single_thread_is_bit_identical_to_plain_hierarchy() {
+        // The deterministic core of the differential property suite: same
+        // access stream, never switching threads, must produce the same
+        // counters and the same cycles under both models.
+        for config in [
+            HierarchyConfig::tiny(),
+            HierarchyConfig { adjacent_line_prefetch: true, ..HierarchyConfig::tiny() },
+            HierarchyConfig::xeon_w2195(),
+        ] {
+            let mut plain = CacheHierarchy::new(config);
+            let mut coh = CoherentHierarchy::new(config);
+            for i in 0..4000u64 {
+                let addr = (i * 37) % 8192;
+                let width = 1 + (i % 16) as u8;
+                let store = i % 3 == 0;
+                plain.access(addr, width, store);
+                coh.access(addr, width, store);
+            }
+            assert_eq!(plain.stats(), coh.stats());
+            assert_eq!(coh.coherence(), CoherenceStats::default());
+            let t = TimingModel::skylake_like();
+            assert_eq!(
+                t.cycles(1_000, &plain.stats()),
+                t.cycles_coherent(1_000, &coh.stats(), &coh.coherence())
+            );
+        }
+    }
+
+    #[test]
+    fn exclusive_fill_then_silent_modified_upgrade() {
+        let mut h = coherent();
+        h.access(0, 8, false);
+        assert_eq!(h.line_state(0, 0), LineState::Exclusive);
+        h.access(0, 8, true); // E → M, no bus traffic
+        assert_eq!(h.line_state(0, 0), LineState::Modified);
+        assert_eq!(h.coherence(), CoherenceStats::default());
+    }
+
+    #[test]
+    fn read_sharing_downgrades_to_shared() {
+        let mut h = coherent();
+        h.access(0, 8, true); // t0: M
+        h.set_thread(1);
+        h.access(0, 8, false); // t1 read miss: both S, cache-to-cache fill
+        assert_eq!(h.line_state(0, 0), LineState::Shared);
+        assert_eq!(h.line_state(1, 0), LineState::Shared);
+        let c = h.coherence();
+        assert_eq!(c.remote_fills, 1);
+        assert_eq!(c.invalidations, 0);
+        assert_eq!(c.upgrades, 0);
+    }
+
+    #[test]
+    fn shared_write_hit_upgrades_and_invalidates() {
+        let mut h = coherent();
+        h.access(0, 8, false); // t0: E
+        h.set_thread(1);
+        h.access(0, 8, false); // both S
+        h.access(0, 8, true); // t1 write *hit* on S: upgrade, kill t0's copy
+        assert_eq!(h.line_state(1, 0), LineState::Modified);
+        assert_eq!(h.line_state(0, 0), LineState::Invalid);
+        let c = h.coherence();
+        assert_eq!(c.upgrades, 1);
+        assert_eq!(c.invalidations, 1);
+    }
+
+    #[test]
+    fn write_miss_invalidates_every_remote_copy() {
+        let mut h = coherent();
+        h.access(0, 8, false); // t0: E
+        h.set_thread(1);
+        h.access(0, 8, false); // t0, t1: S
+        h.set_thread(2);
+        h.access(0, 8, true); // t2 write miss: kill both copies
+        assert_eq!(h.line_state(2, 0), LineState::Modified);
+        assert_eq!(h.line_state(0, 0), LineState::Invalid);
+        assert_eq!(h.line_state(1, 0), LineState::Invalid);
+        assert_eq!(h.coherence().invalidations, 2);
+        assert_eq!(h.coherence().upgrades, 0);
+    }
+
+    #[test]
+    fn false_sharing_ping_pong_on_one_split_line() {
+        // Two threads write disjoint halves of one 64-byte line: every
+        // store after the first misses (the other side just invalidated
+        // the copy) and invalidates in turn — the pathology per-thread
+        // sharded placement exists to avoid.
+        let mut h = coherent();
+        const ROUNDS: u64 = 10;
+        for _ in 0..ROUNDS {
+            h.set_thread(0);
+            h.access(0, 8, true); // low half
+            h.set_thread(1);
+            h.access(32, 8, true); // high half, same line
+        }
+        let c = h.coherence();
+        // Every store but the very first one invalidates the peer's copy.
+        assert_eq!(c.invalidations, 2 * ROUNDS - 1);
+        assert_eq!(c.upgrades, 0, "copies are always killed before a hit can upgrade");
+        let s = h.stats();
+        assert_eq!(s.l1_misses, 2 * ROUNDS, "each store misses: the line ping-pongs");
+        // The invalidations carry a configurable cycle cost.
+        let t = TimingModel::skylake_like();
+        let with = t.cycles_coherent(0, &s, &c);
+        let without = t.cycles(0, &s);
+        assert_eq!(with - without, c.invalidations as f64 * t.coherence_penalty);
+    }
+
+    #[test]
+    fn per_thread_stats_sum_to_aggregate() {
+        let mut h = coherent();
+        for i in 0..300u64 {
+            h.set_thread((i % 3) as u16);
+            h.access((i * 24) % 4096, 8, i % 4 == 0);
+        }
+        let per = h.thread_stats();
+        assert_eq!(per.len(), 3);
+        assert_eq!(per.iter().map(|t| t.thread).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let mut sum = AccessStats::default();
+        for t in &per {
+            sum.l1_hits += t.stats.l1_hits;
+            sum.l1_misses += t.stats.l1_misses;
+            sum.l2_misses += t.stats.l2_misses;
+            sum.l3_misses += t.stats.l3_misses;
+            sum.tlb_misses += t.stats.tlb_misses;
+            sum.loads += t.stats.loads;
+            sum.stores += t.stats.stores;
+        }
+        assert_eq!(sum, h.stats());
+    }
+
+    #[test]
+    fn idle_threads_are_not_reported() {
+        let mut h = coherent();
+        h.set_thread(5); // creates domains 0..=5
+        h.access(0, 8, false);
+        let per = h.thread_stats();
+        assert_eq!(per.len(), 1, "only threads that accessed memory appear");
+        assert_eq!(per[0].thread, 5);
+    }
+
+    #[test]
+    fn eviction_drops_state_without_coherence_traffic() {
+        // Overflow one L1 set (tiny: 4 sets, 2 ways): the victim's state
+        // entry must go with it so `line_state` reports Invalid.
+        let mut h = coherent();
+        h.access(0, 8, false);
+        h.access(4 * LINE, 8, false); // same set (4 sets)
+        h.access(8 * LINE, 8, false); // evicts line 0
+        assert_eq!(h.line_state(0, 0), LineState::Invalid);
+        assert_eq!(h.coherence(), CoherenceStats::default());
+    }
+
+    #[test]
+    fn flush_clears_contents_and_states() {
+        let mut h = coherent();
+        h.access(0, 8, true);
+        h.set_thread(1);
+        h.access(LINE, 8, false);
+        h.flush();
+        assert_eq!(h.line_state(0, 0), LineState::Invalid);
+        assert_eq!(h.line_state(1, LINE), LineState::Invalid);
+        h.set_thread(0);
+        h.access(0, 8, false);
+        assert_eq!(h.stats().l1_misses, 3, "post-flush access misses again");
+    }
+}

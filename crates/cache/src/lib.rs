@@ -23,10 +23,12 @@
 //! assert_eq!(h.stats().l1_hits, 1);
 //! ```
 
+mod coherent;
 mod hierarchy;
 mod set_assoc;
 mod timing;
 
+pub use coherent::{CoherenceStats, CoherentHierarchy, LineState, ThreadAccessStats};
 pub use hierarchy::{AccessStats, CacheHierarchy, HierarchyConfig};
 pub use set_assoc::{CacheConfig, SetAssocCache};
 pub use timing::TimingModel;

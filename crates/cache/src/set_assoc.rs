@@ -93,6 +93,20 @@ impl SetAssocCache {
         self.lru[(line % self.sets) as usize].contains(&line)
     }
 
+    /// Remove `line` (a line number, as passed to [`Self::access_line`])
+    /// if resident; returns whether a copy was actually dropped. This is
+    /// the coherence hook: a remote write kills local copies without
+    /// touching recency of the survivors.
+    pub fn invalidate_line(&mut self, line: u64) -> bool {
+        let set = &mut self.lru[(line % self.sets) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Invalidate everything.
     pub fn flush(&mut self) {
         for set in &mut self.lru {
@@ -174,6 +188,20 @@ mod tests {
         c.flush();
         assert_eq!(c.resident_lines(), 0);
         assert!(!c.access(0));
+    }
+
+    #[test]
+    fn invalidate_line_removes_only_its_target() {
+        let mut c = tiny();
+        c.access(0 * 64); // set 0
+        c.access(2 * 64); // set 0
+        assert!(c.invalidate_line(0));
+        assert!(!c.invalidate_line(0), "already gone");
+        assert!(!c.contains(0 * 64));
+        assert!(c.contains(2 * 64), "peer line survives");
+        // The freed way is reusable without evicting the survivor.
+        let (_, evicted) = c.access_line(4);
+        assert_eq!(evicted, None);
     }
 
     #[test]

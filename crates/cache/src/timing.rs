@@ -1,5 +1,6 @@
 //! A latency-based timing model turning access counts into cycles.
 
+use crate::coherent::CoherenceStats;
 use crate::hierarchy::AccessStats;
 
 /// Converts instruction and miss counts into simulated cycles.
@@ -20,6 +21,11 @@ pub struct TimingModel {
     pub mem_penalty: f64,
     /// Additional cycles for a dTLB miss (page walk, partially overlapped).
     pub tlb_penalty: f64,
+    /// Additional cycles per cross-thread invalidation (the snoop +
+    /// cache-to-cache round trip a write to a remotely-cached line costs).
+    /// Only [`cycles_coherent`](Self::cycles_coherent) charges it, so
+    /// single-thread timings are untouched.
+    pub coherence_penalty: f64,
 }
 
 impl TimingModel {
@@ -31,6 +37,7 @@ impl TimingModel {
             l3_penalty: 35.0,
             mem_penalty: 180.0,
             tlb_penalty: 25.0,
+            coherence_penalty: 70.0,
         }
     }
 
@@ -47,6 +54,20 @@ impl TimingModel {
             + l3_served as f64 * self.l3_penalty
             + mem_served as f64 * self.mem_penalty
             + stats.tlb_misses as f64 * self.tlb_penalty
+    }
+
+    /// Like [`cycles`](Self::cycles), plus the coherence cost: every
+    /// cross-thread invalidation charges
+    /// [`coherence_penalty`](Self::coherence_penalty) on top. With zero
+    /// invalidations (any single-thread run) this is exactly `cycles` —
+    /// the bit-identity the differential suite pins.
+    pub fn cycles_coherent(
+        &self,
+        instructions: u64,
+        stats: &AccessStats,
+        coherence: &CoherenceStats,
+    ) -> f64 {
+        self.cycles(instructions, stats) + coherence.invalidations as f64 * self.coherence_penalty
     }
 
     /// Speedup of `optimised` over `baseline` as a fraction
@@ -105,10 +126,25 @@ mod tests {
             l3_penalty: 10.0,
             mem_penalty: 100.0,
             tlb_penalty: 0.0,
+            coherence_penalty: 0.0,
         };
         // 5 misses served by L2, 3 by L3, 2 by memory.
         let c = t.cycles(0, &stats(10, 5, 2, 0));
         assert_eq!(c, 5.0 * 1.0 + 3.0 * 10.0 + 2.0 * 100.0);
+    }
+
+    #[test]
+    fn coherence_penalty_charges_invalidations_only() {
+        let t = TimingModel::skylake_like();
+        let s = stats(0, 0, 0, 0);
+        let quiet = CoherenceStats::default();
+        assert_eq!(t.cycles_coherent(1000, &s, &quiet), t.cycles(1000, &s));
+        let noisy = CoherenceStats { invalidations: 7, upgrades: 3, remote_fills: 9 };
+        assert_eq!(
+            t.cycles_coherent(1000, &s, &noisy) - t.cycles(1000, &s),
+            7.0 * t.coherence_penalty,
+            "upgrades and remote fills are informational, not charged"
+        );
     }
 
     #[test]

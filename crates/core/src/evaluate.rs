@@ -4,10 +4,11 @@
 //! rather than a hand-written arm per configuration.
 
 use crate::backend::{BackendCtx, BACKENDS};
-use crate::measure::{measure, MeasureConfig, Measurement};
+use crate::measure::{measure_detailed, MeasureConfig, Measurement};
 use crate::pipeline::{Halo, HaloConfig, Optimised, PipelineError};
+use halo_cache::ThreadAccessStats;
 use halo_hds::{analyze, HdsConfig, HdsResult};
-use halo_mem::{FragReport, GroupAllocStats, SizeClassAllocator};
+use halo_mem::{FragReport, GroupAllocStats, ShardedAllocStats, SizeClassAllocator};
 use halo_profile::TraceCollector;
 use halo_vm::{Engine, Program};
 
@@ -50,6 +51,11 @@ pub struct ConfigResult {
     pub frag: Option<FragReport>,
     /// Group-allocator event counters (backends with grouped pools).
     pub alloc_stats: Option<GroupAllocStats>,
+    /// Remote-free queue pressure (the `halo-sharded` backend only).
+    pub sharded: Option<ShardedAllocStats>,
+    /// Per-logical-thread cache counters, in thread-id order; a single
+    /// entry for single-threaded programs.
+    pub thread_stats: Vec<ThreadAccessStats>,
 }
 
 /// The full §5 result for one workload.
@@ -189,13 +195,15 @@ pub fn evaluate_with_arg(
     for spec in BACKENDS.iter().filter(|s| s.enabled(config)) {
         let mut alloc = spec.make_allocator(&ctx);
         let target = if spec.rewritten { &optimised.program } else { program };
-        let m = measure(target, &mut alloc, &config.measure)?;
+        let d = measure_detailed(target, &mut alloc, &config.measure)?;
         backends.push((
             spec.id,
             ConfigResult {
-                measurement: m,
+                measurement: d.measurement,
                 frag: alloc.backend_frag(),
                 alloc_stats: alloc.backend_stats(),
+                sharded: alloc.backend_sharded_stats(),
+                thread_stats: d.thread_stats,
             },
         ));
     }

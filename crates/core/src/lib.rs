@@ -82,6 +82,9 @@ mod pipeline;
 
 pub use backend::{backend_spec, BackendCtx, BackendSpec, BACKENDS};
 pub use evaluate::{evaluate, evaluate_with_arg, ConfigResult, EvalConfig, EvalResult};
-pub use measure::{measure, measure_with, CacheMonitor, MeasureConfig, Measurement};
+pub use measure::{
+    measure, measure_detailed, measure_with, CacheMonitor, MeasureConfig, MeasureDetail,
+    Measurement,
+};
 pub use parallel::{par_each_ordered, par_map, parse_halo_threads, thread_count};
 pub use pipeline::{Halo, HaloConfig, Optimised, PipelineError};

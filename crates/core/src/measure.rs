@@ -1,7 +1,9 @@
 //! Measurement: run a program under an allocator on the simulated memory
 //! hierarchy and report the paper's metrics.
 
-use halo_cache::{AccessStats, CacheHierarchy, HierarchyConfig, TimingModel};
+use halo_cache::{
+    AccessStats, CoherenceStats, CoherentHierarchy, HierarchyConfig, ThreadAccessStats, TimingModel,
+};
 use halo_vm::{Engine, EngineLimits, ExitStats, Monitor, Program, VmAllocator, VmError};
 
 /// Measurement-run parameters.
@@ -20,27 +22,48 @@ pub struct MeasureConfig {
     pub entry_arg: i64,
 }
 
-/// A [`Monitor`] feeding data accesses into a [`CacheHierarchy`].
+/// A [`Monitor`] feeding data accesses into a [`CoherentHierarchy`],
+/// routing each access through the private L1D/dTLB of the logical thread
+/// the engine most recently announced (`Op::ThreadSwitch` →
+/// [`Monitor::on_thread_switch`]). Programs that never switch threads see
+/// counters bit-identical to the plain
+/// [`CacheHierarchy`](halo_cache::CacheHierarchy) — the differential
+/// property suite pins that.
 #[derive(Debug)]
 pub struct CacheMonitor {
-    hierarchy: CacheHierarchy,
+    hierarchy: CoherentHierarchy,
 }
 
 impl CacheMonitor {
     /// Wrap a hierarchy.
     pub fn new(config: HierarchyConfig) -> Self {
-        CacheMonitor { hierarchy: CacheHierarchy::new(config) }
+        CacheMonitor { hierarchy: CoherentHierarchy::new(config) }
     }
 
-    /// The accumulated statistics.
+    /// The accumulated statistics, aggregated over all logical threads.
     pub fn stats(&self) -> AccessStats {
         self.hierarchy.stats()
+    }
+
+    /// Coherence-traffic counters (all zero for single-threaded runs).
+    pub fn coherence(&self) -> CoherenceStats {
+        self.hierarchy.coherence()
+    }
+
+    /// Per-thread counters, one entry per logical thread that touched
+    /// memory, in thread-id order.
+    pub fn thread_stats(&self) -> Vec<ThreadAccessStats> {
+        self.hierarchy.thread_stats()
     }
 }
 
 impl Monitor for CacheMonitor {
     fn on_access(&mut self, addr: u64, width: u8, store: bool) {
         self.hierarchy.access(addr, width, store);
+    }
+
+    fn on_thread_switch(&mut self, thread: u16) {
+        self.hierarchy.set_thread(thread);
     }
 }
 
@@ -57,6 +80,11 @@ pub struct Measurement {
     pub allocs: u64,
     /// Free count.
     pub frees: u64,
+    /// Coherence traffic between the logical threads' private L1Ds
+    /// (all-zero for single-threaded programs). The invalidations are
+    /// already folded into `cycles` via
+    /// [`TimingModel::cycles_coherent`].
+    pub coherence: CoherenceStats,
 }
 
 impl Measurement {
@@ -111,6 +139,33 @@ pub fn measure_with<A: VmAllocator>(
     alloc: &mut A,
     config: &MeasureConfig,
 ) -> Result<(Measurement, ExitStats), VmError> {
+    measure_detailed(program, alloc, config).map(|d| (d.measurement, d.exit))
+}
+
+/// A [`Measurement`] plus the per-thread breakdown behind it (not `Copy`:
+/// the breakdown is one entry per active logical thread).
+#[derive(Debug, Clone)]
+pub struct MeasureDetail {
+    /// The aggregate measurement (what [`measure`] returns).
+    pub measurement: Measurement,
+    /// The raw engine exit counters.
+    pub exit: ExitStats,
+    /// Per-thread cache counters, in thread-id order, one entry per
+    /// logical thread that touched memory (always at least one).
+    pub thread_stats: Vec<ThreadAccessStats>,
+}
+
+/// Like [`measure`], but also returns the raw [`ExitStats`] and the
+/// per-thread cache counters.
+///
+/// # Errors
+///
+/// Returns the [`VmError`] if the program traps or exceeds limits.
+pub fn measure_detailed<A: VmAllocator>(
+    program: &Program,
+    alloc: &mut A,
+    config: &MeasureConfig,
+) -> Result<MeasureDetail, VmError> {
     let mut monitor = CacheMonitor::new(config.hierarchy);
     let exit = Engine::new(program)
         .with_seed(config.seed)
@@ -118,17 +173,22 @@ pub fn measure_with<A: VmAllocator>(
         .with_limits(config.limits)
         .run(alloc, &mut monitor)?;
     let stats = monitor.stats();
-    let cycles = config.timing.cycles(exit.instructions, &stats);
-    Ok((
-        Measurement {
+    let coherence = monitor.coherence();
+    // With zero invalidations (every single-threaded program) this is
+    // exactly `timing.cycles`, preserving all pre-coherence timings.
+    let cycles = config.timing.cycles_coherent(exit.instructions, &stats, &coherence);
+    Ok(MeasureDetail {
+        measurement: Measurement {
             stats,
             instructions: exit.instructions,
             cycles,
             allocs: exit.allocs,
             frees: exit.frees,
+            coherence,
         },
+        thread_stats: monitor.thread_stats(),
         exit,
-    ))
+    })
 }
 
 #[cfg(test)]
@@ -227,6 +287,72 @@ mod tests {
         assert_eq!(base.speedup_vs(&base), 0.0);
     }
 
+    /// Two logical threads alternately storing to opposite halves of one
+    /// 64-byte object: textbook false sharing.
+    fn false_sharing_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main");
+        m.imm(r(0), 64);
+        m.malloc(r(0), r(1));
+        m.imm(r(2), 0);
+        m.imm(r(3), 200);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, r(2), r(3), done);
+        m.thread_switch(1);
+        m.store(r(2), r(1), 0, Width::W8);
+        m.thread_switch(2);
+        m.store(r(2), r(1), 32, Width::W8);
+        m.add_imm(r(2), r(2), 1);
+        m.jump(top);
+        m.bind(done);
+        m.free(r(1));
+        m.ret(None);
+        let main = m.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn thread_switches_reach_the_cache_model() {
+        let p = false_sharing_program();
+        let mut alloc = SizeClassAllocator::new();
+        let config = MeasureConfig::default();
+        let d = measure_detailed(&p, &mut alloc, &config).expect("runs");
+        let c = d.measurement.coherence;
+        assert!(c.invalidations > 100, "the line ping-pongs between the threads: {c:?}");
+        // The two writers are reported separately; the main thread never
+        // touches memory, so only threads 1 and 2 appear.
+        let threads: Vec<u16> = d.thread_stats.iter().map(|t| t.thread).collect();
+        assert_eq!(threads, vec![1, 2]);
+        assert!(d.thread_stats.iter().all(|t| t.stats.stores > 0));
+        assert_eq!(d.exit.thread_switches, 400);
+        // The invalidations are charged in the cycle model.
+        assert_eq!(
+            d.measurement.cycles,
+            config.timing.cycles(d.measurement.instructions, &d.measurement.stats)
+                + c.invalidations as f64 * config.timing.coherence_penalty
+        );
+    }
+
+    #[test]
+    fn single_threaded_measurements_report_no_coherence_traffic() {
+        let p = interleaved_sweep();
+        let mut alloc = SizeClassAllocator::new();
+        let config = MeasureConfig::default();
+        let d = measure_detailed(&p, &mut alloc, &config).expect("runs");
+        assert_eq!(d.measurement.coherence, halo_cache::CoherenceStats::default());
+        assert_eq!(d.thread_stats.len(), 1);
+        assert_eq!(d.thread_stats[0].thread, 0);
+        assert_eq!(d.thread_stats[0].stats, d.measurement.stats);
+        assert_eq!(d.exit.thread_switches, 0);
+        // Bit-identity with the pre-coherence cycle model.
+        assert_eq!(
+            d.measurement.cycles,
+            config.timing.cycles(d.measurement.instructions, &d.measurement.stats)
+        );
+    }
+
     #[test]
     fn zero_miss_baseline_yields_zero_not_nan() {
         // Regression test: a workload whose baseline never misses (or a
@@ -239,6 +365,7 @@ mod tests {
             cycles: 100.0,
             allocs: 0,
             frees: 0,
+            coherence: CoherenceStats::default(),
         };
         let mut missing = zero;
         missing.stats.l1_misses = 42;

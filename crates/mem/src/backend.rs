@@ -8,6 +8,7 @@
 //! evaluation loop needs no per-backend downcasting or special arms.
 
 use crate::group_alloc::{FragReport, GroupAllocStats};
+use crate::sharded::ShardedAllocStats;
 use crate::{
     BoundaryTagAllocator, BumpAllocator, HaloGroupAllocator, RandomGroupAllocator,
     ShardedHaloAllocator, SizeClassAllocator,
@@ -25,6 +26,12 @@ pub trait BackendAllocator: VmAllocator {
     /// Group-allocator event counters, if this allocator maintains grouped
     /// pools.
     fn backend_stats(&self) -> Option<GroupAllocStats> {
+        None
+    }
+
+    /// Cross-shard remote-free pressure counters (queue pushes, drains,
+    /// peak depth), if this allocator shards by thread.
+    fn backend_sharded_stats(&self) -> Option<ShardedAllocStats> {
         None
     }
 }
@@ -51,5 +58,9 @@ impl BackendAllocator for ShardedHaloAllocator {
 
     fn backend_stats(&self) -> Option<GroupAllocStats> {
         Some(self.stats())
+    }
+
+    fn backend_sharded_stats(&self) -> Option<ShardedAllocStats> {
+        Some(self.sharded_stats())
     }
 }

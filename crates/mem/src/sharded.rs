@@ -105,6 +105,12 @@ pub struct ShardedAllocStats {
     pub remote_frees: u64,
     /// Queued remote frees applied by their owner shard so far.
     pub remote_drained: u64,
+    /// High-water mark of any single shard's remote queue (entries
+    /// observed at push time) — the queue-pressure signal `halo run
+    /// --json` reports: a depth that keeps growing means some owner shard
+    /// is never entered and its memory is only reclaimed by the join-time
+    /// flush.
+    pub remote_peak_queue: u64,
 }
 
 /// The thread-safe sharded HALO runtime (see module docs).
@@ -119,6 +125,7 @@ pub struct ShardedHaloAllocator {
     threads: Mutex<ThreadRegistry>,
     remote_frees: AtomicU64,
     remote_drained: AtomicU64,
+    remote_peak_queue: AtomicU64,
 }
 
 impl ShardedHaloAllocator {
@@ -182,6 +189,7 @@ impl ShardedHaloAllocator {
             threads: Mutex::new(ThreadRegistry::default()),
             remote_frees: AtomicU64::new(0),
             remote_drained: AtomicU64::new(0),
+            remote_peak_queue: AtomicU64::new(0),
         }
     }
 
@@ -313,6 +321,10 @@ impl ShardedHaloAllocator {
             let mut queue = shard.remote.lock().expect("remote queue");
             queue.push(ptr);
             shard.pending.store(queue.len(), Ordering::Release);
+            // Depth is read under the queue lock, so the max over all
+            // pushes is exact per shard; across shards it is the deepest
+            // queue ever observed, which is the pressure signal wanted.
+            self.remote_peak_queue.fetch_max(queue.len() as u64, Ordering::Relaxed);
         }
     }
 
@@ -356,7 +368,8 @@ impl ShardedHaloAllocator {
         // so a snapshot can never show more frees applied than queued.
         let remote_drained = self.remote_drained.load(Ordering::Acquire);
         let remote_frees = self.remote_frees.load(Ordering::Acquire);
-        ShardedAllocStats { alloc: self.stats(), remote_frees, remote_drained }
+        let remote_peak_queue = self.remote_peak_queue.load(Ordering::Relaxed);
+        ShardedAllocStats { alloc: self.stats(), remote_frees, remote_drained, remote_peak_queue }
     }
 
     /// Per-shard group-allocator counters, summed across shards.
@@ -620,6 +633,26 @@ mod tests {
         assert_eq!(a.remote_pending(), 0);
         assert_eq!(a.live_grouped_bytes(), 0);
         assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn remote_peak_queue_is_a_high_water_mark() {
+        let (a, mut gs, mut mem) = sharded(2);
+        gs.set(0);
+        SyncVmAllocator::thread_switched(&a, 0);
+        let ptrs: Vec<u64> =
+            (0..3).map(|_| SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem)).collect();
+        assert_eq!(a.sharded_stats().remote_peak_queue, 0, "no remote traffic yet");
+        // Thread 1 frees all three: shard 0's queue grows to depth 3.
+        SyncVmAllocator::thread_switched(&a, 1);
+        for p in ptrs {
+            SyncVmAllocator::free(&a, p, &mut mem);
+        }
+        assert_eq!(a.sharded_stats().remote_peak_queue, 3);
+        a.drain_remote(&mut mem);
+        let s = a.sharded_stats();
+        assert_eq!(s.remote_peak_queue, 3, "the peak survives the drain");
+        assert_eq!((s.remote_frees, s.remote_drained), (3, 3));
     }
 
     #[test]

@@ -49,7 +49,12 @@ pub trait Monitor {
     }
 
     /// A data access of `width` bytes at `addr`; `store` distinguishes
-    /// writes from reads.
+    /// writes from reads. The access is issued by the current logical
+    /// thread: the engine announces every change of thread through
+    /// [`on_thread_switch`](Self::on_thread_switch) *before* the accesses
+    /// that follow it, so thread-aware monitors (e.g. the coherent cache
+    /// model) track the identity themselves and attribute each access to
+    /// the most recently announced thread (0 until the first switch).
     fn on_access(&mut self, addr: u64, width: u8, store: bool) {
         let _ = (addr, width, store);
     }
@@ -371,6 +376,10 @@ pub struct ExitStats {
     pub loads: u64,
     /// Store instructions executed.
     pub stores: u64,
+    /// [`Op::ThreadSwitch`] instructions executed (zero for any
+    /// single-threaded program — the thread-aware cache model keys its
+    /// single-thread identity guarantee on this staying zero).
+    pub thread_switches: u64,
 }
 
 struct Frame {
@@ -659,6 +668,7 @@ impl<'p> Engine<'p> {
                     }
                 }
                 Op::ThreadSwitch(t) => {
+                    stats.thread_switches += 1;
                     alloc.thread_switched(*t);
                     monitor.on_thread_switch(*t);
                 }

@@ -100,6 +100,11 @@ fn usage() {
          \t                              runtime with n shards (the mt workloads\n\
          \t                              `server` and `xalanc-mt` exercise its\n\
          \t                              cross-thread remote-free path)\n\
+         \t--measure sim|real            sim (default): the simulated hierarchy\n\
+         \t                              with the MESI-lite coherence model.\n\
+         \t                              real: wall-clock the sharded runtime\n\
+         \t                              serially vs. on real OS threads (needs\n\
+         \t                              a multi-core host; implies --shards)\n\
          \t--hds                         also run the hot-data-streams technique\n\
          \t--random                      also run the random four-pool allocator\n\
          \t--ptmalloc                    also run the ptmalloc2-style baseline\n\
@@ -121,6 +126,7 @@ struct Flags {
     granularity: Option<Granularity>,
     reuse_policy: Option<ReusePolicyChoice>,
     shards: Option<usize>,
+    measure: String,
     hds: bool,
     random: bool,
     ptmalloc: bool,
@@ -140,6 +146,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         granularity: None,
         reuse_policy: None,
         shards: None,
+        measure: "sim".to_string(),
         hds: false,
         random: false,
         ptmalloc: false,
@@ -198,6 +205,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     ));
                 }
                 flags.shards = Some(n);
+            }
+            "--measure" => {
+                let v = value("--measure")?;
+                if v != "sim" && v != "real" {
+                    return Err(format!("unknown measurement mode '{v}' (sim|real)"));
+                }
+                flags.measure = v;
             }
             "--metric" => flags.metric = value("--metric")?,
             "--out" => flags.out = Some(value("--out")?),
@@ -389,6 +403,48 @@ fn plans_text(r: &EvalResult) -> String {
     format!("[{}]", body.join(", "))
 }
 
+/// The `"coherence"` object of `halo run --json`: the logical thread
+/// count plus one entry per measured backend (registry order) with its
+/// MESI-lite counters and per-thread L1D miss breakdown. Single-threaded
+/// workloads report `"threads":1` and all-zero counters, so the field is
+/// schema-stable across workloads.
+fn coherence_json(r: &EvalResult) -> String {
+    let threads = r.backends.iter().map(|(_, res)| res.thread_stats.len()).max().unwrap_or(1);
+    let mut out = format!("{{\"threads\":{},\"backends\":[", threads.max(1));
+    for (i, (id, res)) in r.backends.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let c = res.measurement.coherence;
+        let misses: Vec<String> =
+            res.thread_stats.iter().map(|t| t.stats.l1_misses.to_string()).collect();
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"invalidations\":{},\"upgrades\":{},\"remote_fills\":{},\"thread_misses\":[{}]}}",
+            id,
+            c.invalidations,
+            c.upgrades,
+            c.remote_fills,
+            misses.join(","),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `"remote_free"` object of `halo run --json` — cross-shard
+/// remote-free queue pressure of the sharded runtime, present only when a
+/// sharded backend was measured (`--shards`).
+fn remote_free_json(r: &EvalResult) -> String {
+    let Some(s) = r.backends.iter().find_map(|(_, res)| res.sharded.as_ref()) else {
+        return String::new();
+    };
+    format!(
+        ",\"remote_free\":{{\"pushes\":{},\"drained\":{},\"max_queue_depth\":{}}}",
+        s.remote_frees, s.remote_drained, s.remote_peak_queue
+    )
+}
+
 fn render_run(r: &EvalResult, flags: &Flags) -> String {
     let (hds_mr, halo_mr) = r.miss_reduction_row();
     let (hds_su, halo_su) = r.speedup_row();
@@ -419,7 +475,7 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
         }
         let _ = writeln!(
             out,
-            "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"granularity\":\"{}\",\"auto_declined\":{},\"frag_fraction\":{:.4},\"wasted_bytes\":{},\"plans\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}{}}}",
+            "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"granularity\":\"{}\",\"auto_declined\":{},\"frag_fraction\":{:.4},\"wasted_bytes\":{},\"plans\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}{},\"coherence\":{}{}}}",
             r.name,
             halo.measurement.stats.l1_misses,
             halo.measurement.cycles,
@@ -439,6 +495,8 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
             base.measurement.stats.l1_misses,
             base.measurement.cycles,
             extra_json,
+            coherence_json(r),
+            remote_free_json(r),
         );
     } else {
         let _ = writeln!(out, "=== {} ===", r.name);
@@ -485,6 +543,28 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
                 res.measurement.speedup_vs(&base.measurement) * 100.0,
             );
         }
+        // Coherence traffic only exists once a second logical thread runs,
+        // so single-threaded rows stay byte-identical to the pre-coherence
+        // output.
+        let threads = r.backends.iter().map(|(_, res)| res.thread_stats.len()).max().unwrap_or(1);
+        if threads > 1 {
+            let parts: Vec<String> = r
+                .backends
+                .iter()
+                .map(|(id, res)| {
+                    let c = res.measurement.coherence;
+                    format!("{id} {} inval/{} upgr", c.invalidations, c.upgrades)
+                })
+                .collect();
+            let _ = writeln!(out, "  coherence ({threads} threads): {}", parts.join(", "));
+            if let Some(s) = r.backends.iter().find_map(|(_, res)| res.sharded.as_ref()) {
+                let _ = writeln!(
+                    out,
+                    "  remote-free queues: {} pushes, {} drained, peak depth {}",
+                    s.remote_frees, s.remote_drained, s.remote_peak_queue
+                );
+            }
+        }
     }
     out
 }
@@ -492,7 +572,97 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let workloads = find_workloads(flags.benchmark.as_deref())?;
+    if flags.measure == "real" {
+        return cmd_run_real(&workloads, &flags);
+    }
     run_sweep(&workloads, |w| Ok(render_run(&run_one(w, &flags)?, &flags)))
+}
+
+/// `halo run --measure real`: wall-clock the thread-safe sharded runtime
+/// on real OS threads instead of the simulated hierarchy — the paper's
+/// multi-core claims the simulator cannot speak to. Each workload's
+/// optimised program is executed `T` times (T = available cores capped by
+/// the shard count), first serially on one thread, then with one engine
+/// per OS thread sharing the sharded allocator, and the wall-clock ratio
+/// is reported. On a single-core host the mode degrades gracefully: it
+/// prints why and exits successfully, so scripted invocations stay green.
+/// `HALO_THREADS` overrides the detected core count (as everywhere else),
+/// which also makes the multi-engine path testable on any host.
+fn cmd_run_real(workloads: &[Workload], flags: &Flags) -> Result<(), String> {
+    use halo::vm::{Engine, NullMonitor};
+    let cores = match std::env::var("HALO_THREADS") {
+        Ok(v) => halo::core::parse_halo_threads(&v)?,
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    if cores < 2 {
+        println!(
+            "--measure real needs a multi-core host (available_parallelism reports {cores}); \
+             skipping wall-clock measurement"
+        );
+        return Ok(());
+    }
+    // Wall-clock rows are noise-sensitive; never fan the sweep out.
+    for w in workloads {
+        let config = config_for(w, flags);
+        let halo = halo::core::Halo::new(config.halo);
+        let opt = halo
+            .optimise_with_arg(&w.program, w.train.seed, w.train.arg)
+            .map_err(|e| format!("{}: {e}", w.name))?;
+        let shards = config.shards; // config_for applied --shards already
+        let runs = cores.min(shards.max(2));
+        let alloc = halo.make_sharded_allocator(&opt, shards);
+        let run_once = |seed_salt: u64| -> Result<u64, String> {
+            let mut handle = &alloc;
+            let mut engine = Engine::new(&opt.program)
+                .with_seed(config.measure.seed ^ seed_salt)
+                .with_entry_arg(config.measure.entry_arg)
+                .with_limits(config.measure.limits);
+            engine
+                .run(&mut handle, &mut NullMonitor)
+                .map(|exit| exit.instructions)
+                .map_err(|e| format!("{}: {e}", w.name))
+        };
+        let serial_start = Instant::now();
+        let mut instructions = 0u64;
+        for i in 0..runs {
+            instructions += run_once(i as u64)?;
+        }
+        let serial = serial_start.elapsed();
+        let parallel_start = Instant::now();
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..runs).map(|i| scope.spawn(move || run_once(i as u64))).collect();
+            handles.into_iter().map(|h| h.join().expect("engine thread")).collect::<Vec<_>>()
+        });
+        let parallel = parallel_start.elapsed();
+        for r in results {
+            r?;
+        }
+        let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+        if flags.json {
+            println!(
+                "{{\"benchmark\":\"{}\",\"measure\":\"real\",\"engines\":{},\"shards\":{},\"instructions\":{},\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\"speedup\":{:.3}}}",
+                w.name,
+                runs,
+                shards,
+                instructions,
+                serial.as_secs_f64() * 1e3,
+                parallel.as_secs_f64() * 1e3,
+                speedup,
+            );
+        } else {
+            println!(
+                "{:<10} real: {} engines over {} shards, serial {:.1}ms, parallel {:.1}ms, speedup {:.2}x",
+                w.name,
+                runs,
+                shards,
+                serial.as_secs_f64() * 1e3,
+                parallel.as_secs_f64() * 1e3,
+                speedup,
+            );
+        }
+    }
+    Ok(())
 }
 
 fn cmd_plot(args: &[String]) -> Result<(), String> {
@@ -561,6 +731,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         || flags.granularity.is_some()
         || flags.reuse_policy.is_some()
         || flags.shards.is_some()
+        || flags.measure != "sim" // the parse-time default
         || flags.metric != "misses" // the parse-time default
         || flags.hds
         || flags.random
@@ -586,6 +757,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }));
     rows.push(time_samples("mem/sharded_alloc_mt", 10, || {
         std::hint::black_box(halo_bench::sharded_alloc_mt());
+    }));
+    rows.push(time_samples("cache/coherent_access_100k", 10, || {
+        std::hint::black_box(halo_bench::coherent_access_100k());
     }));
 
     // End-to-end pipeline (profile → group → identify → rewrite →

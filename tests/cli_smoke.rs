@@ -50,6 +50,8 @@ fn run_toy_json_emits_machine_readable_row() {
         "\"miss_reduction\":",
         "\"speedup\":",
         "\"groups\":",
+        "\"coherence\":{\"threads\":1,",
+        "\"invalidations\":0",
     ] {
         assert!(line.contains(key), "JSON row is missing {key}: {line}");
     }
@@ -152,9 +154,22 @@ fn shards_flag_enables_the_sharded_backend() {
     for key in ["\"l1d_misses\":", "\"miss_reduction\":", "\"speedup\":"] {
         assert!(text.contains(key), "sharded JSON section is missing {key}: {text}");
     }
+    // The sharded runtime's remote-free queue pressure is part of the row.
+    assert!(
+        text.contains("\"remote_free\":{\"pushes\":"),
+        "JSON row must carry remote-free queue counters: {text}"
+    );
+    for key in ["\"drained\":", "\"max_queue_depth\":"] {
+        assert!(text.contains(key), "remote_free section is missing {key}: {text}");
+    }
     // Without the flag the backend stays off.
     let plain = halo(&["run", "--benchmark", "toy", "--json"]);
     assert!(!stdout(&plain).contains("halo-sharded"), "{}", stdout(&plain));
+    assert!(
+        !stdout(&plain).contains("\"remote_free\""),
+        "remote_free must only appear when a sharded backend ran: {}",
+        stdout(&plain)
+    );
     // Invalid counts are clear parse errors.
     let zero = halo(&["run", "--benchmark", "toy", "--shards", "0"]);
     assert!(!zero.status.success());
@@ -181,6 +196,58 @@ fn bench_rejects_run_configuration_flags() {
     let sharded = halo(&["bench", "--shards", "4"]);
     assert!(!sharded.status.success(), "bench must reject --shards");
     assert!(stderr(&sharded).contains("halo bench only accepts"), "{}", stderr(&sharded));
+    let real = halo(&["bench", "--measure", "real"]);
+    assert!(!real.status.success(), "bench must reject --measure real");
+    assert!(stderr(&real).contains("halo bench only accepts"), "{}", stderr(&real));
+}
+
+#[test]
+fn measure_flag_validates_its_value() {
+    let bad = halo(&["run", "--benchmark", "toy", "--measure", "bogus"]);
+    assert!(!bad.status.success());
+    assert!(
+        stderr(&bad).contains("unknown measurement mode 'bogus' (sim|real)"),
+        "{}",
+        stderr(&bad)
+    );
+    // An explicit `sim` is the default path.
+    let sim = halo(&["run", "--benchmark", "toy", "--measure", "sim", "--json"]);
+    assert!(sim.status.success(), "--measure sim failed: {}", stderr(&sim));
+    assert!(stdout(&sim).contains("\"benchmark\":\"toy\""));
+}
+
+#[test]
+fn measure_real_gates_on_core_count_and_runs_when_multicore() {
+    // HALO_THREADS pins the perceived core count, so both sides of the
+    // available_parallelism gate are exercised regardless of the host.
+    let gated = Command::new(env!("CARGO_BIN_EXE_halo"))
+        .args(["run", "--benchmark", "toy", "--measure", "real"])
+        .env("HALO_THREADS", "1")
+        .output()
+        .expect("the halo binary must spawn");
+    assert!(gated.status.success(), "the single-core gate must exit green: {}", stderr(&gated));
+    assert!(
+        stdout(&gated).contains("needs a multi-core host"),
+        "the gate must say why it skipped: {}",
+        stdout(&gated)
+    );
+    let real = Command::new(env!("CARGO_BIN_EXE_halo"))
+        .args(["run", "--benchmark", "toy", "--shards", "2", "--measure", "real", "--json"])
+        .env("HALO_THREADS", "2")
+        .output()
+        .expect("the halo binary must spawn");
+    assert!(real.status.success(), "multi-core real mode failed: {}", stderr(&real));
+    let text = stdout(&real);
+    for key in [
+        "\"measure\":\"real\"",
+        "\"engines\":2",
+        "\"shards\":2",
+        "\"serial_ms\":",
+        "\"parallel_ms\":",
+        "\"speedup\":",
+    ] {
+        assert!(text.contains(key), "real-mode JSON is missing {key}: {text}");
+    }
 }
 
 #[test]
@@ -210,7 +277,14 @@ fn multithreaded_sweep_is_deterministic_serial_vs_parallel() {
         stdout(&parallel)
     );
     let text = stdout(&serial);
-    for key in ["\"benchmark\":\"server\"", "\"benchmark\":\"xalanc-mt\"", "\"halo-sharded\":{"] {
+    for key in [
+        "\"benchmark\":\"server\"",
+        "\"benchmark\":\"xalanc-mt\"",
+        "\"halo-sharded\":{",
+        "\"coherence\":{\"threads\":",
+        "\"thread_misses\":[",
+        "\"remote_free\":{\"pushes\":",
+    ] {
         assert!(text.contains(key), "mt sweep output is missing {key}:\n{text}");
     }
 }

@@ -1,0 +1,83 @@
+//! Integration pins for the MESI-lite coherence model (DESIGN.md §11):
+//! the multi-threaded workloads must show per-thread sharding *reducing*
+//! invalidation traffic versus plain HALO, single-threaded workloads must
+//! report exactly zero coherence events, and the remote-free queue
+//! counters must surface alongside. The CLI-level serial ≡ parallel
+//! byte-identity of the new JSON fields is pinned in `cli_smoke.rs`
+//! (`multithreaded_sweep_is_deterministic_serial_vs_parallel`).
+
+use halo::cache::CoherenceStats;
+
+#[test]
+fn sharded_halo_has_strictly_fewer_invalidations_on_mt_workloads() {
+    // The PR's acceptance criterion: on both mt workloads the per-thread
+    // sharded allocator separates each thread's objects into its own
+    // shard, so cross-thread false sharing (producer A's header next to
+    // producer B's on one line) disappears while true sharing (the
+    // handed-off payloads) remains.
+    for w in halo::workloads::multithreaded() {
+        let result = halo_bench::run_workload(&w, &["halo-sharded"]);
+        let plain = result.halo().measurement.coherence;
+        let sharded = result.get("halo-sharded").expect("extra backend measured");
+        let sc = sharded.measurement.coherence;
+        assert!(
+            plain.invalidations > 0,
+            "{}: an mt workload must generate coherence traffic under plain HALO: {plain:?}",
+            w.name
+        );
+        assert!(
+            sc.invalidations < plain.invalidations,
+            "{}: sharded must invalidate strictly less than plain ({} vs {})",
+            w.name,
+            sc.invalidations,
+            plain.invalidations
+        );
+        // The workloads really ran multi-threaded, with per-thread misses
+        // attributed and remote-free pressure reported.
+        assert!(
+            sharded.thread_stats.len() > 1,
+            "{}: expected a per-thread breakdown, got {:?}",
+            w.name,
+            sharded.thread_stats
+        );
+        let queue = sharded.sharded.expect("the sharded backend reports queue pressure");
+        assert!(
+            queue.remote_frees > 0 && queue.remote_peak_queue > 0,
+            "{}: cross-thread frees must ride the remote queues: {queue:?}",
+            w.name
+        );
+        assert_eq!(
+            queue.remote_frees, queue.remote_drained,
+            "{}: the join-time flush drains every queued free",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn single_threaded_workloads_report_exactly_zero_coherence_events() {
+    // The end-to-end face of the bit-identity guarantee: no workload that
+    // never switches threads may see any coherence counter move, on any
+    // backend, and the per-thread breakdown collapses to thread 0.
+    let mut workloads = vec![halo::workloads::toy::build()];
+    workloads.extend(halo::workloads::all().into_iter().filter(|w| w.name == "povray"));
+    assert_eq!(workloads.len(), 2, "toy + povray");
+    for w in &workloads {
+        let result = halo_bench::run_workload(w, &[]);
+        for (id, r) in &result.backends {
+            assert_eq!(
+                r.measurement.coherence,
+                CoherenceStats::default(),
+                "{}/{id}: single-threaded runs must stay coherence-silent",
+                w.name
+            );
+            assert_eq!(r.thread_stats.len(), 1, "{}/{id}: one logical thread", w.name);
+            assert_eq!(r.thread_stats[0].thread, 0);
+            assert_eq!(
+                r.thread_stats[0].stats, r.measurement.stats,
+                "{}/{id}: the only thread owns every access",
+                w.name
+            );
+        }
+    }
+}

@@ -1,6 +1,9 @@
 //! Property-based tests over the core data structures and invariants
 //! listed in DESIGN.md §8.
 
+use halo::cache::{
+    CacheHierarchy, CoherenceStats, CoherentHierarchy, HierarchyConfig, LineState, TimingModel,
+};
 use halo::graph::{group, AffinityGraph, Granularity, GroupingParams, NodeId};
 use halo::hds::Grammar;
 use halo::mem::{
@@ -15,6 +18,79 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 fn site() -> CallSite {
     CallSite::new(FuncId(0), 0)
+}
+
+/// Naive MESI-lite reference model: a flat `(thread, line) → state` map
+/// with the transitions written straight from the `halo_cache::coherent`
+/// module docs and no cache structure at all. Valid only while nothing can
+/// be evicted, which the property test's geometry guarantees (32 distinct
+/// lines against the Xeon L1's 64 sets × 8 ways: one line per set).
+#[derive(Default)]
+struct ReferenceMesi {
+    states: HashMap<(u16, u64), LineState>, // absent = Invalid
+    invalidations: u64,
+    upgrades: u64,
+    remote_fills: u64,
+}
+
+impl ReferenceMesi {
+    const THREADS: u16 = 4;
+
+    fn state(&self, t: u16, line: u64) -> LineState {
+        self.states.get(&(t, line)).copied().unwrap_or(LineState::Invalid)
+    }
+
+    fn access(&mut self, t: u16, line: u64, store: bool) {
+        match self.state(t, line) {
+            // Hit.
+            LineState::Modified => {}
+            LineState::Exclusive => {
+                if store {
+                    // Silent upgrade: no bus traffic.
+                    self.states.insert((t, line), LineState::Modified);
+                }
+            }
+            LineState::Shared => {
+                if store {
+                    // Bus upgrade: announced blind, so counted even if no
+                    // remote copy survives; invalidations count removals.
+                    self.upgrades += 1;
+                    for u in (0..Self::THREADS).filter(|&u| u != t) {
+                        if self.states.remove(&(u, line)).is_some() {
+                            self.invalidations += 1;
+                        }
+                    }
+                    self.states.insert((t, line), LineState::Modified);
+                }
+            }
+            // Miss: probe the other threads, then fill.
+            LineState::Invalid => {
+                let remotes: Vec<u16> = (0..Self::THREADS)
+                    .filter(|&u| u != t && self.states.contains_key(&(u, line)))
+                    .collect();
+                if !remotes.is_empty() {
+                    self.remote_fills += 1;
+                }
+                let fill = if store {
+                    for &u in &remotes {
+                        self.states.remove(&(u, line));
+                        self.invalidations += 1;
+                    }
+                    LineState::Modified
+                } else {
+                    for &u in &remotes {
+                        self.states.insert((u, line), LineState::Shared);
+                    }
+                    if remotes.is_empty() {
+                        LineState::Exclusive
+                    } else {
+                        LineState::Shared
+                    }
+                };
+                self.states.insert((t, line), fill);
+            }
+        }
+    }
 }
 
 /// Straightforward reference implementation of the page-granularity
@@ -606,6 +682,75 @@ proptest! {
         let remote = sharded.sharded_stats();
         prop_assert_eq!(remote.remote_frees, 0, "one shard: every free is local");
         prop_assert_eq!(sharded.remote_pending(), 0);
+    }
+
+    #[test]
+    fn coherent_hierarchy_on_one_thread_is_bit_identical_to_plain(
+        trace in proptest::collection::vec((0u64..32_768, 1u8..17, any::<bool>()), 1..500),
+        config_idx in 0usize..3,
+    ) {
+        // The differential identity behind the coherent hierarchy (the
+        // PR-5 shards=1 test's shape at the cache layer): driven by a
+        // single logical thread there is no peer to cohere with, so the
+        // MESI-lite machinery must be behaviourally invisible — every
+        // counter matches the plain hierarchy after every access, the
+        // coherence counters stay zero, and the cycle model agrees.
+        let config = [
+            HierarchyConfig::tiny(),
+            HierarchyConfig { adjacent_line_prefetch: true, ..HierarchyConfig::tiny() },
+            HierarchyConfig::xeon_w2195(),
+        ][config_idx];
+        let mut plain = CacheHierarchy::new(config);
+        let mut coh = CoherentHierarchy::new(config);
+        for (step, &(addr, width, store)) in trace.iter().enumerate() {
+            plain.access(addr, width, store);
+            coh.access(addr, width, store);
+            prop_assert_eq!(plain.stats(), coh.stats(), "counters diverge at step {}", step);
+        }
+        prop_assert_eq!(coh.coherence(), CoherenceStats::default());
+        let t = TimingModel::skylake_like();
+        prop_assert_eq!(
+            t.cycles(trace.len() as u64, &plain.stats()),
+            t.cycles_coherent(trace.len() as u64, &coh.stats(), &coh.coherence()),
+            "single-thread cycles must not change under the coherent model"
+        );
+        let per = coh.thread_stats();
+        prop_assert_eq!(per.len(), 1);
+        prop_assert_eq!(per[0].thread, 0);
+        prop_assert_eq!(per[0].stats, coh.stats());
+    }
+
+    #[test]
+    fn coherent_hierarchy_matches_the_mesi_reference_model(
+        trace in proptest::collection::vec((0u16..4, 0u64..32, 0u64..56, any::<bool>()), 1..300),
+    ) {
+        // Randomized multi-thread interleavings against the naive
+        // per-line state map: same states line-for-line after every
+        // access, same invalidation/upgrade/remote-fill counts. The Xeon
+        // geometry guarantees the 32-line universe can never evict (one
+        // line per L1 set), which is the reference model's validity
+        // domain.
+        const LINE: u64 = 64;
+        let mut h = CoherentHierarchy::new(HierarchyConfig::xeon_w2195());
+        let mut reference = ReferenceMesi::default();
+        for (step, &(thread, line, offset, store)) in trace.iter().enumerate() {
+            h.set_thread(thread);
+            h.access(line * LINE + offset, 8, store); // offset ≤ 55: one line
+            reference.access(thread, line, store);
+            for t in 0..ReferenceMesi::THREADS {
+                for l in 0..32u64 {
+                    prop_assert_eq!(
+                        h.line_state(t, l * LINE),
+                        reference.state(t, l),
+                        "state of (thread {}, line {}) diverges at step {}", t, l, step
+                    );
+                }
+            }
+            let c = h.coherence();
+            prop_assert_eq!(c.invalidations, reference.invalidations, "invalidations at {}", step);
+            prop_assert_eq!(c.upgrades, reference.upgrades, "upgrades at {}", step);
+            prop_assert_eq!(c.remote_fills, reference.remote_fills, "remote fills at {}", step);
+        }
     }
 
     #[test]
