@@ -8,7 +8,9 @@ use crate::measure::{measure_detailed, MeasureConfig, Measurement};
 use crate::pipeline::{Halo, HaloConfig, Optimised, PipelineError};
 use halo_cache::ThreadAccessStats;
 use halo_hds::{analyze, HdsConfig, HdsResult};
-use halo_mem::{FragReport, GroupAllocStats, ShardedAllocStats, SizeClassAllocator};
+use halo_mem::{
+    DegradeStats, FaultPlan, FragReport, GroupAllocStats, ShardedAllocStats, SizeClassAllocator,
+};
 use halo_profile::TraceCollector;
 use halo_vm::{Engine, Program};
 
@@ -28,6 +30,13 @@ pub struct EvalConfig {
     /// Shard count for the `halo-sharded` backend (`--shards` on the
     /// CLI). Ignored unless that backend is enabled.
     pub shards: usize,
+    /// Deterministic fault schedule replayed against every HALO backend
+    /// (`--inject` on the CLI). `None` — the default — attaches no
+    /// injector, keeping every measurement byte-identical to a build
+    /// without fault support. Each backend gets a fresh injector with
+    /// fresh occurrence counters, so the schedule replays identically
+    /// per backend.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EvalConfig {
@@ -38,6 +47,7 @@ impl Default for EvalConfig {
             measure: MeasureConfig::default(),
             extras: Vec::new(),
             shards: 4,
+            faults: None,
         }
     }
 }
@@ -53,6 +63,9 @@ pub struct ConfigResult {
     pub alloc_stats: Option<GroupAllocStats>,
     /// Remote-free queue pressure (the `halo-sharded` backend only).
     pub sharded: Option<ShardedAllocStats>,
+    /// Degradation-ladder counters (HALO backends; all-zero outside
+    /// fault-injection runs unless the run genuinely degraded).
+    pub degrade: Option<DegradeStats>,
     /// Per-logical-thread cache counters, in thread-id order; a single
     /// entry for single-threaded programs.
     pub thread_stats: Vec<ThreadAccessStats>,
@@ -194,6 +207,12 @@ pub fn evaluate_with_arg(
     let mut backends = Vec::new();
     for spec in BACKENDS.iter().filter(|s| s.enabled(config)) {
         let mut alloc = spec.make_allocator(&ctx);
+        if let Some(plan) = &config.faults {
+            // Each backend replays the schedule from occurrence zero;
+            // backends without a degradation ladder (the baselines)
+            // decline and run clean.
+            alloc.backend_inject(plan);
+        }
         let target = if spec.rewritten { &optimised.program } else { program };
         let d = measure_detailed(target, &mut alloc, &config.measure)?;
         backends.push((
@@ -203,6 +222,7 @@ pub fn evaluate_with_arg(
                 frag: alloc.backend_frag(),
                 alloc_stats: alloc.backend_stats(),
                 sharded: alloc.backend_sharded_stats(),
+                degrade: alloc.backend_degrade(),
                 thread_stats: d.thread_stats,
             },
         ));
@@ -401,6 +421,37 @@ mod tests {
             "every free (including remote-queued ones) is applied before reporting: {s:?}"
         );
         assert_eq!(s.grouped_allocs + s.fallback_allocs, 64);
+    }
+
+    #[test]
+    fn fault_injection_degrades_but_never_fails_the_evaluation() {
+        let p = workload();
+        let cfg = EvalConfig {
+            halo: HaloConfig {
+                grouping: halo_graph::GroupingParams { min_weight: 2, ..Default::default() },
+                ..Default::default()
+            },
+            extras: vec!["halo-sharded"],
+            faults: Some(FaultPlan::new(3).at(halo_mem::FaultSite::VmmReserve, 1)),
+            ..Default::default()
+        };
+        let result = evaluate(&p, "fig2", 1, &cfg).expect("evaluation survives injected faults");
+        // The HALO backend's first slab reservation failed: its group
+        // degraded, the run completed on the fallback, and the ladder's
+        // counters surfaced in the result.
+        let d = result.halo().degrade.expect("halo backend reports degradation");
+        assert!(d.injected_faults >= 1, "the fault fired: {d:?}");
+        assert!(d.fallback_routes >= 1, "requests were routed, not refused: {d:?}");
+        assert!(d.degraded_groups >= 1);
+        // Each backend replays the schedule with fresh counters.
+        let ds = result.get("halo-sharded").expect("requested").degrade.expect("ladder");
+        assert!(ds.injected_faults >= 1, "fresh injector per backend: {ds:?}");
+        // Baselines predate the ladder and decline injection.
+        assert!(result.baseline().degrade.is_none());
+        // An empty plan attaches an injector that never fires.
+        let clean = EvalConfig { faults: Some(FaultPlan::default()), ..EvalConfig::default() };
+        let clean_result = evaluate(&p, "fig2", 1, &clean).expect("runs");
+        assert_eq!(clean_result.halo().degrade, Some(DegradeStats::default()));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! Allocators without grouped pools simply report `None`, so the
 //! evaluation loop needs no per-backend downcasting or special arms.
 
+use crate::faults::{DegradeStats, FaultInjector, FaultPlan};
 use crate::group_alloc::{FragReport, GroupAllocStats};
 use crate::sharded::ShardedAllocStats;
 use crate::{
@@ -34,6 +35,19 @@ pub trait BackendAllocator: VmAllocator {
     fn backend_sharded_stats(&self) -> Option<ShardedAllocStats> {
         None
     }
+
+    /// Attach a fault injector replaying `plan` (chaos runs / `halo run
+    /// --inject`). Returns whether this backend supports injection; the
+    /// baselines do not — they predate the degradation ladder and are not
+    /// what the robustness claim is about.
+    fn backend_inject(&mut self, _plan: &FaultPlan) -> bool {
+        false
+    }
+
+    /// Degradation-ladder counters, if this backend maintains them.
+    fn backend_degrade(&self) -> Option<DegradeStats> {
+        None
+    }
 }
 
 impl BackendAllocator for SizeClassAllocator {}
@@ -49,6 +63,15 @@ impl<F: VmAllocator> BackendAllocator for HaloGroupAllocator<F> {
     fn backend_stats(&self) -> Option<GroupAllocStats> {
         Some(self.stats())
     }
+
+    fn backend_inject(&mut self, plan: &FaultPlan) -> bool {
+        self.set_fault_injector(std::sync::Arc::new(FaultInjector::new(plan.clone())));
+        true
+    }
+
+    fn backend_degrade(&self) -> Option<DegradeStats> {
+        Some(self.degrade_stats())
+    }
 }
 
 impl BackendAllocator for ShardedHaloAllocator {
@@ -62,5 +85,14 @@ impl BackendAllocator for ShardedHaloAllocator {
 
     fn backend_sharded_stats(&self) -> Option<ShardedAllocStats> {
         Some(self.sharded_stats())
+    }
+
+    fn backend_inject(&mut self, plan: &FaultPlan) -> bool {
+        self.set_fault_injector(std::sync::Arc::new(FaultInjector::new(plan.clone())));
+        true
+    }
+
+    fn backend_degrade(&self) -> Option<DegradeStats> {
+        Some(self.degrade_stats())
     }
 }

@@ -44,7 +44,8 @@ impl BoundaryTagAllocator {
     /// Create an allocator rooted at `base`.
     pub fn with_base(base: u64) -> Self {
         let mut vmm = Vmm::new(base, 1 << 38);
-        let heap_base = vmm.reserve(0, 16);
+        let heap_base =
+            vmm.reserve(0, 16).unwrap_or_else(|_| unreachable!("fresh span cannot be exhausted"));
         BoundaryTagAllocator {
             vmm,
             free_by_addr: BTreeMap::new(),
@@ -67,11 +68,9 @@ impl BoundaryTagAllocator {
                 best = Some((addr, size));
             }
         }
-        if let Some((addr, _)) = best {
-            let size = self.free_by_addr.remove(&addr).expect("present");
-            return Some((addr, size));
-        }
-        None
+        let (addr, size) = best?;
+        self.free_by_addr.remove(&addr);
+        Some((addr, size))
     }
 
     fn insert_free_coalescing(&mut self, mut addr: u64, mut size: u64) {
@@ -134,7 +133,11 @@ impl VmAllocator for BoundaryTagAllocator {
             }
             None => {
                 let base = self.top;
-                self.vmm.reserve(need, 1);
+                if self.vmm.reserve(need, 1).is_err() {
+                    // Heap span exhausted: report allocation failure (null)
+                    // rather than aliasing addresses past the span.
+                    return 0;
+                }
                 self.top += need;
                 (base, need)
             }

@@ -63,7 +63,9 @@ impl AllocatorStats for BumpAllocator {
 impl VmAllocator for BumpAllocator {
     fn malloc(&mut self, size: u64, _site: CallSite, _gs: &GroupState, _mem: &mut Memory) -> u64 {
         let size = size.max(1);
-        let ptr = self.vmm.reserve(size, 8);
+        let Ok(ptr) = self.vmm.reserve(size, 8) else {
+            return 0; // span exhausted: allocation failure, not a panic
+        };
         self.sizes.insert(ptr, size);
         self.live_bytes += size;
         ptr

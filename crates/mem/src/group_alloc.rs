@@ -20,13 +20,15 @@
 //! the fallback allocator (the paper uses `dlsym` to find the next
 //! allocator; composition plays that role here).
 
+use crate::faults::{DegradeStats, FaultInjector, FaultSite};
 use crate::selector::SelectorTable;
 use crate::stats::AllocatorStats;
-use crate::vmm::Vmm;
+use crate::vmm::{ReserveError, Vmm};
 use crate::SizeClassAllocator;
 use halo_graph::ReusePolicy;
 use halo_vm::{CallSite, GroupState, Memory, VmAllocator, PAGE_SIZE};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Tunables of the group allocator, mirroring the artefact's flags
 /// (`--chunk-size`, `--max-spare-chunks`, `--max-groups` lives in grouping).
@@ -210,6 +212,17 @@ pub struct HaloGroupAllocator<F = SizeClassAllocator> {
     /// reuse policy ranks groups by).
     group_usage: Vec<PoolUsage>,
     stats: GroupAllocStats,
+    /// Groups whose chunk supply failed: new requests route wholesale to
+    /// the fallback (the paper's ungrouped path), live pointers keep
+    /// working. The optimisation is lost for the group, never the process.
+    degraded: Vec<bool>,
+    /// Degradation-ladder counters. `degraded_groups` and
+    /// `injected_faults` are snapshots computed on read (see
+    /// [`Self::degrade_stats`]); the rest accumulate here.
+    degrade: DegradeStats,
+    /// Fault injector for chaos runs; `None` in production costs one
+    /// branch per resource edge and changes no behaviour.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl HaloGroupAllocator<SizeClassAllocator> {
@@ -306,6 +319,9 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
             usage: PoolUsage::default(),
             group_usage: vec![PoolUsage::default(); num_groups],
             stats: GroupAllocStats::default(),
+            degraded: vec![false; num_groups],
+            degrade: DegradeStats::default(),
+            faults: None,
         }
     }
 
@@ -322,6 +338,7 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
             self.current.resize(n, None);
             self.group_cfg.resize(n, self.config);
             self.group_usage.resize(n, PoolUsage::default());
+            self.degraded.resize(n, false);
         }
     }
 
@@ -374,23 +391,35 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
         (high_water - base).div_ceil(PAGE_SIZE) * PAGE_SIZE
     }
 
-    fn carve_chunk(&mut self, cs: u64) -> u64 {
+    fn carve_chunk(&mut self, cs: u64) -> Result<u64, ReserveError> {
         if let Some((next, end)) = self.slab_cursor {
             // Chunks of different groups may differ in size; align each to
             // its own size within the slab.
             let base = (next + cs - 1) & !(cs - 1);
             if base + cs <= end {
                 self.slab_cursor = Some((base + cs, end));
-                return base;
+                return Ok(base);
             }
         }
-        let slab = self.vmm.reserve(self.config.slab_size, cs);
+        if self.faults.as_ref().is_some_and(|f| f.should_fail(FaultSite::VmmReserve)) {
+            return Err(ReserveError::SpanExhausted {
+                requested: self.config.slab_size,
+                available: 0,
+            });
+        }
+        let slab = self.vmm.reserve(self.config.slab_size, cs)?;
         self.slabs_end = self.slabs_end.max(slab + self.config.slab_size);
         self.slab_cursor = Some((slab + cs, slab + self.config.slab_size));
-        slab
+        Ok(slab)
     }
 
-    fn acquire_chunk(&mut self, group: usize) -> u64 {
+    /// Supply a chunk for `group`, or `None` when the chunk map cannot
+    /// grow or the slab span is exhausted — the caller's cue to degrade
+    /// the group, never a panic.
+    fn acquire_chunk(&mut self, group: usize) -> Option<u64> {
+        if self.faults.as_ref().is_some_and(|f| f.should_fail(FaultSite::ChunkAlloc)) {
+            return None;
+        }
         let cs = self.group_cfg[group].chunk_size;
         // Reuse pools are shared between groups, but only a chunk of the
         // group's own size qualifies.
@@ -409,8 +438,8 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
             self.stats.chunks_reused += 1;
             (base, base)
         } else {
+            let base = self.carve_chunk(cs).ok()?;
             self.stats.chunks_created += 1;
-            let base = self.carve_chunk(cs);
             (base, base)
         };
         self.chunks.insert(
@@ -425,10 +454,12 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
             },
         );
         self.current[group] = Some(base);
-        base
+        Some(base)
     }
 
-    fn group_malloc(&mut self, group: usize, size: u64) -> u64 {
+    /// Serve a grouped request, or `None` when the group's chunk supply
+    /// failed (the degradation path: the caller routes to the fallback).
+    fn group_malloc(&mut self, group: usize, size: u64) -> Option<u64> {
         let cfg = self.group_cfg[group];
         let rounded = (size.max(1) + 7) & !7;
         // Sharded reuse: recycle a freed same-size region from the group's
@@ -444,24 +475,17 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
                             self.group_usage[group].live += size;
                             self.stats.grouped_allocs += 1;
                             self.note_usage(group);
-                            return ptr;
+                            return Some(ptr);
                         }
                     }
                 }
             }
         }
         let chunk_base = match self.current[group] {
-            Some(base) => {
-                let c = &self.chunks[&base];
-                if c.bump + rounded <= c.end {
-                    base
-                } else {
-                    self.acquire_chunk(group)
-                }
-            }
-            None => self.acquire_chunk(group),
+            Some(base) if self.chunks.get(&base).is_some_and(|c| c.bump + rounded <= c.end) => base,
+            _ => self.acquire_chunk(group)?,
         };
-        let c = self.chunks.get_mut(&chunk_base).expect("current chunk exists");
+        let c = self.chunks.get_mut(&chunk_base)?;
         let ptr = c.bump;
         c.bump += rounded;
         c.live_regions += 1;
@@ -477,7 +501,7 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
         self.group_usage[group].live += size;
         self.stats.grouped_allocs += 1;
         self.note_usage(group);
-        ptr
+        Some(ptr)
     }
 
     /// Refresh the global and per-group Table 1 snapshots.
@@ -487,13 +511,23 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
     }
 
     fn group_free(&mut self, ptr: u64, mem: &mut Memory) {
-        let size =
-            self.region_sizes.remove(&ptr).expect("group free of pointer without live region");
+        // A pointer in the slab range with no live region (double free,
+        // free of an interior address) is absorbed as a counted no-op —
+        // the invalid free must not corrupt accounting or take the
+        // process down with it.
+        let Some(&size) = self.region_sizes.get(&ptr) else {
+            self.degrade.invalid_frees += 1;
+            return;
+        };
         // Chunk sizes vary per group: locate the containing chunk by
         // predecessor lookup on the ordered base index.
-        let (&chunk_base, chunk) =
-            self.chunks.range_mut(..=ptr).next_back().expect("chunk containing freed pointer");
-        debug_assert!(ptr < chunk.end, "freed pointer within the located chunk");
+        let Some((&chunk_base, chunk)) =
+            self.chunks.range_mut(..=ptr).next_back().filter(|(_, c)| ptr < c.end)
+        else {
+            self.degrade.invalid_frees += 1;
+            return;
+        };
+        self.region_sizes.remove(&ptr);
         let group = chunk.group;
         let cfg = self.group_cfg[group];
         self.usage.live -= size;
@@ -519,7 +553,9 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
             self.note_usage(group);
             return;
         }
-        let chunk = self.chunks.remove(&chunk_base).expect("just observed");
+        let Some(chunk) = self.chunks.remove(&chunk_base) else {
+            return; // just observed above; nothing sane to do if gone
+        };
         self.spare.push(SpareChunk {
             base: chunk_base,
             high_water: chunk.high_water,
@@ -535,7 +571,9 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
         while cfg.max_spare_chunks != usize::MAX
             && self.spare.iter().filter(|s| s.owner == group).count() > cfg.max_spare_chunks
         {
-            let i = self.spare.iter().position(|s| s.owner == group).expect("counted above");
+            let Some(i) = self.spare.iter().position(|s| s.owner == group) else {
+                break; // counted above; bail rather than spin if gone
+            };
             let s = self.spare.remove(i);
             let dirty = Self::dirty_bytes(s.base, s.high_water);
             self.usage.resident -= dirty;
@@ -545,6 +583,95 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
             self.stats.chunks_purged += 1;
         }
         self.note_usage(group);
+    }
+
+    /// Attach a fault injector (chaos runs). Shared by `Arc` so one
+    /// schedule can span an allocator and its shards.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = Some(injector);
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Whether `group` has been degraded (its requests route to the
+    /// fallback).
+    pub fn is_degraded(&self, group: usize) -> bool {
+        self.degraded.get(group).copied().unwrap_or(false)
+    }
+
+    /// Degrade `group`: new requests take the fallback path from now on.
+    /// Live grouped pointers are unaffected — `free`/`realloc` still find
+    /// their chunks.
+    fn degrade_group(&mut self, group: usize) {
+        if let Some(d) = self.degraded.get_mut(group) {
+            *d = true;
+        }
+    }
+
+    /// Degrade every group at once — the quarantine rung of the ladder,
+    /// used when invariants can no longer be trusted (e.g. after a lock
+    /// poisoning whose re-validation failed). The allocator keeps serving
+    /// every request through the fallback.
+    pub fn quarantine(&mut self) {
+        for d in &mut self.degraded {
+            *d = true;
+        }
+    }
+
+    /// Degradation counters without the injected-fault count (the shard
+    /// aggregation path fills that in exactly once from the shared
+    /// injector, so per-shard sums do not multiply it).
+    pub(crate) fn degrade_raw(&self) -> DegradeStats {
+        DegradeStats {
+            degraded_groups: self.degraded.iter().filter(|&&d| d).count() as u64,
+            ..self.degrade
+        }
+    }
+
+    /// Degradation-ladder counters, including faults fired by the
+    /// attached injector.
+    pub fn degrade_stats(&self) -> DegradeStats {
+        let mut d = self.degrade_raw();
+        if let Some(f) = &self.faults {
+            d.injected_faults = f.fired();
+        }
+        d
+    }
+
+    /// Cheap structural self-check, run when recovering a poisoned lock:
+    /// every chunk's bump/high-water within its span, the live-region
+    /// count in agreement with the region-size table, and every current
+    /// chunk present and owned by its group.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), &'static str> {
+        let mut live_regions: u64 = 0;
+        for (&base, c) in &self.chunks {
+            if c.bump < base || c.bump > c.end {
+                return Err("chunk bump pointer outside its span");
+            }
+            if c.high_water < base || c.high_water > c.end {
+                return Err("chunk high-water mark outside its span");
+            }
+            live_regions += c.live_regions;
+        }
+        if live_regions != self.region_sizes.len() as u64 {
+            return Err("live-region count disagrees with the region-size table");
+        }
+        for (g, cur) in self.current.iter().enumerate() {
+            if let Some(base) = cur {
+                match self.chunks.get(base) {
+                    Some(c) if c.group == g => {}
+                    _ => return Err("current chunk missing or owned by another group"),
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -576,7 +703,17 @@ impl<F: VmAllocator> VmAllocator for HaloGroupAllocator<F> {
                 // non-groupable request.
                 let rounded = (size.max(1) + 7) & !7;
                 if rounded <= self.group_cfg[group].chunk_size {
-                    return self.group_malloc(group, size);
+                    if self.is_degraded(group) {
+                        // Degradation ladder: a group whose chunk supply
+                        // failed serves from the fallback (the ungrouped
+                        // path of §4.4) instead of crashing or refusing.
+                        self.degrade.fallback_routes += 1;
+                    } else if let Some(ptr) = self.group_malloc(group, size) {
+                        return ptr;
+                    } else {
+                        self.degrade_group(group);
+                        self.degrade.fallback_routes += 1;
+                    }
                 }
             }
         }
@@ -1119,6 +1256,113 @@ mod tests {
         assert_eq!(plan.chunk_size, cfg.chunk_size);
         assert_eq!(plan.max_spare_chunks, cfg.max_spare_chunks);
         assert_eq!(plan.reuse, cfg.reuse_policy);
+    }
+
+    // --- fault injection and the degradation ladder ---------------------
+
+    use crate::faults::{FaultInjector, FaultPlan, FaultSite};
+    use std::sync::Arc;
+
+    #[test]
+    fn slab_exhaustion_degrades_the_group_not_the_process() {
+        let (mut a, mut gs, mut mem) = setup();
+        a.set_fault_injector(Arc::new(FaultInjector::new(
+            FaultPlan::new(1).at(FaultSite::VmmReserve, 1),
+        )));
+        gs.set(0);
+        // First grouped request needs a slab; the injected reservation
+        // failure must degrade group 0 and serve from the fallback.
+        let p = a.malloc(64, site(), &gs, &mut mem);
+        assert_ne!(p, 0, "the request is still served");
+        assert!(!a.is_group_allocated(p), "served by the fallback");
+        assert!(a.is_degraded(0));
+        let d = a.degrade_stats();
+        assert_eq!(d.fallback_routes, 1);
+        assert_eq!(d.degraded_groups, 1);
+        assert_eq!(d.injected_faults, 1);
+        // Later requests for the degraded group keep routing, no retry.
+        let q = a.malloc(64, site(), &gs, &mut mem);
+        assert!(!a.is_group_allocated(q));
+        assert_eq!(a.degrade_stats().fallback_routes, 2);
+        // The other group is untouched by group 0's degradation.
+        gs.reset();
+        gs.set(1);
+        let r = a.malloc(64, site(), &gs, &mut mem);
+        assert!(a.is_group_allocated(r));
+        // Everything frees cleanly; nothing leaks across the ladder.
+        a.free(p, &mut mem);
+        a.free(q, &mut mem);
+        a.free(r, &mut mem);
+        assert_eq!(a.live_bytes(), 0);
+        a.check_invariants().expect("invariants hold after degradation");
+    }
+
+    #[test]
+    fn chunk_alloc_fault_degrades_identically() {
+        let (mut a, mut gs, mut mem) = setup();
+        a.set_fault_injector(Arc::new(FaultInjector::new(
+            FaultPlan::new(1).at(FaultSite::ChunkAlloc, 2),
+        )));
+        gs.set(0);
+        // Occurrence 1 (fresh chunk) succeeds; fill the chunk so the
+        // second acquisition — which the plan fails — is needed.
+        let ptrs: Vec<u64> = (0..4).map(|_| a.malloc(2048, site(), &gs, &mut mem)).collect();
+        assert!(ptrs.iter().all(|&p| a.is_group_allocated(p)));
+        let p = a.malloc(2048, site(), &gs, &mut mem);
+        assert_ne!(p, 0);
+        assert!(!a.is_group_allocated(p), "chunk-map failure routes to fallback");
+        assert!(a.is_degraded(0));
+        assert_eq!(a.degrade_stats().injected_faults, 1);
+        // Live grouped pointers still free through their chunks.
+        for &q in &ptrs {
+            a.free(q, &mut mem);
+        }
+        a.free(p, &mut mem);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn invalid_group_free_is_a_counted_noop() {
+        let (mut a, mut gs, mut mem) = setup();
+        gs.set(0);
+        let p = a.malloc(64, site(), &gs, &mut mem);
+        let live = a.live_bytes();
+        // An interior address inside the slab range: no live region.
+        a.free(p + 8, &mut mem);
+        assert_eq!(a.degrade_stats().invalid_frees, 1);
+        assert_eq!(a.live_bytes(), live, "accounting untouched");
+        // Double free of a real pointer is also absorbed.
+        a.free(p, &mut mem);
+        a.free(p, &mut mem);
+        assert_eq!(a.degrade_stats().invalid_frees, 2);
+        assert_eq!(a.live_bytes(), 0);
+        a.check_invariants().expect("no-op frees leave a consistent state");
+    }
+
+    #[test]
+    fn quarantine_routes_every_group_to_the_fallback() {
+        let (mut a, mut gs, mut mem) = setup();
+        gs.set(0);
+        let grouped = a.malloc(64, site(), &gs, &mut mem);
+        assert!(a.is_group_allocated(grouped));
+        a.quarantine();
+        let p = a.malloc(64, site(), &gs, &mut mem);
+        assert!(!a.is_group_allocated(p), "quarantined group falls back");
+        assert_eq!(a.degrade_stats().degraded_groups, 2, "both groups degraded");
+        // Pre-quarantine pointers still free through their chunks.
+        a.free(grouped, &mut mem);
+        a.free(p, &mut mem);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn no_injector_means_no_degradation_branch_taken() {
+        let (mut a, mut gs, mut mem) = setup();
+        gs.set(0);
+        let p = a.malloc(64, site(), &gs, &mut mem);
+        a.free(p, &mut mem);
+        assert_eq!(a.degrade_stats(), crate::faults::DegradeStats::default());
+        assert!(!a.degrade_stats().any());
     }
 
     #[test]

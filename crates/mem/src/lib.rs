@@ -30,10 +30,20 @@
 //! The [`SelectorTable`] type is the runtime form of the identification
 //! stage's output (Fig. 10): per-group DNF formulae over group-state bits,
 //! evaluated in group-popularity order with first match winning.
+//!
+//! Failure policy: this crate is the production-facing allocator runtime,
+//! so non-test code must not `unwrap`/`expect` its way into a process
+//! abort — resource edges degrade (typed errors, fallback routing,
+//! [`DegradeStats`] counters; see DESIGN.md §12). The lint below enforces
+//! it; the few remaining panics are genuine invariants and are
+//! allow-listed at the call site with a justification.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod backend;
 mod boundary_tag;
 mod bump;
+mod faults;
 mod group_alloc;
 mod random_group;
 pub mod rt;
@@ -46,12 +56,13 @@ mod vmm;
 pub use backend::BackendAllocator;
 pub use boundary_tag::BoundaryTagAllocator;
 pub use bump::BumpAllocator;
+pub use faults::{DegradeStats, FaultInjector, FaultPlan, FaultSite};
 pub use group_alloc::{FragReport, GroupAllocConfig, GroupAllocStats, HaloGroupAllocator};
 /// Re-exported from `halo_graph`, where per-group layout plans live.
 pub use halo_graph::ReusePolicy;
 pub use random_group::RandomGroupAllocator;
 pub use selector::{GroupSelector, SelectorTable};
-pub use sharded::{ShardedAllocStats, ShardedHaloAllocator, GROUP_SHARD_STRIDE};
+pub use sharded::{ForeignPointer, ShardedAllocStats, ShardedHaloAllocator, GROUP_SHARD_STRIDE};
 pub use size_class::{SizeClassAllocator, SIZE_CLASSES, SMALL_MAX};
 pub use stats::AllocatorStats;
-pub use vmm::Vmm;
+pub use vmm::{ReserveError, Vmm};

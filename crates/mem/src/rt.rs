@@ -225,6 +225,9 @@ impl GroupHeap {
             else {
                 return false;
             };
+            // Invariant, not a recoverable state: `position` just found
+            // this exact slot occupied under the same lock.
+            #[expect(clippy::expect_used, reason = "slot located occupied under this lock")]
             let chunk = st.chunks[slot].as_mut().expect("slot just found");
             chunk.live_regions -= 1;
             if chunk.live_regions == 0 {
@@ -232,6 +235,7 @@ impl GroupHeap {
                     // Reset the current chunk in place.
                     chunk.bump = chunk.base + CHUNK_HEADER;
                 } else {
+                    #[expect(clippy::expect_used, reason = "slot located occupied under this lock")]
                     let chunk = st.chunks[slot].take().expect("present");
                     // SAFETY: `base` came from System.alloc(chunk_layout()).
                     unsafe { System.dealloc(chunk.base as *mut u8, Self::chunk_layout()) };

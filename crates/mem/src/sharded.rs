@@ -35,6 +35,7 @@
 //! independent arena, exactly as jemalloc's per-thread arenas are counted
 //! in practice).
 
+use crate::faults::{DegradeStats, FaultInjector, FaultSite};
 use crate::group_alloc::{FragReport, GroupAllocConfig, GroupAllocStats};
 use crate::selector::SelectorTable;
 use crate::stats::AllocatorStats;
@@ -42,9 +43,28 @@ use crate::{HaloGroupAllocator, SizeClassAllocator};
 use halo_vm::{CallSite, GroupState, Memory, SyncVmAllocator, VmAllocator};
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::ThreadId;
+
+/// A pointer handed to `free`/`realloc` that no shard of this allocator
+/// owns. The documented typed form of what used to be a panic: callers on
+/// the [`SyncVmAllocator`] face get it from
+/// [`ShardedHaloAllocator::try_free`]; the infallible `free` absorbs it as
+/// a counted no-op ([`DegradeStats::invalid_frees`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForeignPointer {
+    /// The offending pointer.
+    pub ptr: u64,
+}
+
+impl std::fmt::Display for ForeignPointer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pointer {:#x} belongs to no shard of this allocator", self.ptr)
+    }
+}
+
+impl std::error::Error for ForeignPointer {}
 
 /// Group-slab address space per shard. Matches the [`HaloGroupAllocator`]
 /// reservation span exactly, so shard group regions tile with no gaps:
@@ -93,6 +113,10 @@ struct Shard {
     /// entirely when nothing is pending (mimalloc's deferred-free flag).
     /// A stale zero read merely defers draining to the next shard entry.
     pending: AtomicUsize,
+    /// Set when a poisoned-lock recovery found the shard's invariants
+    /// violated and quarantined it (every group degraded, all traffic on
+    /// the fallback). Feeds [`DegradeStats::degraded_shards`].
+    degraded: AtomicBool,
 }
 
 /// Cross-shard event counters, alongside the summed per-shard
@@ -111,6 +135,10 @@ pub struct ShardedAllocStats {
     /// is never entered and its memory is only reclaimed by the join-time
     /// flush.
     pub remote_peak_queue: u64,
+    /// Degradation-ladder counters, summed across shards plus the
+    /// sharded runtime's own rungs (queue overflows, poisoned-lock
+    /// recoveries, invalid frees).
+    pub degrade: DegradeStats,
 }
 
 /// The thread-safe sharded HALO runtime (see module docs).
@@ -126,6 +154,16 @@ pub struct ShardedHaloAllocator {
     remote_frees: AtomicU64,
     remote_drained: AtomicU64,
     remote_peak_queue: AtomicU64,
+    /// Bound on each shard's remote-free queue; a push that would exceed
+    /// it falls back to a direct owner-lock free (backpressure instead of
+    /// unbounded growth under a free-storm).
+    remote_queue_cap: usize,
+    queue_overflows: AtomicU64,
+    poisoned_recovered: AtomicU64,
+    invalid_frees: AtomicU64,
+    /// Fault injector for chaos runs, shared with every shard's inner
+    /// allocator; `None` in production.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ShardedHaloAllocator {
@@ -178,6 +216,7 @@ impl ShardedHaloAllocator {
                     )),
                     remote: Mutex::new(Vec::new()),
                     pending: AtomicUsize::new(0),
+                    degraded: AtomicBool::new(false),
                 }
             })
             .collect();
@@ -190,6 +229,108 @@ impl ShardedHaloAllocator {
             remote_frees: AtomicU64::new(0),
             remote_drained: AtomicU64::new(0),
             remote_peak_queue: AtomicU64::new(0),
+            remote_queue_cap: Self::DEFAULT_REMOTE_QUEUE_CAP,
+            queue_overflows: AtomicU64::new(0),
+            poisoned_recovered: AtomicU64::new(0),
+            invalid_frees: AtomicU64::new(0),
+            faults: None,
+        }
+    }
+
+    /// Default bound on each shard's remote-free queue: generous enough
+    /// that no measured workload ever hits it (the mt models peak in the
+    /// thousands), so default-configuration runs are byte-identical to
+    /// the unbounded-queue behaviour — while a runaway producer is still
+    /// capped at ~512 KiB of queued pointers per shard instead of
+    /// unbounded growth.
+    pub const DEFAULT_REMOTE_QUEUE_CAP: usize = 65_536;
+
+    /// Bound each shard's remote-free queue at `cap` entries; a push that
+    /// would exceed it frees directly under the owner's allocator lock
+    /// instead. `0` disables queueing entirely (every foreign free goes
+    /// direct).
+    pub fn set_remote_queue_cap(&mut self, cap: usize) {
+        self.remote_queue_cap = cap;
+    }
+
+    /// Attach a fault injector (chaos runs): the sharded runtime draws
+    /// its queue/panic faults from it and every shard's inner allocator
+    /// draws its reservation/chunk faults from the same schedule.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        for s in 0..self.shards.len() {
+            self.lock_shard(s).set_fault_injector(Arc::clone(&injector));
+        }
+        self.faults = Some(injector);
+    }
+
+    /// Degradation-ladder counters: per-shard rungs summed, the sharded
+    /// runtime's own rungs added, and the injected-fault count taken from
+    /// the shared injector exactly once (per-shard sums would multiply
+    /// it).
+    pub fn degrade_stats(&self) -> DegradeStats {
+        let mut d = DegradeStats::default();
+        for s in 0..self.shards.len() {
+            d.merge(self.lock_shard(s).degrade_raw());
+        }
+        d.queue_overflows += self.queue_overflows.load(Ordering::Relaxed);
+        d.poisoned_recovered += self.poisoned_recovered.load(Ordering::Relaxed);
+        d.invalid_frees += self.invalid_frees.load(Ordering::Relaxed);
+        d.degraded_shards =
+            self.shards.iter().filter(|s| s.degraded.load(Ordering::Relaxed)).count() as u64;
+        if let Some(f) = &self.faults {
+            d.injected_faults = f.fired();
+        }
+        d
+    }
+
+    /// Take shard `s`'s allocator lock, recovering from poisoning: a
+    /// panicking holder leaves the data intact more often than not, so
+    /// recovery is `PoisonError::into_inner` plus an invariant re-check.
+    /// If the structures cannot be trusted the shard is quarantined —
+    /// every group degraded, all its traffic on the fallback — and
+    /// counted in [`DegradeStats::degraded_shards`]. Either way, other
+    /// threads are never wedged.
+    fn lock_shard(&self, s: usize) -> MutexGuard<'_, HaloGroupAllocator<SizeClassAllocator>> {
+        match self.shards[s].inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => {
+                self.poisoned_recovered.fetch_add(1, Ordering::Relaxed);
+                let mut inner = poisoned.into_inner();
+                if inner.check_invariants().is_err() {
+                    inner.quarantine();
+                    self.shards[s].degraded.store(true, Ordering::Relaxed);
+                }
+                self.shards[s].inner.clear_poison();
+                inner
+            }
+        }
+    }
+
+    /// Take shard `s`'s remote-queue lock, recovering from poisoning. The
+    /// queue is a plain list of pointers — there is no partial state a
+    /// panicking pusher could leave behind — so recovery keeps the
+    /// contents.
+    fn lock_remote(&self, s: usize) -> MutexGuard<'_, Vec<u64>> {
+        match self.shards[s].remote.lock() {
+            Ok(queue) => queue,
+            Err(poisoned) => {
+                self.poisoned_recovered.fetch_add(1, Ordering::Relaxed);
+                self.shards[s].remote.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Take the thread-registry lock, recovering from poisoning (slot
+    /// assignments are monotonic inserts; a torn update is impossible).
+    fn lock_registry(&self) -> MutexGuard<'_, ThreadRegistry> {
+        match self.threads.lock() {
+            Ok(reg) => reg,
+            Err(poisoned) => {
+                self.poisoned_recovered.fetch_add(1, Ordering::Relaxed);
+                self.threads.clear_poison();
+                poisoned.into_inner()
+            }
         }
     }
 
@@ -225,7 +366,7 @@ impl ShardedHaloAllocator {
     /// recording a logical-thread switch.
     fn registry_state(&self, set_logical: Option<u16>) -> ThreadState {
         let tid = std::thread::current().id();
-        let mut reg = self.threads.lock().expect("thread registry lock");
+        let mut reg = self.lock_registry();
         let next = reg.next_slot;
         let known = reg.slots.len();
         let entry = reg.slots.entry(tid).or_insert(ThreadState { slot: next, logical: 0 });
@@ -251,15 +392,21 @@ impl ShardedHaloAllocator {
     }
 
     /// The shard owning `ptr`, by address arithmetic alone.
-    fn owner_of(&self, ptr: u64) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForeignPointer`] when no shard's address range contains
+    /// `ptr` — a caller bug (wild or already-unmapped pointer), reported
+    /// as data instead of a panic so the runtime can absorb it.
+    fn owner_of(&self, ptr: u64) -> Result<usize, ForeignPointer> {
         let n = self.shards.len() as u64;
         if ptr >= self.config.base && ptr < self.config.base + n * GROUP_SHARD_STRIDE {
-            ((ptr - self.config.base) / GROUP_SHARD_STRIDE) as usize
+            Ok(((ptr - self.config.base) / GROUP_SHARD_STRIDE) as usize)
         } else if ptr >= self.fallback_base && ptr < self.fallback_base + n * FALLBACK_SHARD_STRIDE
         {
-            ((ptr - self.fallback_base) / FALLBACK_SHARD_STRIDE) as usize
+            Ok(((ptr - self.fallback_base) / FALLBACK_SHARD_STRIDE) as usize)
         } else {
-            panic!("pointer {ptr:#x} belongs to no shard of this allocator")
+            Err(ForeignPointer { ptr })
         }
     }
 
@@ -272,7 +419,7 @@ impl ShardedHaloAllocator {
         if !force && shard.pending.load(Ordering::Acquire) == 0 {
             return Vec::new();
         }
-        let mut queue = shard.remote.lock().expect("remote queue");
+        let mut queue = self.lock_remote(s);
         shard.pending.store(0, Ordering::Release);
         std::mem::take(&mut *queue)
     }
@@ -292,7 +439,7 @@ impl ShardedHaloAllocator {
         force: bool,
     ) -> MutexGuard<'_, HaloGroupAllocator<SizeClassAllocator>> {
         let pending = self.take_remote(s, force);
-        let mut inner = self.shards[s].inner.lock().expect("shard allocator lock");
+        let mut inner = self.lock_shard(s);
         if !pending.is_empty() {
             self.remote_drained.fetch_add(pending.len() as u64, Ordering::Relaxed);
             for ptr in pending {
@@ -304,27 +451,66 @@ impl ShardedHaloAllocator {
 
     fn malloc_impl(&self, size: u64, site: CallSite, gs: &GroupState, mem: &mut Memory) -> u64 {
         let s = self.current_shard();
-        let mut inner = self.service_shard(s, mem, false);
+        let inner = self.service_shard(s, mem, false);
+        if self.faults.as_ref().is_some_and(|f| f.should_fail(FaultSite::ShardPanic)) {
+            // The injected mid-operation panic: this thread dies holding
+            // the shard's allocator lock, poisoning it for everyone else.
+            // No structure has been touched yet, so the invariant re-check
+            // in `lock_shard` will pass and recovery is clean.
+            panic!("injected fault: thread panicked holding shard {s}'s allocator lock");
+        }
+        let mut inner = inner;
         inner.malloc(size, site, gs, mem)
     }
 
-    fn free_impl(&self, ptr: u64, mem: &mut Memory) {
-        let owner = self.owner_of(ptr);
+    /// Free `ptr`, reporting — rather than absorbing — a pointer no shard
+    /// owns. The allocator's state is untouched on the error path: no
+    /// counter moves, nothing is queued, later operations are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForeignPointer`] when `ptr` lies outside every shard's
+    /// address ranges.
+    pub fn try_free(&self, ptr: u64, mem: &mut Memory) -> Result<(), ForeignPointer> {
+        let owner = self.owner_of(ptr)?;
         if owner == self.current_shard() {
             let mut inner = self.service_shard(owner, mem, false);
             inner.free(ptr, mem);
-        } else {
-            // Count before queueing so a concurrent drain can never
-            // observe more frees applied than were ever queued.
-            self.remote_frees.fetch_add(1, Ordering::Relaxed);
-            let shard = &self.shards[owner];
-            let mut queue = shard.remote.lock().expect("remote queue");
-            queue.push(ptr);
-            shard.pending.store(queue.len(), Ordering::Release);
-            // Depth is read under the queue lock, so the max over all
-            // pushes is exact per shard; across shards it is the deepest
-            // queue ever observed, which is the pressure signal wanted.
-            self.remote_peak_queue.fetch_max(queue.len() as u64, Ordering::Relaxed);
+            return Ok(());
+        }
+        let shard = &self.shards[owner];
+        {
+            let mut queue = self.lock_remote(owner);
+            let forced_overflow =
+                self.faults.as_ref().is_some_and(|f| f.should_fail(FaultSite::RemoteQueue));
+            if !forced_overflow && queue.len() < self.remote_queue_cap {
+                // Count before queueing so a concurrent drain can never
+                // observe more frees applied than were ever queued.
+                self.remote_frees.fetch_add(1, Ordering::Relaxed);
+                queue.push(ptr);
+                shard.pending.store(queue.len(), Ordering::Release);
+                // Depth is read under the queue lock, so the max over all
+                // pushes is exact per shard; across shards it is the
+                // deepest queue ever observed, the pressure signal wanted.
+                self.remote_peak_queue.fetch_max(queue.len() as u64, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        // Queue at capacity (or a fault says it is): backpressure. Drop
+        // the queue lock and free directly under the owner's allocator
+        // lock — slower (it contends with the owner) but bounded.
+        self.queue_overflows.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.service_shard(owner, mem, false);
+        inner.free(ptr, mem);
+        Ok(())
+    }
+
+    fn free_impl(&self, ptr: u64, mem: &mut Memory) {
+        if self.try_free(ptr, mem).is_err() {
+            // The infallible face absorbs the invalid free as a counted
+            // no-op (see DESIGN.md §12) — matching `libc::free`, which has
+            // no error channel either.
+            self.invalid_frees.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -339,7 +525,12 @@ impl ShardedHaloAllocator {
         // The whole operation runs on the owning shard (which knows the
         // old region's size); ownership of the object stays with its
         // original shard even when a foreign thread grows it.
-        let owner = self.owner_of(ptr);
+        let Ok(owner) = self.owner_of(ptr) else {
+            // realloc of a pointer no shard owns: serve a fresh block
+            // (there is nothing to copy or free) and count the anomaly.
+            self.invalid_frees.fetch_add(1, Ordering::Relaxed);
+            return self.malloc_impl(size, site, gs, mem);
+        };
         let mut inner = self.service_shard(owner, mem, false);
         inner.realloc(ptr, size, site, gs, mem)
     }
@@ -358,7 +549,7 @@ impl ShardedHaloAllocator {
 
     /// Remote frees queued and not yet applied, across all shards.
     pub fn remote_pending(&self) -> usize {
-        self.shards.iter().map(|s| s.remote.lock().expect("remote queue").len()).sum()
+        (0..self.shards.len()).map(|s| self.lock_remote(s).len()).sum()
     }
 
     /// Summed per-shard event counters plus the remote-free counters.
@@ -369,13 +560,19 @@ impl ShardedHaloAllocator {
         let remote_drained = self.remote_drained.load(Ordering::Acquire);
         let remote_frees = self.remote_frees.load(Ordering::Acquire);
         let remote_peak_queue = self.remote_peak_queue.load(Ordering::Relaxed);
-        ShardedAllocStats { alloc: self.stats(), remote_frees, remote_drained, remote_peak_queue }
+        ShardedAllocStats {
+            alloc: self.stats(),
+            remote_frees,
+            remote_drained,
+            remote_peak_queue,
+            degrade: self.degrade_stats(),
+        }
     }
 
     /// Per-shard group-allocator counters, summed across shards.
     pub fn stats(&self) -> GroupAllocStats {
         let mut total = GroupAllocStats::default();
-        for shard in &self.shards {
+        for s in 0..self.shards.len() {
             // Full destructuring (no `..`): a field added to
             // GroupAllocStats must show up here or this stops compiling —
             // a silently-unsummed counter would poison every aggregate.
@@ -387,7 +584,7 @@ impl ShardedHaloAllocator {
                 chunks_created,
                 chunks_reused,
                 chunks_purged,
-            } = shard.inner.lock().expect("shard allocator lock").stats();
+            } = self.lock_shard(s).stats();
             total.grouped_allocs += grouped_allocs;
             total.fallback_allocs += fallback_allocs;
             total.grouped_frees += grouped_frees;
@@ -405,8 +602,8 @@ impl ShardedHaloAllocator {
     /// per-arena accounting (see DESIGN.md §10).
     pub fn frag_report(&self) -> FragReport {
         let mut total = FragReport::default();
-        for shard in &self.shards {
-            let r = shard.inner.lock().expect("shard allocator lock").frag_report();
+        for s in 0..self.shards.len() {
+            let r = self.lock_shard(s).frag_report();
             Self::accumulate_frag(&mut total, r);
         }
         total
@@ -416,8 +613,8 @@ impl ShardedHaloAllocator {
     /// report aggregates every shard's group-`g` pool).
     pub fn group_frag_reports(&self) -> Vec<FragReport> {
         let mut totals: Vec<FragReport> = Vec::new();
-        for shard in &self.shards {
-            let reports = shard.inner.lock().expect("shard allocator lock").group_frag_reports();
+        for s in 0..self.shards.len() {
+            let reports = self.lock_shard(s).group_frag_reports();
             if reports.len() > totals.len() {
                 totals.resize(reports.len(), FragReport::default());
             }
@@ -440,18 +637,12 @@ impl ShardedHaloAllocator {
     /// Bytes of grouped data currently live, across all shards. Remote
     /// frees still queued count as live — they have not been applied yet.
     pub fn live_grouped_bytes(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.inner.lock().expect("shard allocator lock").live_grouped_bytes())
-            .sum()
+        (0..self.shards.len()).map(|s| self.lock_shard(s).live_grouped_bytes()).sum()
     }
 
     /// Resident bytes attributed to group chunks, across all shards.
     pub fn resident_grouped_bytes(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.inner.lock().expect("shard allocator lock").resident_grouped_bytes())
-            .sum()
+        (0..self.shards.len()).map(|s| self.lock_shard(s).resident_grouped_bytes()).sum()
     }
 
     /// Whether `ptr` lies in any shard's group slabs.
@@ -461,7 +652,7 @@ impl ShardedHaloAllocator {
             return false;
         }
         let owner = ((ptr - self.config.base) / GROUP_SHARD_STRIDE) as usize;
-        self.shards[owner].inner.lock().expect("shard allocator lock").is_group_allocated(ptr)
+        self.lock_shard(owner).is_group_allocated(ptr)
     }
 }
 
@@ -532,14 +723,11 @@ impl VmAllocator for ShardedHaloAllocator {
 
 impl AllocatorStats for ShardedHaloAllocator {
     fn live_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.inner.lock().expect("shard allocator lock").live_bytes()).sum()
+        (0..self.shards.len()).map(|s| self.lock_shard(s).live_bytes()).sum()
     }
 
     fn live_objects(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.inner.lock().expect("shard allocator lock").live_objects())
-            .sum()
+        (0..self.shards.len()).map(|s| self.lock_shard(s).live_objects()).sum()
     }
 }
 
@@ -751,6 +939,161 @@ mod tests {
         }
         assert_eq!(a.stats(), plain.stats());
         assert_eq!(a.frag_report(), plain.frag_report());
+    }
+
+    // --- faults, bounded queues, and the degradation ladder -------------
+
+    use crate::faults::{FaultPlan, FaultSite};
+
+    #[test]
+    fn foreign_pointer_free_is_a_typed_error_and_leaves_state_untouched() {
+        let (a, mut gs, mut mem) = sharded(2);
+        gs.set(0);
+        let p = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        let stats_before = a.sharded_stats();
+        let live_before = a.live_bytes();
+        // An address below every shard range: owned by nobody.
+        let err = a.try_free(0x10, &mut mem).unwrap_err();
+        assert_eq!(err, ForeignPointer { ptr: 0x10 });
+        assert_eq!(
+            err.to_string(),
+            "pointer 0x10 belongs to no shard of this allocator",
+            "the old panic message, now data"
+        );
+        // try_free's error path touches nothing: same counters, same live
+        // set, and the allocator keeps serving.
+        assert_eq!(a.sharded_stats(), stats_before);
+        assert_eq!(a.live_bytes(), live_before);
+        assert_eq!(a.remote_pending(), 0);
+        // The infallible face absorbs it as a counted no-op instead.
+        SyncVmAllocator::free(&a, 0x10, &mut mem);
+        assert_eq!(a.degrade_stats().invalid_frees, 1);
+        SyncVmAllocator::free(&a, p, &mut mem);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn realloc_of_foreign_pointer_serves_fresh_and_counts() {
+        let (a, gs, mut mem) = sharded(2);
+        let q = SyncVmAllocator::realloc(&a, 0x10, 64, site(), &gs, &mut mem);
+        assert_ne!(q, 0, "request still served");
+        assert_eq!(a.degrade_stats().invalid_frees, 1);
+        SyncVmAllocator::free(&a, q, &mut mem);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn remote_queue_bound_applies_backpressure() {
+        let (mut a, mut gs, _) = sharded(2);
+        a.set_remote_queue_cap(2);
+        let a = a; // back to shared use
+        let mut mem = Memory::new();
+        gs.set(0);
+        SyncVmAllocator::thread_switched(&a, 0);
+        let ptrs: Vec<u64> =
+            (0..4).map(|_| SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem)).collect();
+        SyncVmAllocator::thread_switched(&a, 1);
+        for &p in &ptrs {
+            SyncVmAllocator::free(&a, p, &mut mem);
+        }
+        // Frees 1–2 queue; free 3 hits the cap and goes direct — which
+        // services the owner shard, draining the two queued entries on
+        // the way — and free 4 starts a fresh queue.
+        assert_eq!(a.remote_pending(), 1, "the queue never exceeds its cap");
+        let d = a.degrade_stats();
+        assert_eq!(d.queue_overflows, 1);
+        let s = a.sharded_stats();
+        assert_eq!(s.remote_frees, 3, "only queued frees count as remote");
+        assert_eq!(s.remote_drained, 2, "the overflow's direct free drained the backlog");
+        a.drain_remote(&mut mem);
+        assert_eq!(a.sharded_stats().remote_drained, 3);
+        assert_eq!(a.live_bytes(), 0, "overflowed frees were applied directly");
+    }
+
+    #[test]
+    fn injected_queue_fault_forces_the_overflow_path() {
+        let (mut a, mut gs, _) = sharded(2);
+        a.set_fault_injector(Arc::new(FaultInjector::new(
+            FaultPlan::new(5).at(FaultSite::RemoteQueue, 1),
+        )));
+        let a = a;
+        let mut mem = Memory::new();
+        gs.set(0);
+        SyncVmAllocator::thread_switched(&a, 0);
+        let p = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        SyncVmAllocator::thread_switched(&a, 1);
+        SyncVmAllocator::free(&a, p, &mut mem);
+        assert_eq!(a.remote_pending(), 0, "fault skipped the queue");
+        let d = a.degrade_stats();
+        assert_eq!(d.queue_overflows, 1);
+        assert_eq!(d.injected_faults, 1);
+        assert_eq!(a.live_bytes(), 0, "freed directly under the owner lock");
+    }
+
+    #[test]
+    fn poisoned_shard_lock_recovers_without_wedging_other_threads() {
+        let mut owned = ShardedHaloAllocator::new(1, small_config(), two_group_table(), Vec::new());
+        owned.set_fault_injector(Arc::new(FaultInjector::new(
+            FaultPlan::new(9).at(FaultSite::ShardPanic, 1),
+        )));
+        let a = &owned;
+        // A worker thread hits the injected panic while holding shard 0's
+        // allocator lock (the only shard — every thread maps to it).
+        let joined = std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut mem = Memory::new();
+                let mut gs = GroupState::new(2);
+                gs.set(0);
+                SyncVmAllocator::malloc(a, 64, site(), &gs, &mut mem)
+            })
+            .join()
+        });
+        assert!(joined.is_err(), "the injected panic propagated to join");
+        // This thread must not be wedged: the poisoned lock is recovered,
+        // invariants re-validated (they hold — the panic preceded any
+        // mutation), and service continues on the grouped path.
+        let mut mem = Memory::new();
+        let mut gs = GroupState::new(2);
+        gs.set(0);
+        let p = SyncVmAllocator::malloc(a, 64, site(), &gs, &mut mem);
+        assert_ne!(p, 0);
+        assert!(a.is_group_allocated(p), "no quarantine: the grouped path survives");
+        let d = a.degrade_stats();
+        assert!(d.poisoned_recovered >= 1, "the recovery was counted: {d:?}");
+        assert_eq!(d.degraded_shards, 0, "invariants held, no shard degraded");
+        assert_eq!(d.injected_faults, 1);
+        SyncVmAllocator::free(a, p, &mut mem);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn shard_degradation_aggregates_without_double_counting_injections() {
+        let mut owned = ShardedHaloAllocator::new(2, small_config(), two_group_table(), Vec::new());
+        owned.set_fault_injector(Arc::new(FaultInjector::new(
+            FaultPlan::new(2).at(FaultSite::VmmReserve, 1),
+        )));
+        let a = owned;
+        let mut mem = Memory::new();
+        let mut gs = GroupState::new(2);
+        gs.set(0);
+        // First slab reservation (whichever shard gets there) fails: that
+        // shard's group 0 degrades; the request is still served.
+        SyncVmAllocator::thread_switched(&a, 0);
+        let p = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        assert_ne!(p, 0);
+        let d = a.degrade_stats();
+        assert_eq!(d.fallback_routes, 1);
+        assert_eq!(d.degraded_groups, 1, "one group on one shard");
+        assert_eq!(d.injected_faults, 1, "shared injector counted once, not per shard");
+        // The other shard's group 0 is independent and still groups.
+        SyncVmAllocator::thread_switched(&a, 1);
+        let q = SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem);
+        assert!(a.is_group_allocated(q));
+        SyncVmAllocator::free(&a, q, &mut mem);
+        SyncVmAllocator::thread_switched(&a, 0);
+        SyncVmAllocator::free(&a, p, &mut mem);
+        a.drain_remote(&mut mem);
+        assert_eq!(a.live_bytes(), 0);
     }
 
     #[test]

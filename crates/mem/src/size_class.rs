@@ -101,7 +101,9 @@ impl SizeClassAllocator {
             run => {
                 // New run: at least 16 KiB or 8 objects, page aligned.
                 let run_bytes = (16 * 1024).max(csize * 8).div_ceil(PAGE_SIZE) * PAGE_SIZE;
-                let base = self.vmm.reserve(run_bytes, PAGE_SIZE);
+                let Ok(base) = self.vmm.reserve(run_bytes, PAGE_SIZE) else {
+                    return 0; // span exhausted: genuine OOM, reported as null
+                };
                 *run = Some((base + csize, base + run_bytes));
                 base
             }
@@ -112,7 +114,9 @@ impl SizeClassAllocator {
 
     fn alloc_large(&mut self, requested: u64) -> u64 {
         let pages = requested.div_ceil(PAGE_SIZE);
-        let ptr = self.vmm.reserve(pages * PAGE_SIZE, PAGE_SIZE);
+        let Ok(ptr) = self.vmm.reserve(pages * PAGE_SIZE, PAGE_SIZE) else {
+            return 0; // span exhausted: genuine OOM, reported as null
+        };
         self.slots.insert(ptr, SlotInfo::Large { pages, requested });
         ptr
     }
@@ -149,6 +153,9 @@ impl VmAllocator for SizeClassAllocator {
             Some(class) => self.alloc_small(class, size),
             None => self.alloc_large(size),
         };
+        if ptr == 0 {
+            return 0; // allocation failed: no accounting for the null
+        }
         self.live_bytes += size;
         ptr
     }
@@ -194,6 +201,9 @@ impl VmAllocator for SizeClassAllocator {
             return ptr;
         }
         let newp = self.malloc(size, site, gs, mem);
+        if newp == 0 {
+            return 0; // growth failed: the old region stays live and intact
+        }
         mem.copy(newp, ptr, old_requested.min(size));
         self.free(ptr, mem);
         newp

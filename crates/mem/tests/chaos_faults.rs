@@ -1,0 +1,329 @@
+//! Chaos property suite for the fault-injection subsystem and the
+//! degradation ladder (DESIGN.md §12): randomized fault schedules ×
+//! randomized allocation traces, single- and multi-threaded, under the
+//! same live-set oracle as `sharded_stress.rs`. The properties proved for
+//! every schedule:
+//!
+//! 1. **No double hand-out** — a returned region never overlaps a live
+//!    region (interval oracle, stronger than pointer-equality);
+//! 2. **No lost bytes** — after every pointer is freed, live bytes reach
+//!    exactly zero, degraded groups and all;
+//! 3. **Continued service** — every request after a fault is still served
+//!    (non-zero pointer), and after a mid-operation thread panic the
+//!    surviving threads keep allocating;
+//! 4. **Observability** — every fault the injector fired is counted in
+//!    `DegradeStats` (`injected_faults` matches the injector, and each
+//!    fired site moves its ladder counter);
+//! 5. **Identity** — an attached injector with an *empty* plan changes
+//!    nothing: pointer-for-pointer identical to no injector at all.
+//!
+//! Each test prints a `chaos verdict: zero leaks` line on success, which
+//! CI greps under pipefail (release mode, the `chaos` job).
+
+use halo_mem::{
+    AllocatorStats, FaultInjector, FaultPlan, FaultSite, GroupAllocConfig, GroupSelector,
+    HaloGroupAllocator, SelectorTable, ShardedHaloAllocator,
+};
+use halo_vm::{CallSite, FuncId, GroupState, Memory, SplitMix64, SyncVmAllocator, VmAllocator};
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Schedules per property loop; `HALO_PROPTEST_CASES` overrides it (the
+/// same knob the compat proptest runner honours; invalid values panic
+/// loudly rather than silently shrinking coverage).
+fn cases(default: u64) -> u64 {
+    match std::env::var("HALO_PROPTEST_CASES").ok().as_deref() {
+        None => default,
+        Some(s) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("HALO_PROPTEST_CASES must be a positive integer, got {s:?}"),
+        },
+    }
+}
+
+fn site() -> CallSite {
+    CallSite::new(FuncId(0), 0)
+}
+
+fn two_group_table() -> SelectorTable {
+    SelectorTable::new(
+        vec![
+            GroupSelector { group: 0, conjunctions: vec![vec![0]] },
+            GroupSelector { group: 1, conjunctions: vec![vec![1]] },
+        ],
+        2,
+    )
+}
+
+/// Small chunks/slabs so chunk churn (and therefore the injected fault
+/// sites) is exercised by short traces.
+fn small_config() -> GroupAllocConfig {
+    GroupAllocConfig {
+        chunk_size: 8192,
+        max_spare_chunks: 1,
+        max_grouped_size: 4096,
+        slab_size: 8192 * 8,
+        ..GroupAllocConfig::default()
+    }
+}
+
+/// A randomized schedule over `sites`: each site independently gets no
+/// entry, an exact `site@n` entry, or a `site~p` rate entry.
+fn random_plan(rng: &mut SplitMix64, sites: &[FaultSite]) -> FaultPlan {
+    let mut plan = FaultPlan::new(rng.next_u64());
+    for &s in sites {
+        match rng.next_below(3) {
+            0 => {}
+            1 => plan = plan.at(s, 1 + rng.next_below(40)),
+            _ => plan = plan.rate(s, (1 + rng.next_below(20)) as f64 / 100.0),
+        }
+    }
+    plan
+}
+
+/// The interval oracle: insert `[ptr, ptr + size)`, panicking if it
+/// overlaps any live region (a double hand-out).
+fn oracle_insert(live: &mut BTreeMap<u64, u64>, ptr: u64, size: u64) {
+    let size = size.max(1);
+    if let Some((&prev, &psz)) = live.range(..=ptr).next_back() {
+        assert!(prev + psz <= ptr, "region {ptr:#x}+{size} overlaps live {prev:#x}+{psz}");
+    }
+    if let Some((&next, _)) = live.range(ptr..).next() {
+        assert!(ptr + size <= next, "region {ptr:#x}+{size} overlaps live {next:#x}");
+    }
+    live.insert(ptr, size);
+}
+
+/// Drive one randomized trace (malloc/free/realloc mix) against `a`,
+/// then free every survivor. Returns the number of requests served.
+fn run_trace(a: &mut HaloGroupAllocator, rng: &mut SplitMix64, ops: u64) -> u64 {
+    let mut mem = Memory::new();
+    let mut gs = GroupState::new(2);
+    let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut served = 0;
+    for i in 0..ops {
+        gs.reset();
+        gs.set((i % 2) as u16);
+        match rng.next_below(4) {
+            // Mostly allocate: grouped sizes with a trickle above the cap
+            // so the fallback participates too.
+            0 | 1 => {
+                let size = if i % 23 == 0 { 5000 } else { 16 + rng.next_below(12) * 16 };
+                let ptr = a.malloc(size, site(), &gs, &mut mem);
+                assert_ne!(ptr, 0, "continued service: request {i} was refused");
+                oracle_insert(&mut live, ptr, size);
+                served += 1;
+            }
+            2 => {
+                if let Some((&ptr, _)) = live.range(rng.next_u64()..).next() {
+                    live.remove(&ptr);
+                    a.free(ptr, &mut mem);
+                }
+            }
+            _ => {
+                if let Some((&ptr, _)) = live.range(rng.next_u64()..).next() {
+                    live.remove(&ptr);
+                    let size = 16 + rng.next_below(12) * 16;
+                    let moved = a.realloc(ptr, size, site(), &gs, &mut mem);
+                    assert_ne!(moved, 0, "continued service: realloc {i} was refused");
+                    oracle_insert(&mut live, moved, size);
+                    served += 1;
+                }
+            }
+        }
+    }
+    for &ptr in live.keys() {
+        a.free(ptr, &mut mem);
+    }
+    served
+}
+
+#[test]
+fn randomized_schedules_degrade_but_never_leak() {
+    let cases = cases(32);
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(0xC0_FFEE ^ (case * 0x9E37));
+        let plan = random_plan(&mut rng, &[FaultSite::VmmReserve, FaultSite::ChunkAlloc]);
+        let injector = Arc::new(FaultInjector::new(plan.clone()));
+        let mut a = HaloGroupAllocator::new(small_config(), two_group_table());
+        a.set_fault_injector(Arc::clone(&injector));
+        run_trace(&mut a, &mut rng, 600);
+        assert_eq!(a.live_bytes(), 0, "schedule {plan}: live bytes reach exactly zero");
+        assert_eq!(a.live_objects(), 0, "schedule {plan}: no lost objects");
+        // Observability: the ladder counted exactly what the injector
+        // fired, and each fired site moved its counter.
+        let d = a.degrade_stats();
+        assert_eq!(d.injected_faults, injector.fired(), "schedule {plan}: every fault counted");
+        let carve_faults =
+            injector.fired_at(FaultSite::VmmReserve) + injector.fired_at(FaultSite::ChunkAlloc);
+        if carve_faults > 0 {
+            assert!(d.degraded_groups >= 1, "schedule {plan}: a failed carve degrades: {d:?}");
+            assert!(d.fallback_routes >= 1, "schedule {plan}: traffic was routed: {d:?}");
+        } else {
+            assert!(!d.any(), "schedule {plan}: no fault, no degradation: {d:?}");
+        }
+        // Deterministic replay: the same schedule over the same trace
+        // fires identically.
+        let replay = Arc::new(FaultInjector::new(plan.clone()));
+        let mut b = HaloGroupAllocator::new(small_config(), two_group_table());
+        b.set_fault_injector(Arc::clone(&replay));
+        let mut rng2 = SplitMix64::new(0xC0_FFEE ^ (case * 0x9E37));
+        let _ = random_plan(&mut rng2, &[FaultSite::VmmReserve, FaultSite::ChunkAlloc]);
+        run_trace(&mut b, &mut rng2, 600);
+        assert_eq!(b.degrade_stats(), d, "schedule {plan}: replay is deterministic");
+    }
+    println!("chaos verdict: zero leaks ({cases} single-threaded schedules)");
+}
+
+#[test]
+fn multithreaded_chaos_with_panicking_threads_never_leaks() {
+    const PRODUCERS: usize = 3;
+    const MALLOCS: u64 = 400;
+    let cases = cases(32).div_ceil(4);
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(0xBAD_5EED ^ (case * 0x51_F15E));
+        // All four sites, including the mid-operation panicking thread
+        // and remote-free-queue overflow.
+        let plan = random_plan(
+            &mut rng,
+            &[
+                FaultSite::VmmReserve,
+                FaultSite::ChunkAlloc,
+                FaultSite::RemoteQueue,
+                FaultSite::ShardPanic,
+            ],
+        );
+        let injector = Arc::new(FaultInjector::new(plan.clone()));
+        let mut owned = ShardedHaloAllocator::new(4, small_config(), two_group_table(), Vec::new());
+        owned.set_fault_injector(Arc::clone(&injector));
+        owned.set_remote_queue_cap(64);
+        let a = &owned;
+        let live: Mutex<BTreeMap<u64, u64>> = Mutex::new(BTreeMap::new());
+        let mut panicked = 0u64;
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<u64>();
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let tx = tx.clone();
+                    let live = &live;
+                    scope.spawn(move || {
+                        let mut mem = Memory::new();
+                        let mut gs = GroupState::new(2);
+                        let mut rng = SplitMix64::new(case * 31 + p as u64);
+                        for i in 0..MALLOCS {
+                            gs.reset();
+                            gs.set((i % 2) as u16);
+                            let size =
+                                if i % 23 == 0 { 5000 } else { 16 + rng.next_below(12) * 16 };
+                            // May hit the injected ShardPanic *inside*
+                            // the shard lock: the pointer was never
+                            // handed out, so the oracle stays exact.
+                            let ptr = SyncVmAllocator::malloc(a, size, site(), &gs, &mut mem);
+                            assert_ne!(ptr, 0, "continued service under faults");
+                            oracle_insert(&mut live.lock().expect("oracle"), ptr, size);
+                            tx.send(ptr).expect("consumer alive");
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let consumer = scope.spawn(|| {
+                let mut mem = Memory::new();
+                for ptr in rx {
+                    assert!(
+                        live.lock().expect("oracle").remove(&ptr).is_some(),
+                        "freeing {ptr:#x}, which was never handed out"
+                    );
+                    SyncVmAllocator::free(a, ptr, &mut mem);
+                }
+            });
+            for h in producers {
+                // An injected panic propagates to join; that is the
+                // *intended* failure of the faulted thread — the suite
+                // proves everyone else keeps going.
+                if h.join().is_err() {
+                    panicked += 1;
+                }
+            }
+            consumer.join().expect("the consumer never panics");
+        });
+        // Whatever was handed out was freed; a panicked malloc handed
+        // nothing out.
+        assert!(live.lock().expect("oracle").is_empty(), "schedule {plan}: oracle drained");
+        // Accounting is read while the chaos plan is still attached:
+        // `injected_faults` is snapshotted from the live injector.
+        let d = a.degrade_stats();
+        assert_eq!(d.injected_faults, injector.fired(), "schedule {plan}: every fault counted");
+        if injector.fired_at(FaultSite::RemoteQueue) > 0 {
+            assert!(d.queue_overflows >= 1, "schedule {plan}: overflow counted: {d:?}");
+        }
+        if injector.fired_at(FaultSite::ShardPanic) > 0 {
+            assert_eq!(panicked, injector.fired_at(FaultSite::ShardPanic));
+            assert!(
+                d.poisoned_recovered >= 1,
+                "schedule {plan}: the poisoned lock was recovered, not wedged: {d:?}"
+            );
+        }
+        let carve =
+            injector.fired_at(FaultSite::VmmReserve) + injector.fired_at(FaultSite::ChunkAlloc);
+        if carve > 0 {
+            assert!(d.degraded_groups + d.degraded_shards >= 1, "schedule {plan}: {d:?}");
+        }
+        // The chaos window closes when the workers join: detach the plan so
+        // a rate-based entry cannot fire inside the probe below and panic
+        // the checking thread itself.
+        owned.set_fault_injector(Arc::new(FaultInjector::new(FaultPlan::new(0))));
+        let a = &owned;
+        // Continued service after every fault: the main thread still gets
+        // memory out of the surviving runtime.
+        let mut mem = Memory::new();
+        let mut gs = GroupState::new(2);
+        gs.set(0);
+        let p = SyncVmAllocator::malloc(a, 64, site(), &gs, &mut mem);
+        assert_ne!(p, 0, "schedule {plan}: allocator serves after the chaos run");
+        SyncVmAllocator::free(a, p, &mut mem);
+        a.drain_remote(&mut mem);
+        assert_eq!(a.remote_pending(), 0, "schedule {plan}: every queue drains");
+        assert_eq!(a.live_bytes(), 0, "schedule {plan}: live bytes reach exactly zero");
+        assert_eq!(a.live_objects(), 0);
+    }
+    println!("chaos verdict: zero leaks ({cases} multi-threaded schedules)");
+}
+
+#[test]
+fn empty_plan_is_pointer_for_pointer_identical_to_no_injector() {
+    // The byte-identity half of the acceptance bar, at the allocator
+    // level: attaching an injector whose plan never fires must not change
+    // a single returned address or counter.
+    let drive = |a: &mut HaloGroupAllocator| -> Vec<u64> {
+        let mut mem = Memory::new();
+        let mut gs = GroupState::new(2);
+        let mut rng = SplitMix64::new(42);
+        let mut ptrs = Vec::new();
+        let mut live = Vec::new();
+        for i in 0..500u64 {
+            gs.reset();
+            gs.set((i % 2) as u16);
+            let size = if i % 23 == 0 { 5000 } else { 16 + rng.next_below(12) * 16 };
+            let p = a.malloc(size, site(), &gs, &mut mem);
+            ptrs.push(p);
+            live.push(p);
+            if i % 3 == 0 {
+                let victim = live.swap_remove((rng.next_below(live.len() as u64)) as usize);
+                a.free(victim, &mut mem);
+            }
+        }
+        for p in live {
+            a.free(p, &mut mem);
+        }
+        ptrs
+    };
+    let mut plain = HaloGroupAllocator::new(small_config(), two_group_table());
+    let mut injected = HaloGroupAllocator::new(small_config(), two_group_table());
+    injected.set_fault_injector(Arc::new(FaultInjector::new(FaultPlan::new(7))));
+    assert_eq!(drive(&mut plain), drive(&mut injected), "address streams diverge");
+    assert_eq!(plain.stats(), injected.stats());
+    assert_eq!(plain.live_bytes(), injected.live_bytes());
+    assert!(!injected.degrade_stats().any(), "an empty plan never degrades");
+    println!("chaos verdict: zero leaks (empty-plan identity)");
+}

@@ -327,6 +327,12 @@ pub enum VmError {
     /// More instructions retired than [`EngineLimits::max_instructions`].
     FuelExhausted,
     /// The allocator returned 0 for an allocation request.
+    ///
+    /// The HALO backends' degradation ladder (DESIGN.md §12) keeps
+    /// resource exhaustion away from this error: an exhausted or
+    /// degraded group routes to the fallback allocator instead of
+    /// returning 0, so under them this error means the *fallback* ran
+    /// out of address span — a genuine OOM, not a lost optimisation.
     AllocationFailed {
         /// Location of the faulting allocation.
         at: CallSite,

@@ -13,7 +13,7 @@
 
 use halo::core::{evaluate_with_arg, measure, par_each_ordered, EvalConfig, EvalResult};
 use halo::graph::{Granularity, ReusePolicyChoice};
-use halo::mem::SizeClassAllocator;
+use halo::mem::{FaultPlan, SizeClassAllocator};
 use halo::workloads::{all, Workload};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -100,6 +100,13 @@ fn usage() {
          \t                              runtime with n shards (the mt workloads\n\
          \t                              `server` and `xalanc-mt` exercise its\n\
          \t                              cross-thread remote-free path)\n\
+         \t--inject <schedule>           replay a deterministic fault schedule\n\
+         \t                              against the HALO backends and report\n\
+         \t                              the degradation ladder's counters.\n\
+         \t                              Comma-separated seed=N, site@N (exact\n\
+         \t                              1-based occurrence), site~P (rate);\n\
+         \t                              sites: vmm, chunk, queue, panic\n\
+         \t                              (e.g. seed=7,vmm@3,queue~0.01)\n\
          \t--measure sim|real            sim (default): the simulated hierarchy\n\
          \t                              with the MESI-lite coherence model.\n\
          \t                              real: wall-clock the sharded runtime\n\
@@ -126,6 +133,7 @@ struct Flags {
     granularity: Option<Granularity>,
     reuse_policy: Option<ReusePolicyChoice>,
     shards: Option<usize>,
+    inject: Option<FaultPlan>,
     measure: String,
     hds: bool,
     random: bool,
@@ -146,6 +154,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         granularity: None,
         reuse_policy: None,
         shards: None,
+        inject: None,
         measure: "sim".to_string(),
         hds: false,
         random: false,
@@ -206,6 +215,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
                 flags.shards = Some(n);
             }
+            "--inject" => flags.inject = Some(FaultPlan::parse(&value("--inject")?)?),
             "--measure" => {
                 let v = value("--measure")?;
                 if v != "sim" && v != "real" {
@@ -275,6 +285,7 @@ fn config_for(workload: &Workload, flags: &Flags) -> EvalConfig {
     if let Some(r) = flags.reuse_policy {
         config.halo.reuse = r;
     }
+    config.faults = flags.inject.clone();
     config.extras.clear();
     if let Some(n) = flags.shards {
         config.shards = n;
@@ -445,6 +456,39 @@ fn remote_free_json(r: &EvalResult) -> String {
     )
 }
 
+/// The `"degradation"` object of `halo run --json` — the degradation
+/// ladder's counters per backend that maintains them (registry order).
+/// Emitted only for `--inject` runs or when a run genuinely degraded, so
+/// fault-free output stays byte-identical to builds without fault
+/// support.
+fn degradation_json(r: &EvalResult, flags: &Flags) -> String {
+    let entries: Vec<_> =
+        r.backends.iter().filter_map(|(id, res)| res.degrade.map(|d| (id, d))).collect();
+    if flags.inject.is_none() && !entries.iter().any(|(_, d)| d.any()) {
+        return String::new();
+    }
+    let mut out = String::from(",\"degradation\":{\"backends\":[");
+    for (i, (id, d)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"injected_faults\":{},\"fallback_routes\":{},\"degraded_groups\":{},\"degraded_shards\":{},\"queue_overflows\":{},\"poisoned_recovered\":{},\"invalid_frees\":{}}}",
+            id,
+            d.injected_faults,
+            d.fallback_routes,
+            d.degraded_groups,
+            d.degraded_shards,
+            d.queue_overflows,
+            d.poisoned_recovered,
+            d.invalid_frees,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 fn render_run(r: &EvalResult, flags: &Flags) -> String {
     let (hds_mr, halo_mr) = r.miss_reduction_row();
     let (hds_su, halo_su) = r.speedup_row();
@@ -475,7 +519,7 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
         }
         let _ = writeln!(
             out,
-            "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"granularity\":\"{}\",\"auto_declined\":{},\"frag_fraction\":{:.4},\"wasted_bytes\":{},\"plans\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}{},\"coherence\":{}{}}}",
+            "{{\"benchmark\":\"{}\",\"halo\":{{\"l1d_misses\":{},\"cycles\":{:.0},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"groups\":{},\"monitored_sites\":{},\"granularity\":\"{}\",\"auto_declined\":{},\"frag_fraction\":{:.4},\"wasted_bytes\":{},\"plans\":{}}},\"hds\":{{\"l1d_misses\":{},\"miss_reduction\":{:.4},\"speedup\":{:.4},\"hot_streams\":{}}},\"baseline\":{{\"l1d_misses\":{},\"cycles\":{:.0}}}{},\"coherence\":{}{}{}}}",
             r.name,
             halo.measurement.stats.l1_misses,
             halo.measurement.cycles,
@@ -497,6 +541,7 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
             extra_json,
             coherence_json(r),
             remote_free_json(r),
+            degradation_json(r, flags),
         );
     } else {
         let _ = writeln!(out, "=== {} ===", r.name);
@@ -565,6 +610,25 @@ fn render_run(r: &EvalResult, flags: &Flags) -> String {
                 );
             }
         }
+        // Degradation-ladder summary — same gating as the JSON section:
+        // only `--inject` runs and genuinely degraded runs print it, so
+        // ordinary output stays byte-identical.
+        for (id, d) in r.backends.iter().filter_map(|(id, res)| res.degrade.map(|d| (id, d))) {
+            if flags.inject.is_some() || d.any() {
+                let _ = writeln!(
+                    out,
+                    "  degradation ({id}): {} injected, {} fallback routes, {} degraded groups, \
+                     {} degraded shards, {} queue overflows, {} poisoned recovered, {} invalid frees",
+                    d.injected_faults,
+                    d.fallback_routes,
+                    d.degraded_groups,
+                    d.degraded_shards,
+                    d.queue_overflows,
+                    d.poisoned_recovered,
+                    d.invalid_frees,
+                );
+            }
+        }
     }
     out
 }
@@ -573,6 +637,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let workloads = find_workloads(flags.benchmark.as_deref())?;
     if flags.measure == "real" {
+        if flags.inject.is_some() {
+            // Wall-clock rows have no degradation report to surface the
+            // schedule in, so silently measuring a degraded run would
+            // corrupt comparisons.
+            return Err(
+                "--inject applies to simulated measurement only (drop --measure real)".to_string()
+            );
+        }
         return cmd_run_real(&workloads, &flags);
     }
     run_sweep(&workloads, |w| Ok(render_run(&run_one(w, &flags)?, &flags)))
@@ -731,6 +803,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         || flags.granularity.is_some()
         || flags.reuse_policy.is_some()
         || flags.shards.is_some()
+        || flags.inject.is_some()
         || flags.measure != "sim" // the parse-time default
         || flags.metric != "misses" // the parse-time default
         || flags.hds

@@ -199,6 +199,79 @@ fn bench_rejects_run_configuration_flags() {
     let real = halo(&["bench", "--measure", "real"]);
     assert!(!real.status.success(), "bench must reject --measure real");
     assert!(stderr(&real).contains("halo bench only accepts"), "{}", stderr(&real));
+    let inject = halo(&["bench", "--inject", "vmm@1"]);
+    assert!(!inject.status.success(), "bench must reject --inject");
+    assert!(stderr(&inject).contains("halo bench only accepts"), "{}", stderr(&inject));
+}
+
+#[test]
+fn inject_surfaces_the_degradation_ladder() {
+    // An exact-occurrence schedule fires deterministically; the JSON row
+    // gains a `degradation` section whose counters show the fault was
+    // absorbed (routed to fallback), not fatal.
+    let out = halo(&["run", "--benchmark", "toy", "--inject", "seed=7,vmm@1", "--json"]);
+    assert!(out.status.success(), "an injected fault must not fail the run: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains(",\"degradation\":{\"backends\":["),
+        "missing degradation section: {text}"
+    );
+    assert!(
+        text.contains("\"id\":\"halo\",\"injected_faults\":1"),
+        "fault must be counted: {text}"
+    );
+    for key in [
+        "\"fallback_routes\":",
+        "\"degraded_groups\":1",
+        "\"degraded_shards\":0",
+        "\"queue_overflows\":",
+        "\"poisoned_recovered\":",
+        "\"invalid_frees\":",
+    ] {
+        assert!(text.contains(key), "degradation section is missing {key}: {text}");
+    }
+    // Replaying the same schedule is deterministic, byte for byte.
+    let again = halo(&["run", "--benchmark", "toy", "--inject", "seed=7,vmm@1", "--json"]);
+    assert_eq!(text, stdout(&again), "fault replay must be deterministic");
+    // Text mode prints the ladder's summary line under the same gate.
+    let human = halo(&["run", "--benchmark", "toy", "--inject", "seed=7,vmm@1"]);
+    assert!(human.status.success());
+    let human = stdout(&human);
+    assert!(
+        human.contains("degradation (halo): 1 injected,"),
+        "text mode must summarise the ladder: {human}"
+    );
+    // An empty plan attaches an injector but changes nothing observable:
+    // identical to an uninjected run except the (all-zero) report.
+    let clean = halo(&["run", "--benchmark", "toy", "--inject", "seed=7", "--json"]);
+    assert!(stdout(&clean).contains("\"id\":\"halo\",\"injected_faults\":0"), "{}", stdout(&clean));
+    // Fault-free runs carry no degradation output at all.
+    let plain = halo(&["run", "--benchmark", "toy", "--json"]);
+    assert!(!stdout(&plain).contains("degradation"), "{}", stdout(&plain));
+}
+
+#[test]
+fn inject_parse_errors_reach_stderr_with_failure_exit() {
+    for (spec, needle) in [
+        ("bogus@1", "unknown fault site 'bogus' (vmm|chunk|queue|panic)"),
+        ("vmm@0", "occurrence in 'vmm@0' is 1-based"),
+        ("queue~1.5", "rate in 'queue~1.5' must be within [0, 1]"),
+        ("vmm", "malformed fault entry 'vmm'"),
+        ("seed=abc", "invalid fault seed 'abc'"),
+    ] {
+        let out = halo(&["run", "--benchmark", "toy", "--inject", spec]);
+        assert!(!out.status.success(), "halo run must reject --inject {spec}");
+        assert_eq!(out.stdout.len(), 0, "no result rows before the error ({spec})");
+        assert!(stderr(&out).contains(needle), "for {spec}: {}", stderr(&out));
+    }
+    let missing = halo(&["run", "--benchmark", "toy", "--inject"]);
+    assert!(!missing.status.success());
+    assert!(stderr(&missing).contains("--inject needs a value"), "{}", stderr(&missing));
+    // Wall-clock mode has no degradation report; the combination is a
+    // clear error rather than a silently degraded measurement.
+    let real = halo(&["run", "--benchmark", "toy", "--inject", "vmm@1", "--measure", "real"]);
+    assert!(!real.status.success());
+    assert!(stderr(&real).contains("--inject applies to simulated measurement only"));
 }
 
 #[test]
