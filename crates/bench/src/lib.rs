@@ -361,6 +361,108 @@ pub fn coherent_access_100k() -> u64 {
     s.l1_hits + s.l1_misses + c.invalidations + c.upgrades + c.remote_fills
 }
 
+/// Shape of a synthetic affinity graph for the million-node scale
+/// benchmarks (`graph/build_csr_1m`, `graph/group_1m_nodes`).
+///
+/// Endpoints are drawn heavy-tailed — `idx = floor(n · u^skew)` for
+/// uniform `u` — so a few contexts are hubs with enormous degree and the
+/// long tail is nearly isolated, the degree profile a profiler produces
+/// on allocation-site graphs (most sites touch little; arenas and string
+/// pools touch everything).
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSpec {
+    /// Number of nodes (allocation contexts).
+    pub nodes: u32,
+    /// Number of edge *increments* drawn (distinct edges come out lower
+    /// as hub pairs repeat and accumulate weight).
+    pub edges: u64,
+    /// Heavy-tail exponent; larger skews harder toward low node ids.
+    pub skew: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    /// The committed baseline scale: a million nodes, four million edge
+    /// increments.
+    pub fn million() -> GraphSpec {
+        GraphSpec { nodes: 1_000_000, edges: 4_000_000, skew: 3.0, seed: 42 }
+    }
+
+    /// [`GraphSpec::million`], with the node count overridable via
+    /// `HALO_GRAPH_BENCH_NODES` (edge increments scale with it at 4×) so
+    /// CI smoke runs can shrink the workload without touching the
+    /// committed baseline rows.
+    pub fn from_env() -> GraphSpec {
+        let mut spec = GraphSpec::million();
+        if let Some(nodes) = std::env::var("HALO_GRAPH_BENCH_NODES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+        {
+            spec.nodes = nodes;
+            spec.edges = nodes as u64 * 4;
+        }
+        spec
+    }
+}
+
+/// Generate `spec`'s edge stream split across `shards` per-worker
+/// [`SubGraph`]s, the shape the sharded profiler hands to
+/// `par_merge_subgraphs`. Deterministic for a given spec (each shard's
+/// stream is seeded `seed + shard`); node access counts accumulate the
+/// incident edge weights, every ~97th increment is a loop.
+pub fn synthetic_subgraphs(spec: &GraphSpec, shards: usize) -> Vec<halo_graph::SubGraph> {
+    use halo_graph::NodeId;
+    let shards = shards.max(1) as u64;
+    let per_shard = spec.edges / shards;
+    (0..shards)
+        .map(|s| {
+            let mut sub = halo_graph::SubGraph::new();
+            let mut rng = halo_vm::SplitMix64::new(spec.seed.wrapping_add(s));
+            // Heavy-tailed endpoint draw: u in [0, 1), idx = floor(n·u^skew).
+            let endpoint = |rng: &mut halo_vm::SplitMix64| {
+                let u = rng.next_below(1 << 30) as f64 / (1u64 << 30) as f64;
+                ((spec.nodes as f64 * u.powf(spec.skew)) as u32).min(spec.nodes - 1)
+            };
+            let count =
+                if s == shards - 1 { spec.edges - per_shard * (shards - 1) } else { per_shard };
+            for i in 0..count {
+                let u = endpoint(&mut rng);
+                let v = if i % 97 == 0 { u } else { endpoint(&mut rng) };
+                let w = 1 + rng.next_below(16);
+                sub.add_edge_weight(NodeId(u), NodeId(v), w);
+                sub.add_accesses(NodeId(u), w);
+                if u != v {
+                    sub.add_accesses(NodeId(v), w);
+                }
+            }
+            sub
+        })
+        .collect()
+}
+
+/// The `graph/build_csr_1m` bench body: generate the spec's edge stream
+/// on 8 shards, union them in a parallel tree, and finalise into CSR.
+/// Returns the finalised graph so `group_graph_nodes` can reuse it.
+pub fn build_graph(spec: &GraphSpec) -> halo_graph::AffinityGraph {
+    let shards = synthetic_subgraphs(spec, 8);
+    let merged = halo_core::par_merge_subgraphs(shards);
+    let graph = merged.into_graph();
+    assert!(graph.is_finalised());
+    graph
+}
+
+/// The `graph/group_1m_nodes` bench body: one Fig. 6 grouping pass over a
+/// pre-built graph at bulk-scale parameters (`min_weight` prunes the
+/// heavy-tail noise floor; `group_threshold` 0 keeps every positive-
+/// benefit group). Returns the group count as the black-box value.
+pub fn group_graph_nodes(graph: &halo_graph::AffinityGraph) -> usize {
+    let params =
+        GroupingParams { min_weight: 8, group_threshold: 0.0, ..GroupingParams::default() };
+    halo_graph::group(graph, &params).len()
+}
+
 /// Straightforward reference implementation of the §4.1 affinity queue —
 /// the seed code's shape (`VecDeque` scan, fresh `HashSet` + `Vec` per
 /// `record`). It exists in exactly one place so its two consumers cannot
@@ -455,6 +557,38 @@ mod tests {
         let b = coherent_access_100k();
         assert_eq!(a, b);
         assert!(a > 100_000, "hits + misses alone already exceed the access count");
+    }
+
+    #[test]
+    fn synthetic_graph_is_deterministic_and_heavy_tailed() {
+        let spec = GraphSpec { nodes: 5_000, edges: 20_000, skew: 3.0, seed: 42 };
+        let a = build_graph(&spec);
+        let b = build_graph(&spec);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        // Heavy tail: the hottest node outweighs the median node's
+        // accesses by orders of magnitude.
+        let mut accesses: Vec<u64> = a.nodes().map(|n| a.accesses(n)).collect();
+        accesses.sort_unstable();
+        let max = *accesses.last().unwrap();
+        let median = accesses[accesses.len() / 2];
+        assert!(max > median.max(1) * 100, "max {max} vs median {median}");
+        // And grouping it terminates with a plausible structure.
+        assert!(group_graph_nodes(&a) > 0);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_merged_graph() {
+        let spec = GraphSpec { nodes: 2_000, edges: 8_000, skew: 2.0, seed: 7 };
+        // Different shard counts draw different streams (seeds differ per
+        // shard), so instead check one stream merged 1-way vs tree-merged
+        // 8-way after re-sharding the same subgraphs.
+        let subs = synthetic_subgraphs(&spec, 8);
+        let serial =
+            subs.iter().cloned().fold(halo_graph::SubGraph::new(), halo_graph::SubGraph::merge);
+        let tree = halo_core::par_merge_subgraphs(subs);
+        assert_eq!(serial.edges(), tree.edges());
+        assert_eq!(serial.len(), tree.len());
     }
 
     #[test]

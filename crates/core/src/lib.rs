@@ -86,5 +86,7 @@ pub use measure::{
     measure, measure_detailed, measure_with, CacheMonitor, MeasureConfig, MeasureDetail,
     Measurement,
 };
-pub use parallel::{par_each_ordered, par_map, parse_halo_threads, thread_count};
+pub use parallel::{
+    par_each_ordered, par_map, par_merge_subgraphs, parse_halo_threads, thread_count,
+};
 pub use pipeline::{Halo, HaloConfig, Optimised, PipelineError};

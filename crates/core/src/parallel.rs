@@ -17,6 +17,7 @@
 //! an atomic work-stealing cursor, and a mutex/condvar for in-order
 //! delivery.
 
+use halo_graph::SubGraph;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -176,9 +177,44 @@ where
     results
 }
 
+/// Union per-thread profiling shards into one [`SubGraph`] by parallel
+/// tree reduction: each round pairs adjacent shards and merges the pairs
+/// concurrently (an odd tail passes through), halving the count until one
+/// remains. Because [`SubGraph::merge`] is commutative and associative,
+/// the result is observably identical to the serial left fold at any
+/// thread count — `tests/property_invariants.rs` pins that down.
+///
+/// `par_map` borrows its items, but `merge` consumes both sides; each
+/// pair rides in a `Mutex<Option<_>>` cell the worker takes ownership
+/// from. The per-round mutex traffic is two uncontended locks per merge,
+/// noise next to the merges themselves.
+pub fn par_merge_subgraphs(mut shards: Vec<SubGraph>) -> SubGraph {
+    while shards.len() > 1 {
+        type Cell = Mutex<(Option<SubGraph>, Option<SubGraph>)>;
+        let mut cells: Vec<Cell> = Vec::with_capacity(shards.len().div_ceil(2));
+        let mut iter = shards.into_iter();
+        while let Some(a) = iter.next() {
+            cells.push(Mutex::new((Some(a), iter.next())));
+        }
+        shards = par_map(&cells, |cell| {
+            let (a, b) = {
+                let mut guard = cell.lock().expect("merge cell");
+                (guard.0.take(), guard.1.take())
+            };
+            let a = a.expect("each cell is visited exactly once");
+            match b {
+                Some(b) => a.merge(b),
+                None => a,
+            }
+        });
+    }
+    shards.pop().unwrap_or_default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use halo_graph::NodeId;
 
     #[test]
     fn results_come_back_in_input_order() {
@@ -266,6 +302,42 @@ mod tests {
             },
         );
         assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn tree_merge_matches_serial_fold() {
+        // Shards with overlapping nodes/edges and an odd count (so the
+        // pass-through tail path runs).
+        let shards: Vec<SubGraph> = (0..7u32)
+            .map(|s| {
+                let mut sub = SubGraph::new();
+                for i in 0..20u32 {
+                    sub.add_accesses(NodeId((s * 3 + i) % 25), (s + i) as u64);
+                    sub.add_edge_weight(
+                        NodeId(i % 5),
+                        NodeId((s + i) % 25),
+                        1 + (s + i) as u64 % 7,
+                    );
+                }
+                sub
+            })
+            .collect();
+        let serial = shards.iter().cloned().fold(SubGraph::new(), SubGraph::merge);
+        let parallel = par_merge_subgraphs(shards);
+        assert_eq!(parallel.len(), serial.len());
+        assert_eq!(parallel.edges(), serial.edges());
+        for i in 0..25 {
+            assert_eq!(parallel.accesses(NodeId(i)), serial.accesses(NodeId(i)), "node {i}");
+        }
+    }
+
+    #[test]
+    fn tree_merge_handles_empty_and_single() {
+        assert!(par_merge_subgraphs(Vec::new()).is_empty());
+        let mut only = SubGraph::new();
+        only.add_edge_weight(NodeId(0), NodeId(1), 9);
+        let merged = par_merge_subgraphs(vec![only]);
+        assert_eq!(merged.weight(NodeId(0), NodeId(1)), 9);
     }
 
     #[test]

@@ -169,7 +169,10 @@ impl Halo {
             .with_entry_arg(train_arg)
             .with_limits(self.config.limits)
             .run(&mut alloc, &mut profiler)?;
-        Ok(profiler.finish())
+        // Per-thread profiling shards union in a parallel tree; SubGraph's
+        // merge is commutative, so this is observably identical to the
+        // serial fold `Profiler::finish` would do.
+        Ok(profiler.finish_with(crate::parallel::par_merge_subgraphs))
     }
 
     /// Run the whole pipeline: profile → group → identify → rewrite.

@@ -1,6 +1,7 @@
-//! The pairwise affinity graph (§4.1).
+//! The pairwise affinity graph (§4.1), on flat storage sized for
+//! million-context profiles (DESIGN.md §13).
 
-use std::collections::HashMap;
+use crate::csr::{Csr, EdgeAccumulator};
 
 /// Identifies a node (an allocation context) in an [`AffinityGraph`].
 ///
@@ -29,14 +30,34 @@ struct NodeData {
     alive: bool,
 }
 
+/// Edge storage phases. Writes land in a hash accumulator; the first
+/// read-heavy operation (or an explicit [`AffinityGraph::finalise`])
+/// compacts it into CSR. A write to a finalised graph melts the CSR back
+/// into an accumulator, so the API stays phase-free for callers.
+#[derive(Debug, Clone)]
+enum EdgeStore {
+    Building(EdgeAccumulator),
+    Finalised(Csr),
+}
+
+impl Default for EdgeStore {
+    fn default() -> Self {
+        EdgeStore::Building(EdgeAccumulator::default())
+    }
+}
+
 /// A weighted undirected multigraph-free graph over allocation contexts,
 /// with loop edges permitted (two *different* objects from the *same*
 /// context can be affinitive, which the score function must account for).
+///
+/// Edges live in one of two representations (an accumulation hash table
+/// while building, compressed sparse rows once finalised — see
+/// [`AffinityGraph::finalise`]); every method works in either phase, and
+/// [`AffinityGraph::edges`] yields ascending `(u, v)` order in both.
 #[derive(Debug, Clone, Default)]
 pub struct AffinityGraph {
     nodes: Vec<NodeData>,
-    /// Canonicalised `(min, max)` endpoint pairs → weight.
-    edges: HashMap<(NodeId, NodeId), u64>,
+    store: EdgeStore,
 }
 
 impl AffinityGraph {
@@ -106,65 +127,159 @@ impl AffinityGraph {
         covered as f64 / total as f64
     }
 
-    #[inline]
-    fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
-        if u <= v {
-            (u, v)
-        } else {
-            (v, u)
-        }
-    }
-
     /// Increment the weight of edge `(u, v)`; `u == v` records a loop.
+    /// On a finalised graph this melts the CSR back into build phase.
     pub fn add_edge_weight(&mut self, u: NodeId, v: NodeId, delta: u64) {
         debug_assert!(self.is_alive(u) && self.is_alive(v));
-        *self.edges.entry(Self::key(u, v)).or_insert(0) += delta;
+        self.make_building().add(u.0, v.0, delta);
+    }
+
+    /// Make room for `additional` more distinct edges before a bulk
+    /// insertion loop (melting a finalised store back to build phase if
+    /// necessary). Purely a performance hint — see
+    /// `EdgeAccumulator::reserve` for the pathology it avoids.
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.make_building().reserve(additional);
     }
 
     /// Current weight of edge `(u, v)` (0 when absent).
     pub fn weight(&self, u: NodeId, v: NodeId) -> u64 {
-        self.edges.get(&Self::key(u, v)).copied().unwrap_or(0)
+        match &self.store {
+            EdgeStore::Building(acc) => acc.get(u.0, v.0),
+            EdgeStore::Finalised(csr) => csr.weight(u.0, v.0),
+        }
+    }
+
+    /// Whether the edge store is currently in compact CSR form.
+    pub fn is_finalised(&self) -> bool {
+        matches!(self.store, EdgeStore::Finalised(_))
+    }
+
+    /// Compact the edge store into CSR: per-node offset rows with sorted
+    /// neighbour/weight arrays, loops kept (once, in their node's row).
+    /// Edges to discarded endpoints are dropped for good. Idempotent; a
+    /// later [`AffinityGraph::add_edge_weight`] transparently reverts to
+    /// the build phase.
+    pub fn finalise(&mut self) {
+        if !self.is_finalised() {
+            self.rebuild_csr(0);
+        }
+    }
+
+    /// Rebuild the CSR from the current store, keeping only edges of
+    /// weight ≥ `min_weight` between alive endpoints.
+    fn rebuild_csr(&mut self, min_weight: u64) {
+        let nodes = &self.nodes;
+        let keep = |u: u32, v: u32, w: u64| {
+            w >= min_weight && nodes[u as usize].alive && nodes[v as usize].alive
+        };
+        let csr = match &self.store {
+            EdgeStore::Building(acc) => Csr::build(nodes.len(), |f| {
+                acc.for_each(|u, v, w| {
+                    if keep(u, v, w) {
+                        f(u, v, w)
+                    }
+                })
+            }),
+            EdgeStore::Finalised(csr) => Csr::build(nodes.len(), |f| {
+                csr.for_each_edge(|u, v, w| {
+                    if keep(u, v, w) {
+                        f(u, v, w)
+                    }
+                })
+            }),
+        };
+        self.store = EdgeStore::Finalised(csr);
+    }
+
+    /// The accumulator, melting a finalised CSR back into build phase if
+    /// necessary.
+    fn make_building(&mut self) -> &mut EdgeAccumulator {
+        if let EdgeStore::Finalised(csr) = &self.store {
+            let mut acc = EdgeAccumulator::with_capacity(csr.edge_count() + 1);
+            csr.for_each_edge(|u, v, w| acc.add(u, v, w));
+            self.store = EdgeStore::Building(acc);
+        }
+        match &mut self.store {
+            EdgeStore::Building(acc) => acc,
+            EdgeStore::Finalised(_) => unreachable!("store was just melted"),
+        }
     }
 
     /// Iterate over `(u, v, weight)` for every edge with positive weight
-    /// between alive endpoints. Loops are included.
+    /// between alive endpoints, in ascending `(u, v)` order (each
+    /// undirected edge once, with `u <= v`; loops included). On a
+    /// finalised graph this walks the CSR rows allocation-free; in build
+    /// phase it collects and sorts, so hot callers should finalise first.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u64)> + '_ {
-        self.edges
-            .iter()
-            .filter(|(&(u, v), &w)| w > 0 && self.is_alive(u) && self.is_alive(v))
-            .map(|(&(u, v), &w)| (u, v, w))
+        let (building, finalised) = match &self.store {
+            EdgeStore::Building(acc) => {
+                let mut collected = Vec::with_capacity(acc.len());
+                acc.for_each(|u, v, w| {
+                    if self.nodes[u as usize].alive && self.nodes[v as usize].alive {
+                        collected.push((u, v, w));
+                    }
+                });
+                collected.sort_unstable();
+                (Some(collected), None)
+            }
+            EdgeStore::Finalised(csr) => (None, Some(csr.edge_iter())),
+        };
+        building
+            .into_iter()
+            .flatten()
+            .chain(finalised.into_iter().flatten())
+            .map(|(u, v, w)| (NodeId(u), NodeId(v), w))
     }
 
     /// Number of positive-weight edges between alive endpoints.
     pub fn edge_count(&self) -> usize {
-        self.edges().count()
+        match &self.store {
+            // Build-phase entries are all positive-weight between alive
+            // endpoints (edges cannot be added to discarded nodes, and
+            // discarding finalises), so the occupancy count is the answer.
+            EdgeStore::Building(acc) => acc.len(),
+            EdgeStore::Finalised(csr) => csr.edge_count(),
+        }
     }
 
-    /// Neighbours of `n` (excluding `n` itself) with edge weights.
+    /// Neighbours of `n` (excluding `n` itself) with edge weights, in
+    /// ascending neighbour order. O(degree) on a finalised graph.
     pub fn neighbours(&self, n: NodeId) -> Vec<(NodeId, u64)> {
-        self.edges()
-            .filter_map(|(u, v, w)| {
-                if u == n && v != n {
-                    Some((v, w))
-                } else if v == n && u != n {
-                    Some((u, w))
-                } else {
-                    None
-                }
-            })
-            .collect()
+        match &self.store {
+            EdgeStore::Finalised(csr) => {
+                let (nbrs, wts) = csr.row(n.index());
+                nbrs.iter()
+                    .zip(wts)
+                    .filter(|&(&v, _)| v != n.0)
+                    .map(|(&v, &w)| (NodeId(v), w))
+                    .collect()
+            }
+            EdgeStore::Building(_) => self
+                .edges()
+                .filter_map(|(u, v, w)| {
+                    if u == n && v != n {
+                        Some((v, w))
+                    } else if v == n && u != n {
+                        Some((u, w))
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        }
     }
 
     /// Drop edges lighter than `min_weight` (the noise-reduction edge
-    /// thresholding of §4.2).
+    /// thresholding of §4.2). Leaves the graph finalised.
     pub fn threshold_edges(&mut self, min_weight: u64) {
-        self.edges.retain(|_, w| *w >= min_weight);
+        self.rebuild_csr(min_weight);
     }
 
     /// Keep the hottest nodes covering `keep_fraction` of all accesses and
     /// discard the rest along with their edges (§4.1: "after 90% of all
     /// observed accesses have been accounted for, any remaining nodes are
-    /// discarded"). Returns the discarded ids.
+    /// discarded"). Returns the discarded ids. Leaves the graph finalised.
     pub fn discard_cold_nodes(&mut self, keep_fraction: f64) -> Vec<NodeId> {
         let total = self.total_accesses();
         let target = (total as f64 * keep_fraction).ceil() as u64;
@@ -180,7 +295,7 @@ impl AffinityGraph {
                 covered += self.accesses(n);
             }
         }
-        self.edges.retain(|&(u, v), _| self.nodes[u.index()].alive && self.nodes[v.index()].alive);
+        self.rebuild_csr(0); // drops the dead nodes' edges
         discarded
     }
 
@@ -297,5 +412,68 @@ mod tests {
         g.add_edge_weight(a, b, 4);
         let n = g.neighbours(a);
         assert_eq!(n, vec![(b, 4)]);
+    }
+
+    #[test]
+    fn edges_are_sorted_in_both_phases() {
+        let mut g = AffinityGraph::new();
+        let ids: Vec<NodeId> = (0..6).map(|_| g.add_node(1)).collect();
+        // Insert in a deliberately scrambled order.
+        for &(u, v, w) in
+            &[(5, 1, 9u64), (0, 3, 4), (2, 2, 7), (0, 1, 2), (4, 5, 1), (3, 3, 3), (1, 2, 6)]
+        {
+            g.add_edge_weight(ids[u], ids[v], w);
+        }
+        let expected = vec![
+            (ids[0], ids[1], 2),
+            (ids[0], ids[3], 4),
+            (ids[1], ids[2], 6),
+            (ids[1], ids[5], 9),
+            (ids[2], ids[2], 7),
+            (ids[3], ids[3], 3),
+            (ids[4], ids[5], 1),
+        ];
+        assert!(!g.is_finalised());
+        assert_eq!(g.edges().collect::<Vec<_>>(), expected, "build phase");
+        g.finalise();
+        assert!(g.is_finalised());
+        assert_eq!(g.edges().collect::<Vec<_>>(), expected, "finalised");
+    }
+
+    #[test]
+    fn finalise_then_write_melts_back_losslessly() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        let c = g.add_node(1);
+        g.add_edge_weight(a, b, 5);
+        g.finalise();
+        assert_eq!(g.weight(a, b), 5);
+        g.add_edge_weight(a, b, 2); // melts
+        assert!(!g.is_finalised());
+        g.add_edge_weight(b, c, 1);
+        assert_eq!(g.weight(a, b), 7);
+        assert_eq!(g.weight(b, c), 1);
+        g.finalise();
+        assert_eq!(g.weight(a, b), 7);
+        assert_eq!(g.edge_count(), 2);
+        // Re-finalising is a no-op.
+        g.finalise();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn nodes_added_after_finalise_read_as_isolated() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(1);
+        g.add_edge_weight(a, a, 2);
+        g.finalise();
+        let late = g.add_node(9);
+        assert_eq!(g.weight(late, a), 0);
+        assert_eq!(g.weight(late, late), 0);
+        assert!(g.neighbours(late).is_empty());
+        assert!(g.is_alive(late));
+        g.add_edge_weight(late, a, 4);
+        assert_eq!(g.weight(late, a), 4);
     }
 }

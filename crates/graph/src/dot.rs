@@ -18,6 +18,14 @@ const COLOURS: &[&str] =
 /// * `groups` drives fill colours; ungrouped nodes are grey, matching the
 ///   paper's figure.
 /// * Edges lighter than `min_edge_weight` are omitted.
+///
+/// The output is byte-deterministic: nodes are emitted in id order and
+/// edges in ascending `(u, v)` order ([`AffinityGraph::edges`] guarantees
+/// it in both storage phases), so the same graph renders to the same
+/// document regardless of process, insertion order, or finalisation
+/// state. The old HashMap-backed store leaked its per-process iteration
+/// order into the edge lines; `deterministic_regardless_of_build_order`
+/// pins the fix.
 pub fn to_dot(
     graph: &AffinityGraph,
     labels: &dyn Fn(NodeId) -> String,
@@ -87,6 +95,39 @@ mod tests {
         assert!(!dot.contains("n1 -- n2"), "weak edge hidden");
         assert!(!dot.contains("n0 -- n0"), "loops not drawn");
         assert!(dot.contains("label=\"500\""));
+    }
+
+    /// Two graphs with the same logical content but different edge
+    /// insertion orders (and different storage phases) must render to
+    /// byte-identical documents — edge lines follow (u, v) order, not
+    /// the edge store's internal layout.
+    #[test]
+    fn deterministic_regardless_of_build_order() {
+        let edges: Vec<(u32, u32, u64)> =
+            (0..40u32).map(|i| (i % 7, 7 + (i * 13) % 23, 10 + i as u64)).collect();
+        let build = |order: &[usize], finalise: bool| {
+            let mut g = AffinityGraph::new();
+            for _ in 0..30 {
+                g.add_node(50);
+            }
+            for &i in order {
+                let (u, v, w) = edges[i];
+                g.add_edge_weight(NodeId(u), NodeId(v), w);
+            }
+            if finalise {
+                g.finalise();
+            }
+            to_dot(&g, &|n| format!("ctx{}", n.0), &[], 1)
+        };
+        let forward: Vec<usize> = (0..edges.len()).collect();
+        let reverse: Vec<usize> = (0..edges.len()).rev().collect();
+        let scrambled: Vec<usize> = (0..edges.len()).map(|i| (i * 17) % edges.len()).collect();
+        let reference = build(&forward, false);
+        assert_eq!(reference, build(&reverse, false), "reverse insertion");
+        assert_eq!(reference, build(&scrambled, false), "scrambled insertion");
+        assert_eq!(reference, build(&forward, true), "finalised rendering");
+        // And rendering the same graph twice is trivially stable.
+        assert_eq!(build(&reverse, true), build(&reverse, true));
     }
 
     #[test]

@@ -1,8 +1,29 @@
 //! The greedy context-grouping algorithm (paper Fig. 6).
+//!
+//! Rewritten on CSR adjacency for million-node graphs (DESIGN.md §13):
+//! the seed scan walks a once-sorted edge list behind a forward-only
+//! cursor, and group growth evaluates only candidates adjacent to a
+//! member, with per-candidate weights accumulated incrementally as
+//! members join. Both are *exact* reformulations of the original
+//! full-rescan loops — the grouping-snapshot and CSR-reference property
+//! suites pin the output bit-for-bit — because:
+//!
+//! * the available-node set only ever shrinks, so an edge skipped by the
+//!   cursor (an endpoint already grouped) can never become the maximum
+//!   again, and the cursor's next valid edge *is* the old per-iteration
+//!   `max_by_key`;
+//! * candidate weights are integer sums, so accumulating them one member
+//!   at a time equals the old per-candidate rescan exactly, and the score
+//!   arithmetic goes through the same `score.rs` float helpers;
+//! * a candidate *not* adjacent to any member can still win the old full
+//!   scan in rare corners (tiny scores, or a tolerance so large the
+//!   benefit grows with the candidate's loop weight). An analytic upper
+//!   bound on every non-adjacent candidate's benefit gates those steps:
+//!   when the bound (plus float slack) could reach the adjacent best —
+//!   or zero — the step falls back to the literal full scan.
 
 use crate::affinity::{AffinityGraph, NodeId};
-use crate::score::{merge_benefit, SubgraphScore};
-use std::collections::HashSet;
+use crate::score::{merge_benefit_parts, score_parts};
 
 /// Tunables of the Fig. 6 algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,67 +78,205 @@ impl Group {
     }
 }
 
+/// Per-call scratch state for one `group()` run, sized once to the node
+/// count and reset per group by walking the touched list (so forming many
+/// small groups on a million-node graph stays O(work), not O(n·groups)).
+struct Grower {
+    /// Still ungrouped (and alive).
+    avail: Vec<bool>,
+    /// Σ of edge weights from current group members to each node.
+    cand_w: Vec<u64>,
+    /// Whether the node is already on the `cands` list.
+    queued: Vec<bool>,
+    /// Candidate nodes adjacent to at least one member.
+    cands: Vec<u32>,
+    /// Loop weight per node (in the thresholded graph).
+    loop_w: Vec<u64>,
+}
+
+impl Grower {
+    /// Fold `node`'s row into the candidate weights (called when `node`
+    /// becomes a member).
+    fn absorb(&mut self, work: &AffinityGraph, node: NodeId) {
+        for (v, w) in work.neighbours(node) {
+            let vi = v.index();
+            if !self.avail[vi] {
+                continue;
+            }
+            self.cand_w[vi] += w;
+            if !self.queued[vi] {
+                self.queued[vi] = true;
+                self.cands.push(v.0);
+            }
+        }
+    }
+
+    /// The Fig. 8 benefit of adding `c` to the current group, via exactly
+    /// the float expressions of `score.rs` (`sa` and the pair counts are
+    /// precomputed per growth step).
+    #[inline]
+    fn benefit_of(&self, c: usize, sa: f64, sum: u64, loops: u64, pairs1: u64, tol: f64) -> f64 {
+        let lw = self.loop_w[c];
+        let has_loop = u64::from(lw > 0);
+        let sb = score_parts(lw, has_loop);
+        let sc = score_parts(sum + self.cand_w[c] + lw, loops + has_loop + pairs1);
+        merge_benefit_parts(sa, sb, sc, tol)
+    }
+
+    /// Reset per-group state by touched-list walk.
+    fn clear_candidates(&mut self) {
+        for &c in &self.cands {
+            self.cand_w[c as usize] = 0;
+            self.queued[c as usize] = false;
+        }
+        self.cands.clear();
+    }
+}
+
+/// Fold `benefit` for `stranger` into the running best, with the original
+/// scan's total tie-break (higher benefit, then smaller id).
+#[inline]
+fn consider(best: &mut Option<(NodeId, f64)>, stranger: NodeId, benefit: f64) {
+    if benefit > 0.0 && best.is_none_or(|(bn, bb)| benefit > bb || (benefit == bb && stranger < bn))
+    {
+        *best = Some((stranger, benefit));
+    }
+}
+
 /// Partition (a subset of) the graph's contexts into co-allocation groups —
 /// the paper's Fig. 6 algorithm, verbatim:
 ///
 /// 1. drop edges below `min_weight`;
 /// 2. while any ungrouped edge remains, seed a group with the hotter
 ///    endpoint of the strongest available edge;
-/// 3. grow it greedily by maximum [`merge_benefit`] while positive and the
-///    group is under `max_group_members`;
+/// 3. grow it greedily by maximum [`crate::merge_benefit`] while positive
+///    and the group is under `max_group_members`;
 /// 4. keep the group if its internal weight reaches
 ///    `total_accesses × group_threshold`.
 ///
 /// Returned groups are in formation order (strongest seed edge first).
 pub fn group(graph: &AffinityGraph, params: &GroupingParams) -> Vec<Group> {
     let mut work = graph.clone();
-    work.threshold_edges(params.min_weight);
+    work.threshold_edges(params.min_weight); // finalises into CSR
     let total_accesses = work.total_accesses();
     let min_group_weight = (total_accesses as f64 * params.group_threshold).ceil() as u64;
+    let n = work.len();
+    let tol = params.merge_tolerance;
 
-    let mut avail: HashSet<NodeId> = work.nodes().collect();
+    // The old loop re-ran `max_by_key((w, Reverse((u, v))))` per group;
+    // sorting once by descending weight then ascending (u, v) and walking
+    // a forward-only cursor visits seeds in the same order.
+    let mut edge_order: Vec<(u64, u32, u32)> =
+        work.edges().map(|(u, v, w)| (w, u.0, v.0)).collect();
+    edge_order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut grower = Grower {
+        avail: vec![false; n],
+        cand_w: vec![0; n],
+        queued: vec![false; n],
+        cands: Vec::new(),
+        loop_w: vec![0; n],
+    };
+    for node in work.nodes() {
+        grower.avail[node.index()] = true;
+    }
+    for &(w, u, v) in &edge_order {
+        if u == v {
+            grower.loop_w[u as usize] = w;
+        }
+    }
+
     let mut groups: Vec<Group> = Vec::new();
+    let mut cursor = 0usize;
 
     loop {
         // Strongest edge in the subgraph induced by the available nodes.
         // Loop edges participate: a context strongly affinitive with itself
         // can seed (and remain) a singleton group.
-        let seed_edge = work
-            .edges()
-            .filter(|(u, v, _)| avail.contains(u) && avail.contains(v))
-            .max_by_key(|&(u, v, w)| (w, std::cmp::Reverse((u, v))));
-        let Some((u, v, _)) = seed_edge else { break };
+        while cursor < edge_order.len() {
+            let (_, u, v) = edge_order[cursor];
+            if grower.avail[u as usize] && grower.avail[v as usize] {
+                break;
+            }
+            cursor += 1;
+        }
+        let Some(&(_, eu, ev)) = edge_order.get(cursor) else { break };
+        let (u, v) = (NodeId(eu), NodeId(ev));
 
         // Seed with the hotter endpoint.
         let seed = if work.accesses(u) >= work.accesses(v) { u } else { v };
-        let mut sub = SubgraphScore::singleton(&work, seed);
-        avail.remove(&seed);
+        let mut members = vec![seed];
+        let mut weight_sum = grower.loop_w[seed.index()];
+        let mut loop_count = u64::from(weight_sum > 0);
+        grower.avail[seed.index()] = false;
+        grower.absorb(&work, seed);
 
         // Grow by best positive merge benefit.
-        while sub.len() < params.max_group_members {
+        while members.len() < params.max_group_members {
+            let v_len = members.len() as u64;
+            let pairs0 = v_len * (v_len - 1) / 2;
+            let pairs1 = v_len * (v_len + 1) / 2;
+            let sa = score_parts(weight_sum, loop_count + pairs0);
+
             let mut best: Option<(NodeId, f64)> = None;
-            for &stranger in &avail {
-                let benefit = merge_benefit(&work, &sub, stranger, params.merge_tolerance);
-                if benefit > 0.0
-                    && best.is_none_or(|(bn, bb)| benefit > bb || (benefit == bb && stranger < bn))
-                {
-                    best = Some((stranger, benefit));
+            for i in 0..grower.cands.len() {
+                let c = grower.cands[i] as usize;
+                if grower.avail[c] {
+                    let b = grower.benefit_of(c, sa, weight_sum, loop_count, pairs1, tol);
+                    consider(&mut best, NodeId(c as u32), b);
                 }
             }
+
+            // Can a candidate with *no* edge into the group beat (or tie)
+            // the adjacent best? Its benefit is f(lw) = (W + lw)/d −
+            // (1−T)·max(sa, lw) with lw its loop weight and d the merged
+            // denominator; f peaks at lw = sa when (1−T)·d > 1 (and at
+            // lw = 0 without a loop), so two closed forms bound it. If the
+            // bound clears the bar, run the literal full scan.
+            let d0 = loop_count + pairs1;
+            let d1 = d0 + 1;
+            let one_minus_t = 1.0 - tol;
+            let unbounded = one_minus_t * d1 as f64 <= 1.0;
+            let ub = if unbounded {
+                f64::INFINITY
+            } else {
+                let b0 = score_parts(weight_sum, d0) - one_minus_t * sa;
+                let b1 = (weight_sum as f64 + sa) / d1 as f64 - one_minus_t * sa;
+                b0.max(b1)
+            };
+            let slack = 1e-9 * (1.0 + ub.abs() + sa);
+            let could_matter = match best {
+                Some((_, bb)) => ub + slack >= bb,
+                None => ub + slack > 0.0,
+            };
+            if could_matter {
+                for c in 0..n {
+                    if grower.avail[c] {
+                        let b = grower.benefit_of(c, sa, weight_sum, loop_count, pairs1, tol);
+                        consider(&mut best, NodeId(c as u32), b);
+                    }
+                }
+            }
+
             match best {
                 Some((node, _)) => {
-                    sub.push(&work, node);
-                    avail.remove(&node);
+                    let ni = node.index();
+                    weight_sum += grower.cand_w[ni] + grower.loop_w[ni];
+                    loop_count += u64::from(grower.loop_w[ni] > 0);
+                    grower.avail[ni] = false;
+                    grower.absorb(&work, node);
+                    members.push(node);
                 }
                 None => break,
             }
         }
 
-        if sub.weight_sum() >= min_group_weight && sub.weight_sum() > 0 {
-            let accesses = sub.members().iter().map(|&m| work.accesses(m)).sum();
+        grower.clear_candidates();
+        if weight_sum >= min_group_weight && weight_sum > 0 {
+            let accesses = members.iter().map(|&m| work.accesses(m)).sum();
             groups.push(Group {
-                members: sub.members().to_vec(),
-                weight: sub.weight_sum(),
+                members,
+                weight: weight_sum,
                 accesses,
                 plan: crate::GroupPlan::default(),
             });
@@ -134,6 +293,7 @@ pub fn group(graph: &AffinityGraph, params: &GroupingParams) -> Vec<Group> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn params() -> GroupingParams {
         GroupingParams {
@@ -266,5 +426,28 @@ mod tests {
         let a = group(&g, &params());
         let b = group(&g, &params());
         assert_eq!(a, b);
+    }
+
+    /// A huge tolerance lets *non-adjacent* candidates win a growth step,
+    /// which only the full-scan fallback can see: the heavy loop on `c`
+    /// seeds the first group, `{c}` has no neighbours at all, yet with
+    /// T = 0.9 merging the edgeless `a` is beneficial (s({c,a}) = 2500 vs
+    /// (1−T)·5000 = 500), so the group must still grow.
+    #[test]
+    fn non_adjacent_candidate_wins_under_large_tolerance() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(100);
+        let b = g.add_node(100);
+        let c = g.add_node(100);
+        let d = g.add_node(100);
+        g.add_edge_weight(a, b, 1000);
+        g.add_edge_weight(c, c, 5000); // non-adjacent, heavy loop
+        g.add_edge_weight(b, d, 1); // weak adjacent candidate
+        let p = GroupingParams { merge_tolerance: 0.9, ..params() };
+        let groups = group(&g, &p);
+        // The loop-seeded group swallows the graph one fallback step at a
+        // time: {c} → {c,a} (non-adjacent) → {c,a,b} → {c,a,b,d}.
+        assert_eq!(groups.len(), 1);
+        assert!([a, b, c, d].iter().all(|&n| groups[0].contains(n)));
     }
 }

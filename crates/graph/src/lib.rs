@@ -8,10 +8,17 @@
 //! * the **score** function — a loop-aware variant of weighted graph
 //!   density (paper Fig. 7);
 //! * the **merge benefit** function with tolerance `T` (paper Fig. 8);
-//! * the **greedy grouping algorithm** (paper Fig. 6);
+//! * the **greedy grouping algorithm** (paper Fig. 6), rewritten on CSR
+//!   adjacency so grouping a million-node graph finishes in seconds;
 //! * two alternative clusterers the paper compares against in prose
 //!   (greedy modularity maximisation and HCS via Stoer–Wagner min-cut),
 //!   used by the grouping ablation bench.
+//!
+//! Edge storage is flat (DESIGN.md §13): writes accumulate in a hash
+//! table, reads run on compressed sparse rows after
+//! [`AffinityGraph::finalise`], and [`SubGraph`] deltas let profiling
+//! shards build pieces of a graph independently and merge them in any
+//! order.
 //!
 //! # Example
 //!
@@ -31,11 +38,13 @@
 
 mod affinity;
 mod alt;
+mod csr;
 mod dot;
 mod granularity;
 mod grouping;
 mod plan;
 mod score;
+mod subgraph;
 
 pub use affinity::{AffinityGraph, NodeId};
 pub use alt::{hcs_clusters, modularity_clusters, stoer_wagner_min_cut};
@@ -44,3 +53,4 @@ pub use granularity::Granularity;
 pub use grouping::{group, Group, GroupingParams};
 pub use plan::{GroupPlan, ReusePolicy, ReusePolicyChoice};
 pub use score::{merge_benefit, score_of_members, SubgraphScore};
+pub use subgraph::SubGraph;

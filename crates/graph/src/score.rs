@@ -2,6 +2,28 @@
 
 use crate::affinity::{AffinityGraph, NodeId};
 
+/// The Fig. 7 quotient from its integer parts: `weight_sum / denom`,
+/// with the empty-denominator convention (score 0).
+///
+/// Every score the crate computes — incremental ([`SubgraphScore`]) or
+/// CSR-side (the `grouping.rs` candidate scan) — funnels through this one
+/// expression, so the two paths are bit-identical by construction.
+#[inline]
+pub(crate) fn score_parts(weight_sum: u64, denom: u64) -> f64 {
+    if denom == 0 {
+        0.0
+    } else {
+        weight_sum as f64 / denom as f64
+    }
+}
+
+/// The Fig. 8 combination of the three scores:
+/// `s(G[A ∪ B]) − (1 − T)·max(s(G[A]), s(G[B]))`.
+#[inline]
+pub(crate) fn merge_benefit_parts(sa: f64, sb: f64, sc: f64, tolerance: f64) -> f64 {
+    sc - (1.0 - tolerance) * sa.max(sb)
+}
+
 /// Incremental bookkeeping for the score of an induced subgraph.
 ///
 /// The Fig. 7 score of `G = (V, E)` is
@@ -59,12 +81,7 @@ impl SubgraphScore {
     /// The Fig. 7 score. Empty or edge-free subgraphs score 0.
     pub fn score(&self) -> f64 {
         let v = self.members.len() as u64;
-        let denom = self.loop_count as u64 + v * v.saturating_sub(1) / 2;
-        if denom == 0 {
-            0.0
-        } else {
-            self.weight_sum as f64 / denom as f64
-        }
+        score_parts(self.weight_sum, self.loop_count as u64 + v * v.saturating_sub(1) / 2)
     }
 
     /// The score this subgraph would have after adding `candidate`,
@@ -72,12 +89,7 @@ impl SubgraphScore {
     pub fn score_with(&self, graph: &AffinityGraph, candidate: NodeId) -> f64 {
         let (w, l) = self.deltas_for(graph, candidate);
         let v = (self.members.len() + 1) as u64;
-        let denom = (self.loop_count + l) as u64 + v * (v - 1) / 2;
-        if denom == 0 {
-            0.0
-        } else {
-            (self.weight_sum + w) as f64 / denom as f64
-        }
+        score_parts(self.weight_sum + w, (self.loop_count + l) as u64 + v * (v - 1) / 2)
     }
 
     /// Add `candidate` to the subgraph.
@@ -127,7 +139,7 @@ pub fn merge_benefit(
     let sa = group.score();
     let sb = SubgraphScore::singleton(graph, candidate).score();
     let sc = group.score_with(graph, candidate);
-    sc - (1.0 - tolerance) * sa.max(sb)
+    merge_benefit_parts(sa, sb, sc, tolerance)
 }
 
 #[cfg(test)]

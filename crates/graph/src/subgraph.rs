@@ -1,0 +1,215 @@
+//! Mergeable per-shard affinity deltas (DESIGN.md §13).
+//!
+//! A [`SubGraph`] is the write-side slice of an [`AffinityGraph`] that one
+//! profiling shard (a logical thread, a trace partition, a generator
+//! worker) builds independently: node access counts keyed by the *global*
+//! stable [`NodeId`] space plus an edge-weight accumulator. Because every
+//! field merges by pointwise integer sum (and the node set by union of id
+//! ranges), [`SubGraph::merge`] is commutative and associative — any
+//! partition of an event stream over any number of shards, merged in any
+//! order or tree shape, yields the same graph as single-pass recording.
+//! That is what lets `halo_core` union shards with `par_map` and stay
+//! byte-identical to the serial fold (`tests/property_invariants.rs`).
+
+use crate::affinity::{AffinityGraph, NodeId};
+use crate::csr::EdgeAccumulator;
+
+/// One shard's contribution to an affinity graph: dense per-node access
+/// deltas and an edge-weight accumulator over global node ids.
+#[derive(Debug, Clone, Default)]
+pub struct SubGraph {
+    /// Access deltas, indexed by `NodeId`; the vector length is the
+    /// highest node id this shard has seen plus one.
+    accesses: Vec<u64>,
+    edges: EdgeAccumulator,
+}
+
+impl SubGraph {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes this shard knows about (highest seen id + 1).
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the shard recorded nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty() && self.edges.len() == 0
+    }
+
+    /// Number of distinct positive-weight edges recorded.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn ensure_node(&mut self, n: NodeId) {
+        if self.accesses.len() <= n.index() {
+            self.accesses.resize(n.index() + 1, 0);
+        }
+    }
+
+    /// Record `delta` accesses on node `n` (0 still marks the node as
+    /// seen, widening the id range the merge unions).
+    pub fn add_accesses(&mut self, n: NodeId, delta: u64) {
+        self.ensure_node(n);
+        self.accesses[n.index()] += delta;
+    }
+
+    /// Access delta recorded for `n` (0 when unseen).
+    pub fn accesses(&self, n: NodeId) -> u64 {
+        self.accesses.get(n.index()).copied().unwrap_or(0)
+    }
+
+    /// Add `delta` to edge `(u, v)`; `u == v` records a loop.
+    pub fn add_edge_weight(&mut self, u: NodeId, v: NodeId, delta: u64) {
+        self.ensure_node(if u >= v { u } else { v });
+        self.edges.add(u.0, v.0, delta);
+    }
+
+    /// Accumulated weight of `(u, v)` (0 when absent).
+    pub fn weight(&self, u: NodeId, v: NodeId) -> u64 {
+        self.edges.get(u.0, v.0)
+    }
+
+    /// The recorded edges as sorted `(u, v, weight)` triples with
+    /// `u <= v` — the canonical form two shards are compared in.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId, u64)> {
+        let mut out = Vec::with_capacity(self.edges.len());
+        self.edges.for_each(|u, v, w| out.push((NodeId(u), NodeId(v), w)));
+        out.sort_unstable();
+        out
+    }
+
+    /// Union `other` into `self`: node ranges union (by stable id — no
+    /// renumbering ever happens), access counts and edge weights sum.
+    /// Commutative and associative up to observable state (the internal
+    /// hash layout may differ, every accessor is order-insensitive).
+    #[must_use]
+    pub fn merge(mut self, other: SubGraph) -> SubGraph {
+        if self.accesses.len() < other.accesses.len() {
+            // Grow-once so the pointwise sum below never reallocates.
+            self.accesses.resize(other.accesses.len(), 0);
+        }
+        for (mine, theirs) in self.accesses.iter_mut().zip(&other.accesses) {
+            *mine += theirs;
+        }
+        // Pre-size before the slot-order copy (see EdgeAccumulator::reserve
+        // for why feeding hash order into a smaller table is quadratic).
+        self.edges.reserve(other.edges.len());
+        other.edges.for_each(|u, v, w| self.edges.add(u, v, w));
+        self
+    }
+
+    /// Apply this delta to a full graph: missing nodes are appended (with
+    /// zero initial accesses), then access counts and edge weights are
+    /// added. The graph ends in build phase; callers finalise when done.
+    pub fn apply_to(&self, graph: &mut AffinityGraph) {
+        while graph.len() < self.accesses.len() {
+            graph.add_node(0);
+        }
+        for (i, &a) in self.accesses.iter().enumerate() {
+            if a > 0 {
+                graph.add_accesses(NodeId(i as u32), a);
+            }
+        }
+        graph.reserve_edges(self.edges.len());
+        self.edges.for_each(|u, v, w| {
+            graph.add_edge_weight(NodeId(u), NodeId(v), w);
+        });
+    }
+
+    /// Materialise the delta as a standalone, finalised graph.
+    pub fn into_graph(self) -> AffinityGraph {
+        let mut graph = AffinityGraph::new();
+        self.apply_to(&mut graph);
+        graph.finalise();
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn records_and_reads_back() {
+        let mut s = SubGraph::new();
+        assert!(s.is_empty());
+        s.add_accesses(n(2), 10);
+        s.add_edge_weight(n(0), n(2), 5);
+        s.add_edge_weight(n(2), n(0), 1);
+        s.add_edge_weight(n(1), n(1), 7);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.accesses(n(2)), 10);
+        assert_eq!(s.accesses(n(9)), 0);
+        assert_eq!(s.weight(n(2), n(0)), 6);
+        assert_eq!(s.edges(), vec![(n(0), n(2), 6), (n(1), n(1), 7)]);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = SubGraph::new();
+        a.add_accesses(n(0), 3);
+        a.add_edge_weight(n(0), n(1), 4);
+        let mut b = SubGraph::new();
+        b.add_accesses(n(2), 8);
+        b.add_edge_weight(n(1), n(0), 2);
+        b.add_edge_weight(n(2), n(2), 9);
+        let ab = a.clone().merge(b.clone());
+        let ba = b.merge(a);
+        assert_eq!(ab.len(), ba.len());
+        assert_eq!(ab.edges(), ba.edges());
+        for i in 0..3 {
+            assert_eq!(ab.accesses(n(i)), ba.accesses(n(i)));
+        }
+        assert_eq!(ab.weight(n(0), n(1)), 6);
+        assert_eq!(ab.accesses(n(2)), 8);
+    }
+
+    #[test]
+    fn zero_access_marks_node_seen() {
+        let mut s = SubGraph::new();
+        s.add_accesses(n(4), 0);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        let g = s.into_graph();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.total_accesses(), 0);
+    }
+
+    #[test]
+    fn apply_to_extends_and_sums() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(100);
+        g.add_edge_weight(a, a, 1);
+        let mut s = SubGraph::new();
+        s.add_accesses(n(0), 11);
+        s.add_accesses(n(1), 22);
+        s.add_edge_weight(n(0), n(0), 2);
+        s.add_edge_weight(n(0), n(1), 3);
+        s.apply_to(&mut g);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.accesses(n(0)), 111);
+        assert_eq!(g.accesses(n(1)), 22);
+        assert_eq!(g.weight(n(0), n(0)), 3);
+        assert_eq!(g.weight(n(0), n(1)), 3);
+    }
+
+    #[test]
+    fn into_graph_is_finalised() {
+        let mut s = SubGraph::new();
+        s.add_edge_weight(n(0), n(1), 5);
+        s.add_accesses(n(0), 1);
+        s.add_accesses(n(1), 1);
+        let g = s.into_graph();
+        assert!(g.is_finalised());
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(n(0), n(1), 5)]);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::objects::ObjectTracker;
 use crate::queue::{AffinityQueue, QueueEntry};
 use crate::shadow::{RawContext, ShadowStack};
-use halo_graph::{AffinityGraph, Granularity, NodeId};
+use halo_graph::{AffinityGraph, Granularity, NodeId, SubGraph};
 use halo_vm::{AllocKind, CallSite, FuncId, Monitor, Program};
 use std::collections::HashMap;
 
@@ -94,6 +94,9 @@ pub struct Profile {
     /// queues combined) — the overhead that grows with the affinity
     /// distance (§5.1, Fig. 12 trade-off).
     pub queue_work: u64,
+    /// Number of per-thread [`SubGraph`] shards the object graph was
+    /// merged from (1 for a single-threaded run).
+    pub shard_count: usize,
 }
 
 impl Profile {
@@ -149,6 +152,15 @@ pub struct Profiler<'p> {
     graph: AffinityGraph,
     /// Page-granularity graph over the same node ids as `graph`.
     page_graph: AffinityGraph,
+    /// Per-logical-thread object-graph deltas (DESIGN.md §13): every edge
+    /// increment is attributed to the thread that caused it, and
+    /// [`Profiler::finish_with`] unions the shards — by summed weights, so
+    /// the result is identical to single-graph recording for *any*
+    /// thread-switch pattern. Indexed by thread id; single-threaded runs
+    /// only ever touch shard 0.
+    shards: Vec<SubGraph>,
+    /// Index into `shards` for the currently executing logical thread.
+    current_shard: usize,
     intern: HashMap<RawContext, NodeId>,
     contexts: Vec<ContextData>,
     next_seq: u64,
@@ -170,6 +182,8 @@ impl<'p> Profiler<'p> {
             page_queue: AffinityQueue::new(config.affinity_distance),
             graph: AffinityGraph::new(),
             page_graph: AffinityGraph::new(),
+            shards: vec![SubGraph::new()],
+            current_shard: 0,
             intern: HashMap::new(),
             contexts: Vec::new(),
             next_seq: 0,
@@ -217,9 +231,21 @@ impl<'p> Profiler<'p> {
         parts.join("→")
     }
 
-    /// Finish profiling: fix node access counts, apply the 90% filter (to
-    /// each granularity's graph independently), and emit the [`Profile`].
-    pub fn finish(mut self) -> Profile {
+    /// Finish profiling: union the per-thread edge shards (serially), fix
+    /// node access counts, apply the 90% filter (to each granularity's
+    /// graph independently), and emit the [`Profile`].
+    pub fn finish(self) -> Profile {
+        self.finish_with(|shards| shards.into_iter().fold(SubGraph::new(), SubGraph::merge))
+    }
+
+    /// Like [`Profiler::finish`], but the caller supplies the shard-union
+    /// strategy — `halo_core` injects its `par_map`-based tree merge here.
+    /// Because [`SubGraph::merge`] is commutative and associative, every
+    /// strategy yields the same profile byte for byte.
+    pub fn finish_with(mut self, merge: impl FnOnce(Vec<SubGraph>) -> SubGraph) -> Profile {
+        let shard_count = self.shards.len();
+        let merged = merge(std::mem::take(&mut self.shards));
+        merged.apply_to(&mut self.graph);
         for c in &self.contexts {
             self.graph.add_accesses(c.info.id, c.info.accesses);
             if self.track_pages {
@@ -247,6 +273,7 @@ impl<'p> Profiler<'p> {
             total_page_accesses: self.total_page_accesses,
             total_allocs: self.total_allocs,
             queue_work: self.queue.traversal_work() + self.page_queue.traversal_work(),
+            shard_count,
         }
     }
 }
@@ -285,13 +312,25 @@ impl Monitor for Profiler<'_> {
         self.objects.remove(ptr);
     }
 
+    fn on_thread_switch(&mut self, thread: u16) {
+        // Each logical thread records its affinity-edge increments into
+        // its own SubGraph shard; finish() unions them, so the totals are
+        // independent of the switch pattern.
+        let t = thread as usize;
+        if self.shards.len() <= t {
+            self.shards.resize_with(t + 1, SubGraph::new);
+        }
+        self.current_shard = t;
+    }
+
     fn on_access(&mut self, addr: u64, width: u8, _store: bool) {
         let Some(obj) = self.objects.find(addr) else { return };
         let Profiler {
             queue,
             page_queue,
-            graph,
             page_graph,
+            shards,
+            current_shard,
             contexts,
             config,
             track_pages,
@@ -299,6 +338,7 @@ impl Monitor for Profiler<'_> {
             total_page_accesses,
             ..
         } = self;
+        let shard = &mut shards[*current_shard];
         // Object-granularity path: the tracked-size cap applies here (large
         // objects may be in the tracker for the page path's benefit). The
         // queue applies the consecutiveness (macro-access) check once;
@@ -310,7 +350,7 @@ impl Monitor for Profiler<'_> {
                 if !config.enforce_coallocatability
                     || coallocatable(contexts, obj.ctx, obj.id, partner.ctx, partner.alloc_seq)
                 {
-                    graph.add_edge_weight(obj.ctx, partner.ctx, 1);
+                    shard.add_edge_weight(obj.ctx, partner.ctx, 1);
                 }
             });
             if recorded {

@@ -835,6 +835,19 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         std::hint::black_box(halo_bench::coherent_access_100k());
     }));
 
+    // Million-node graph pipeline (DESIGN.md §13): sharded generation →
+    // parallel subgraph union → CSR finalise, then one Fig. 6 grouping
+    // pass. The grouping row times grouping alone on a pre-built graph.
+    let spec = halo_bench::GraphSpec::million();
+    rows.push(time_samples("graph/build_csr_1m", 3, || {
+        std::hint::black_box(halo_bench::build_graph(&spec).len());
+    }));
+    let graph = halo_bench::build_graph(&spec);
+    rows.push(time_samples("graph/group_1m_nodes", 3, || {
+        std::hint::black_box(halo_bench::group_graph_nodes(&graph));
+    }));
+    drop(graph);
+
     // End-to-end pipeline (profile → group → identify → rewrite →
     // measure) on the two cheapest workloads.
     for name in ["toy", "povray"] {

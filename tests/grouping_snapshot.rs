@@ -1,0 +1,97 @@
+//! Regression guard for the Fig. 6 clusterer: the grouping output on all
+//! 11 paper workloads, byte-for-byte.
+//!
+//! The CSR refactor of `halo_graph` (DESIGN.md §13) rewrote the edge
+//! store and the clusterer's scan order; this snapshot pins the *output*
+//! — every group's members, weight, and accesses on every workload's
+//! train-input profile, at both granularities — so any behavioural drift
+//! in the graph layer shows up as a readable diff rather than a silent
+//! layout change.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! HALO_REGEN_SNAPSHOTS=1 cargo test --test grouping_snapshot
+//! git diff tests/snapshots/grouping_paper_workloads.txt  # review!
+//! ```
+
+use halo::core::Halo;
+use halo::graph::group;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/grouping_paper_workloads.txt")
+}
+
+/// Render one graph's grouping outcome as stable text. Groups are listed
+/// in the order `group` returns them (that order is part of the pinned
+/// behaviour: it decides bit assignment downstream).
+fn render_groups(tag: &str, graph: &halo::graph::AffinityGraph, out: &mut String) {
+    let params = halo::graph::GroupingParams {
+        min_weight: 32,
+        merge_tolerance: 0.05,
+        group_threshold: 0.0005,
+        ..Default::default()
+    };
+    writeln!(
+        out,
+        "{tag} nodes={} edges={} total_accesses={}",
+        graph.len(),
+        graph.edge_count(),
+        graph.total_accesses()
+    )
+    .unwrap();
+    for (i, g) in group(graph, &params).iter().enumerate() {
+        let members: Vec<String> = g.members.iter().map(|n| n.0.to_string()).collect();
+        writeln!(
+            out,
+            "  {tag}.group[{i}] weight={} accesses={} members=[{}]",
+            g.weight,
+            g.accesses,
+            members.join(",")
+        )
+        .unwrap();
+    }
+}
+
+fn current_snapshot() -> String {
+    let mut out = String::new();
+    out.push_str("# Grouping snapshot: per-workload group lists on the train input.\n");
+    out.push_str("# Regenerate with HALO_REGEN_SNAPSHOTS=1 (see tests/grouping_snapshot.rs).\n");
+    for w in halo_workloads::all() {
+        let config = halo_bench::paper_config(&w);
+        let profile = Halo::new(config.halo)
+            .profile_with_arg(&w.program, w.train.seed, w.train.arg)
+            .unwrap_or_else(|e| panic!("{}: profiling failed: {e}", w.name));
+        writeln!(out, "workload {}", w.name).unwrap();
+        render_groups("object", &profile.graph, &mut out);
+        if !profile.page_graph.is_empty() {
+            render_groups("page", &profile.page_graph, &mut out);
+        }
+    }
+    out
+}
+
+#[test]
+fn grouping_output_matches_snapshot_on_all_paper_workloads() {
+    let path = snapshot_path();
+    let actual = current_snapshot();
+    if std::env::var_os("HALO_REGEN_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {} ({e}); regenerate it", path.display()));
+    // Byte-identical, and on mismatch point at the first diverging line so
+    // the failure reads as "which workload/group moved".
+    if actual != expected {
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(a, e, "snapshot diverges at line {}", i + 1);
+        }
+        assert_eq!(actual.lines().count(), expected.lines().count(), "snapshot line count changed");
+        panic!("snapshot mismatch"); // unreachable unless only trailing bytes differ
+    }
+}

@@ -858,3 +858,90 @@ proptest! {
         prop_assert_eq!(&serial, &parallel, "serial and parallel sweep rows diverge");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DESIGN.md §13: a profiling event stream partitioned across any
+    /// number of per-shard [`halo::graph::SubGraph`]s, merged in any
+    /// order, is observably identical to single-pass recording — node
+    /// ranges union by stable id, access counts and edge weights sum.
+    /// Each event carries its own shard assignment (the partition) and a
+    /// seed shuffles the merge order, so both axes vary per case.
+    #[test]
+    fn shard_partition_and_merge_order_are_immaterial(
+        events in proptest::collection::vec(
+            (0u8..4, 0u32..24, 0u32..24, 1u64..20, 0usize..6), 1..400),
+        order_seed in any::<u64>(),
+    ) {
+        use halo::graph::{NodeId, SubGraph};
+        let mut single = SubGraph::new();
+        let mut shards: Vec<SubGraph> = (0..6).map(|_| SubGraph::new()).collect();
+        for &(op, u, v, w, shard) in &events {
+            for sub in [&mut single, &mut shards[shard]] {
+                if op == 0 {
+                    sub.add_accesses(NodeId(u), w);
+                } else {
+                    sub.add_edge_weight(NodeId(u), NodeId(v), w);
+                }
+            }
+        }
+        // Merge the shards in a random order.
+        let mut rng = halo::vm::SplitMix64::new(order_seed);
+        let mut pending = shards;
+        while pending.len() > 1 {
+            let i = rng.next_below(pending.len() as u64) as usize;
+            let a = pending.swap_remove(i);
+            let j = rng.next_below(pending.len() as u64) as usize;
+            let b = pending.swap_remove(j);
+            pending.push(a.merge(b));
+        }
+        let merged = pending.pop().unwrap();
+        prop_assert_eq!(merged.len(), single.len(), "node range");
+        prop_assert_eq!(merged.edges(), single.edges(), "edge multiset");
+        for n in 0..24u32 {
+            prop_assert_eq!(
+                merged.accesses(NodeId(n)), single.accesses(NodeId(n)), "accesses({})", n);
+        }
+        // And materialised as full graphs they render byte-identically.
+        let a = halo::graph::to_dot(&merged.into_graph(), &|n| n.to_string(), &[], 1);
+        let b = halo::graph::to_dot(&single.into_graph(), &|n| n.to_string(), &[], 1);
+        prop_assert_eq!(a, b, "rendered graphs diverge");
+    }
+
+    /// The parallel tree union (`halo::core::par_merge_subgraphs`, the
+    /// pipeline's merge strategy) against the serial left fold
+    /// (`Profiler::finish`'s default): identical graphs, byte for byte,
+    /// down to the rendered grouping of the result.
+    #[test]
+    fn parallel_subgraph_union_is_byte_identical_to_serial(
+        events in proptest::collection::vec(
+            (0u8..4, 0u32..24, 0u32..24, 1u64..20, 0usize..8), 1..400),
+    ) {
+        use halo::graph::{NodeId, SubGraph};
+        let mut shards: Vec<SubGraph> = (0..8).map(|_| SubGraph::new()).collect();
+        for &(op, u, v, w, shard) in &events {
+            if op == 0 {
+                shards[shard].add_accesses(NodeId(u), w);
+            } else {
+                shards[shard].add_edge_weight(NodeId(u), NodeId(v), w);
+            }
+        }
+        let serial = shards.iter().cloned().fold(SubGraph::new(), SubGraph::merge);
+        let parallel = halo::core::par_merge_subgraphs(shards);
+        prop_assert_eq!(serial.edges(), parallel.edges(), "edge multiset");
+        let gs = serial.into_graph();
+        let gp = parallel.into_graph();
+        let params = halo::graph::GroupingParams { min_weight: 1, ..Default::default() };
+        prop_assert_eq!(
+            format!("{:?}", group(&gs, &params)),
+            format!("{:?}", group(&gp, &params)),
+            "groupings diverge"
+        );
+        prop_assert_eq!(
+            halo::graph::to_dot(&gs, &|n| n.to_string(), &[], 1),
+            halo::graph::to_dot(&gp, &|n| n.to_string(), &[], 1),
+            "rendered graphs diverge"
+        );
+    }
+}
