@@ -1,0 +1,442 @@
+//! Parsing and diffing of `halo bench` baseline files.
+//!
+//! `halo bench` writes `BENCH_profile.json` (schema `halo-bench/v1`) so
+//! the perf trajectory is tracked across PRs; `halo bench --compare
+//! <old.json>` reads a previous baseline back and renders a per-row delta
+//! table against freshly measured rows. The workspace takes no JSON
+//! dependency, so this module carries a minimal recursive-descent parser
+//! for the subset the schema uses (objects, arrays, strings, unsigned
+//! integers) — anything outside that subset is a parse error, which is
+//! fine: the only accepted input is a file this tool itself wrote.
+
+use std::fmt::Write as _;
+
+/// One measured row of a baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineRow {
+    /// Bench name, e.g. `cache/coherent_access_100k`.
+    pub name: String,
+    /// Samples taken (best/mean are over these).
+    pub samples: u64,
+    /// Best wall-clock nanoseconds over the samples.
+    pub best_ns: u128,
+    /// Mean wall-clock nanoseconds over the samples.
+    pub mean_ns: u128,
+}
+
+/// The schema tag this crate reads and `halo bench` writes.
+pub const BENCH_SCHEMA: &str = "halo-bench/v1";
+
+// --- A minimal JSON value model, just enough for the baseline schema. ---
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(u128),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected '{}' at byte {}, found {}",
+                byte as char,
+                self.pos,
+                other.map_or("end of input".to_string(), |b| format!("'{}'", b as char))
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unsupported JSON at byte {} ({:?}); the halo-bench schema uses only \
+                 objects, arrays, strings, and unsigned integers",
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                _ => break,
+            }
+        }
+        self.expect(b'}')?;
+        Ok(Json::Object(fields))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                _ => break,
+            }
+        }
+        self.expect(b']')?;
+        Ok(Json::Array(items))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err(format!(
+                    "escape sequence at byte {} (bench names never contain them)",
+                    self.pos
+                ));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("invalid UTF-8 in string: {e}"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<u128>().map(Json::Number).map_err(|e| format!("number '{text}': {e}"))
+    }
+}
+
+fn field_u128(row: &Json, key: &str, index: usize) -> Result<u128, String> {
+    match row.get(key) {
+        Some(Json::Number(n)) => Ok(*n),
+        Some(_) => Err(format!("bench row {index}: field '{key}' is not an unsigned integer")),
+        None => Err(format!("bench row {index}: missing field '{key}'")),
+    }
+}
+
+/// Parse a baseline document previously written by `halo bench`.
+///
+/// # Errors
+///
+/// Returns a description of the first problem: malformed JSON, a missing
+/// or unexpected `schema` tag, or a bench row without the required
+/// `name`/`samples`/`best_ns`/`mean_ns` fields.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineRow>, String> {
+    let mut parser = Parser::new(text);
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data after the JSON document at byte {}", parser.pos));
+    }
+    match root.get("schema") {
+        Some(Json::String(s)) if s == BENCH_SCHEMA => {}
+        Some(Json::String(s)) => {
+            return Err(format!(
+                "schema mismatch: file says '{s}', this build reads '{BENCH_SCHEMA}' \
+                 (regenerate the baseline with this build's `halo bench`)"
+            ));
+        }
+        _ => {
+            return Err(format!(
+                "not a halo bench baseline: missing '\"schema\": \"{BENCH_SCHEMA}\"'"
+            ))
+        }
+    }
+    let Some(Json::Array(rows)) = root.get("benches") else {
+        return Err("missing 'benches' array".to_string());
+    };
+    let mut parsed = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let name = match row.get("name") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(format!("bench row {i}: missing string field 'name'")),
+        };
+        parsed.push(BaselineRow {
+            name,
+            samples: field_u128(row, "samples", i)? as u64,
+            best_ns: field_u128(row, "best_ns", i)?,
+            mean_ns: field_u128(row, "mean_ns", i)?,
+        });
+    }
+    Ok(parsed)
+}
+
+/// One line of a baseline comparison: a row matched by name across the
+/// two files, or a row present on only one side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareLine {
+    /// The row exists in both baselines.
+    Matched {
+        /// Bench name.
+        name: String,
+        /// The previous (old) measurement.
+        old: BaselineRow,
+        /// The fresh (new) measurement.
+        new: BaselineRow,
+        /// `new.best_ns / old.best_ns` — below 1.0 is faster.
+        best_ratio: f64,
+        /// `new.mean_ns / old.mean_ns`.
+        mean_ratio: f64,
+    },
+    /// The row exists only in the old baseline (a bench was removed).
+    OnlyOld(BaselineRow),
+    /// The row exists only in the new baseline (a bench was added).
+    OnlyNew(BaselineRow),
+}
+
+/// Match `new` rows against `old` rows by name. Output order: new rows in
+/// their own order (matched or added), then removed old rows in theirs.
+pub fn compare(old: &[BaselineRow], new: &[BaselineRow]) -> Vec<CompareLine> {
+    let mut lines = Vec::with_capacity(new.len());
+    for row in new {
+        match old.iter().find(|o| o.name == row.name) {
+            Some(o) => lines.push(CompareLine::Matched {
+                name: row.name.clone(),
+                old: o.clone(),
+                new: row.clone(),
+                best_ratio: row.best_ns as f64 / o.best_ns.max(1) as f64,
+                mean_ratio: row.mean_ns as f64 / o.mean_ns.max(1) as f64,
+            }),
+            None => lines.push(CompareLine::OnlyNew(row.clone())),
+        }
+    }
+    for row in old {
+        if !new.iter().any(|n| n.name == row.name) {
+            lines.push(CompareLine::OnlyOld(row.clone()));
+        }
+    }
+    lines
+}
+
+fn ms(ns: u128) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+/// Render a comparison as the table `halo bench --compare` prints.
+/// `old_path` labels the header (where the old rows came from).
+pub fn render_comparison(old_path: &str, lines: &[CompareLine]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "comparison vs {old_path} (ratio = new/old; <1.000x is faster)");
+    let _ = writeln!(
+        out,
+        "{:<32} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "name", "old best", "new best", "ratio", "old mean", "new mean", "ratio"
+    );
+    for line in lines {
+        match line {
+            CompareLine::Matched { name, old, new, best_ratio, mean_ratio } => {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>12} {:>12} {:>7.3}x {:>12} {:>12} {:>7.3}x",
+                    name,
+                    ms(old.best_ns),
+                    ms(new.best_ns),
+                    best_ratio,
+                    ms(old.mean_ns),
+                    ms(new.mean_ns),
+                    mean_ratio
+                );
+            }
+            CompareLine::OnlyNew(row) => {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+                    row.name,
+                    "-",
+                    ms(row.best_ns),
+                    "new",
+                    "-",
+                    ms(row.mean_ns),
+                    "new"
+                );
+            }
+            CompareLine::OnlyOld(row) => {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+                    row.name,
+                    ms(row.best_ns),
+                    "-",
+                    "removed",
+                    ms(row.mean_ns),
+                    "-",
+                    "removed"
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &str) -> String {
+        format!("{{\n  \"schema\": \"halo-bench/v1\",\n  \"benches\": [\n{rows}  ]\n}}\n")
+    }
+
+    #[test]
+    fn parses_a_real_baseline_document() {
+        let text = doc("    {\"name\": \"profile/affinity_queue_100k\", \"samples\": 10, \
+             \"best_ns\": 1486052, \"mean_ns\": 1566855},\n    \
+             {\"name\": \"cache/coherent_access_100k\", \"samples\": 10, \
+             \"best_ns\": 9656758, \"mean_ns\": 9998096}\n");
+        let rows = parse_baseline(&text).expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].name, "cache/coherent_access_100k");
+        assert_eq!(rows[1].samples, 10);
+        assert_eq!(rows[1].best_ns, 9_656_758);
+        assert_eq!(rows[1].mean_ns, 9_998_096);
+    }
+
+    #[test]
+    fn parses_an_empty_bench_list() {
+        let rows = parse_baseline(&doc("")).expect("parses");
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_clear_error() {
+        let text = "{\"schema\": \"halo-bench/v2\", \"benches\": []}";
+        let err = parse_baseline(text).expect_err("rejected");
+        assert!(err.contains("schema mismatch"), "{err}");
+        assert!(err.contains("halo-bench/v2") && err.contains(BENCH_SCHEMA), "{err}");
+    }
+
+    #[test]
+    fn missing_schema_and_fields_are_clear_errors() {
+        let err = parse_baseline("{\"benches\": []}").expect_err("no schema");
+        assert!(err.contains("missing"), "{err}");
+        let text = "{\"schema\": \"halo-bench/v1\", \"benches\": [{\"name\": \"x\"}]}";
+        let err = parse_baseline(text).expect_err("no fields");
+        assert!(err.contains("samples"), "{err}");
+        let err = parse_baseline("not json").expect_err("garbage");
+        assert!(err.contains("unsupported JSON"), "{err}");
+        let err = parse_baseline("{\"schema\": \"halo-bench/v1\"}").expect_err("no rows");
+        assert!(err.contains("benches"), "{err}");
+    }
+
+    #[test]
+    fn compare_matches_by_name_and_flags_one_sided_rows() {
+        let row = |name: &str, best: u128| BaselineRow {
+            name: name.to_string(),
+            samples: 10,
+            best_ns: best,
+            mean_ns: best + 1000,
+        };
+        let old = vec![row("a", 1000), row("gone", 5000)];
+        let new = vec![row("a", 500), row("fresh", 700)];
+        let lines = compare(&old, &new);
+        assert_eq!(lines.len(), 3);
+        match &lines[0] {
+            CompareLine::Matched { name, best_ratio, .. } => {
+                assert_eq!(name, "a");
+                assert!((best_ratio - 0.5).abs() < 1e-9);
+            }
+            other => panic!("expected a match, got {other:?}"),
+        }
+        assert!(matches!(&lines[1], CompareLine::OnlyNew(r) if r.name == "fresh"));
+        assert!(matches!(&lines[2], CompareLine::OnlyOld(r) if r.name == "gone"));
+    }
+
+    #[test]
+    fn rendered_table_contains_every_row_and_the_ratios() {
+        let old = vec![BaselineRow {
+            name: "cache/coherent_access_100k".to_string(),
+            samples: 10,
+            best_ns: 9_656_758,
+            mean_ns: 9_998_096,
+        }];
+        let new = vec![BaselineRow {
+            name: "cache/coherent_access_100k".to_string(),
+            samples: 10,
+            best_ns: 4_587_000,
+            mean_ns: 4_895_000,
+        }];
+        let table = render_comparison("BENCH_profile.json", &compare(&old, &new));
+        assert!(table.contains("BENCH_profile.json"), "{table}");
+        assert!(table.contains("cache/coherent_access_100k"), "{table}");
+        assert!(table.contains("9.657ms") && table.contains("4.587ms"), "{table}");
+        assert!(table.contains("0.475x"), "{table}");
+    }
+
+    #[test]
+    fn roundtrips_the_writer_format() {
+        // The exact string `halo bench` emits (writer in src/main.rs) must
+        // stay parseable; this pins the contract from the reader's side.
+        let text = doc("    {\"name\": \"pipeline/evaluate_toy\", \"samples\": 3, \
+             \"best_ns\": 42, \"mean_ns\": 43}\n");
+        let rows = parse_baseline(&text).expect("parses");
+        assert_eq!(
+            rows,
+            vec![BaselineRow {
+                name: "pipeline/evaluate_toy".to_string(),
+                samples: 3,
+                best_ns: 42,
+                mean_ns: 43,
+            }]
+        );
+    }
+}

@@ -6,6 +6,8 @@
 //! `cargo bench --workspace` reproduces the full evaluation; the Criterion
 //! micro-benchmarks of pipeline components live in `benches/micro_*`.
 
+pub mod compare;
+
 use halo_core::{evaluate_with_arg, EvalConfig, EvalResult, HaloConfig, MeasureConfig};
 use halo_graph::{Granularity, GroupingParams, ReusePolicyChoice};
 use halo_hds::HdsConfig;

@@ -30,7 +30,7 @@
 
 use crate::hierarchy::{AccessStats, HierarchyConfig};
 use crate::set_assoc::{CacheConfig, SetAssocCache};
-use std::collections::HashMap;
+use crate::span::SpanUnit;
 
 /// MESI-lite state of a line in one thread's private L1D.
 ///
@@ -79,29 +79,204 @@ pub struct ThreadAccessStats {
     pub stats: AccessStats,
 }
 
-/// One logical thread's private structures: L1D, dTLB, and the MESI-lite
-/// state of each resident L1 line.
+/// The per-thread MRU filter: the `(line, page)` the domain's previous
+/// access ended on, plus whether that line is known Modified (so a store
+/// hit is a state-machine no-op). Cleared by remote invalidation and
+/// flush; downgraded (`writable = false`) by a remote read; never stale
+/// across own accesses because every slow-path access rewrites it. The
+/// full invalidation-rule argument lives in DESIGN.md §14.
+#[derive(Debug, Clone, Copy)]
+struct LineFilter {
+    line: u64,
+    page: u64,
+    /// `true` only when the line is known Modified. `false` is always
+    /// safe: it merely sends the next store down the exact slow path.
+    writable: bool,
+}
+
+/// A private L1D whose lines carry their MESI-lite state inline: each set
+/// is a `(tag, state)` list ordered MRU → LRU, replicating
+/// [`SetAssocCache`]'s true-LRU maths exactly while making every state
+/// lookup the same short way-scan as the hit check. This replaces the
+/// former side `HashMap<u64, LineState>` — whose hashing dominated the
+/// coherent hot loop — with zero-cost state access on the paths that need
+/// it (write hits read the MRU slot directly; probes and invalidations
+/// scan one set).
+#[derive(Debug)]
+struct StatefulL1 {
+    sets: u64,
+    set_mask: Option<u64>,
+    ways: usize,
+    /// Monotone access clock driving the timestamp-LRU replacement.
+    clock: u64,
+    /// Tag storage, `sets × ways`, empty slots holding [`Self::EMPTY`].
+    /// Slots have **no positional recency meaning**: recency lives in
+    /// `stamps`, so a hit is one timestamp store instead of the memmove a
+    /// move-to-front list needs — element shuffling was the single
+    /// largest term in the coherent hot loop.
+    tags: Box<[u64]>,
+    /// Last-touch clock value per slot (`0` = never touched, so empty
+    /// ways are always preferred victims). Min stamp in a set is the
+    /// true-LRU victim — the same line a move-to-front list would evict.
+    stamps: Box<[u64]>,
+    /// MESI-lite state of the line whose tag sits at the same flat index.
+    /// Slots whose tag is [`Self::EMPTY`] hold garbage states that are
+    /// never read (the sentinel can never match a probe).
+    states: Box<[LineState]>,
+    /// Flat index of the slot the last [`Self::access_line`] touched —
+    /// the "MRU slot" that [`Self::mru_state`]/[`Self::set_mru_state`]
+    /// address. Valid only between an access and the next mutation, which
+    /// is exactly how the write-hit and fill-state-fixup paths use it
+    /// (remote-domain probes in between touch *other* domains' L1s).
+    mru: usize,
+}
+
+impl StatefulL1 {
+    /// Sentinel tag for an empty way. Unreachable as a real tag: a line
+    /// number is `addr >> line_shift` with `line_bytes ≥ 1`, and even at
+    /// `line_bytes = 1` the tag `u64::MAX` would denote the last byte of
+    /// the address space, which no modelled allocator hands out.
+    const EMPTY: u64 = u64::MAX;
+
+    fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let ways = config.ways as usize;
+        StatefulL1 {
+            sets,
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
+            ways,
+            clock: 0,
+            tags: vec![Self::EMPTY; sets as usize * ways].into_boxed_slice(),
+            stamps: vec![0u64; sets as usize * ways].into_boxed_slice(),
+            states: vec![LineState::Invalid; sets as usize * ways].into_boxed_slice(),
+            mru: 0,
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        (match self.set_mask {
+            Some(mask) => line & mask,
+            None => line % self.sets,
+        }) as usize
+    }
+
+    /// Position of `line` in its set, if resident.
+    #[inline]
+    fn find(&self, base: usize, line: u64) -> Option<usize> {
+        self.tags[base..base + self.ways].iter().position(|&t| t == line)
+    }
+
+    /// Touch `line`, filling it with `fill_state` on a miss (the LRU
+    /// victim's state leaves with its tag). Returns whether it hit; on a
+    /// hit the line keeps its state (read it via [`Self::mru_state`],
+    /// update it via [`Self::set_mru_state`]). Victim choice is identical
+    /// to [`SetAssocCache::access_line`]'s move-to-front list: the
+    /// minimum stamp is the least-recently-touched resident way, with
+    /// never-touched (stamp 0) empty ways preferred outright.
+    #[inline]
+    fn access_line(&mut self, line: u64, fill_state: LineState) -> bool {
+        let set_idx = self.set_index(line);
+        let base = set_idx * self.ways;
+        self.clock += 1;
+        if let Some(pos) = self.find(base, line) {
+            self.stamps[base + pos] = self.clock;
+            self.mru = base + pos;
+            true
+        } else {
+            let set = &self.stamps[base..base + self.ways];
+            let mut victim = 0;
+            for i in 1..self.ways {
+                if set[i] < set[victim] {
+                    victim = i;
+                }
+            }
+            self.tags[base + victim] = line;
+            self.stamps[base + victim] = self.clock;
+            self.states[base + victim] = fill_state;
+            self.mru = base + victim;
+            false
+        }
+    }
+
+    /// State of the slot the immediately preceding
+    /// [`Self::access_line`] hit or filled.
+    #[inline]
+    fn mru_state(&self) -> LineState {
+        self.states[self.mru]
+    }
+
+    /// Overwrite that slot's state (the write-hit upgrade and the
+    /// post-probe fill fix-up).
+    #[inline]
+    fn set_mru_state(&mut self, state: LineState) {
+        self.states[self.mru] = state;
+    }
+
+    /// State of `line` if resident (no recency update — the remote-probe
+    /// read).
+    #[inline]
+    fn state_of(&self, line: u64) -> Option<LineState> {
+        let base = self.set_index(line) * self.ways;
+        self.find(base, line).map(|pos| self.states[base + pos])
+    }
+
+    /// Downgrade `line` to Shared if resident, without touching recency
+    /// (the remote read-downgrade); returns whether a copy was found.
+    #[inline]
+    fn share_if_resident(&mut self, line: u64) -> bool {
+        let base = self.set_index(line) * self.ways;
+        if let Some(pos) = self.find(base, line) {
+            self.states[base + pos] = LineState::Shared;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `line` if resident (recency of survivors untouched — their
+    /// stamps keep their relative order); returns whether a copy was
+    /// dropped.
+    fn invalidate_line(&mut self, line: u64) -> bool {
+        let base = self.set_index(line) * self.ways;
+        if let Some(pos) = self.find(base, line) {
+            self.tags[base + pos] = Self::EMPTY;
+            self.stamps[base + pos] = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn flush(&mut self) {
+        self.tags.fill(Self::EMPTY);
+        self.stamps.fill(0);
+    }
+}
+
+/// One logical thread's private structures: a state-carrying L1D and a
+/// dTLB. (The MESI-lite states live inside [`StatefulL1`]; eviction and
+/// invalidation drop them together with the tag.)
 #[derive(Debug)]
 struct ThreadDomain {
-    l1: SetAssocCache,
+    l1: StatefulL1,
     tlb: SetAssocCache,
-    /// `line number → state` for lines resident in `l1` (and only those —
-    /// eviction and invalidation both remove the entry).
-    states: HashMap<u64, LineState>,
     stats: AccessStats,
+    /// Last-line MRU filter; `None` until the first access.
+    filter: Option<LineFilter>,
 }
 
 impl ThreadDomain {
     fn new(config: &HierarchyConfig) -> Self {
         ThreadDomain {
-            l1: SetAssocCache::new(config.l1),
+            l1: StatefulL1::new(config.l1),
             tlb: SetAssocCache::new(CacheConfig {
                 size_bytes: (config.tlb_entries as u64).max(config.tlb_ways as u64),
                 line_bytes: 1,
                 ways: config.tlb_ways,
             }),
-            states: HashMap::new(),
             stats: AccessStats::default(),
+            filter: None,
         }
     }
 
@@ -109,10 +284,25 @@ impl ThreadDomain {
     /// was actually present.
     fn invalidate(&mut self, line: u64) -> bool {
         if self.l1.invalidate_line(line) {
-            self.states.remove(&line);
+            // A remote write killed the copy: the filter must not keep
+            // reporting hits on it.
+            if matches!(self.filter, Some(f) if f.line == line) {
+                self.filter = None;
+            }
             true
         } else {
             false
+        }
+    }
+
+    /// A remote read downgraded `line` to Shared: a filtered store would
+    /// now need a bus upgrade, so drop the write permission (loads keep
+    /// fast-pathing — a read hit on Shared is stateless).
+    fn downgrade(&mut self, line: u64) {
+        if let Some(f) = &mut self.filter {
+            if f.line == line {
+                f.writable = false;
+            }
         }
     }
 }
@@ -129,8 +319,12 @@ pub struct CoherentHierarchy {
     /// [`set_thread`]: CoherentHierarchy::set_thread
     threads: Vec<ThreadDomain>,
     current: usize,
-    stats: AccessStats,
     coherence: CoherenceStats,
+    /// Precomputed shift/mask divider for L1 lines.
+    line_unit: SpanUnit,
+    /// Precomputed divider for pages (division fallback when the page
+    /// size is not a power of two).
+    page_unit: SpanUnit,
 }
 
 impl CoherentHierarchy {
@@ -144,8 +338,9 @@ impl CoherentHierarchy {
             l3: SetAssocCache::new(config.l3),
             threads: vec![ThreadDomain::new(&config)],
             current: 0,
-            stats: AccessStats::default(),
             coherence: CoherenceStats::default(),
+            line_unit: SpanUnit::new(config.l1.line_bytes),
+            page_unit: SpanUnit::new(config.page_bytes),
         }
     }
 
@@ -165,9 +360,21 @@ impl CoherentHierarchy {
     }
 
     /// Aggregate counters across all threads (field-for-field the sum of
-    /// [`thread_stats`](CoherentHierarchy::thread_stats)).
+    /// [`thread_stats`](CoherentHierarchy::thread_stats)). Summed on
+    /// demand: the hot loop maintains only the per-domain counters, so
+    /// every access saves the duplicate aggregate increments.
     pub fn stats(&self) -> AccessStats {
-        self.stats
+        let mut sum = AccessStats::default();
+        for d in &self.threads {
+            sum.loads += d.stats.loads;
+            sum.stores += d.stats.stores;
+            sum.l1_hits += d.stats.l1_hits;
+            sum.l1_misses += d.stats.l1_misses;
+            sum.l2_misses += d.stats.l2_misses;
+            sum.l3_misses += d.stats.l3_misses;
+            sum.tlb_misses += d.stats.tlb_misses;
+        }
+        sum
     }
 
     /// Coherence-traffic counters.
@@ -194,12 +401,11 @@ impl CoherentHierarchy {
             return LineState::Invalid;
         };
         let line = self.l2.line_of(addr);
-        domain.states.get(&line).copied().unwrap_or(LineState::Invalid)
+        domain.l1.state_of(line).unwrap_or(LineState::Invalid)
     }
 
     /// Reset all counters but keep cache contents and states.
     pub fn reset_stats(&mut self) {
-        self.stats = AccessStats::default();
         self.coherence = CoherenceStats::default();
         for domain in &mut self.threads {
             domain.stats = AccessStats::default();
@@ -210,52 +416,134 @@ impl CoherentHierarchy {
     /// logical thread. Line/page splitting and the shared-level walk
     /// mirror [`CacheHierarchy::access`](crate::CacheHierarchy::access)
     /// exactly.
+    #[inline]
     pub fn access(&mut self, addr: u64, width: u8, store: bool) {
-        if store {
-            self.stats.stores += 1;
-            self.threads[self.current].stats.stores += 1;
-        } else {
-            self.stats.loads += 1;
-            self.threads[self.current].stats.loads += 1;
-        }
-        // dTLB: per page touched, on the current thread's private TLB.
-        let first_page = addr / self.config.page_bytes;
-        let last_page = (addr + width.max(1) as u64 - 1) / self.config.page_bytes;
-        for page in first_page..=last_page {
-            if !self.threads[self.current].tlb.access(page) {
-                self.stats.tlb_misses += 1;
-                self.threads[self.current].stats.tlb_misses += 1;
-            }
-        }
-        // Caches: per line touched.
-        let line_bytes = self.config.l1.line_bytes;
-        let first_line = addr / line_bytes;
-        let last_line = (addr + width.max(1) as u64 - 1) / line_bytes;
-        for line in first_line..=last_line {
-            self.access_one_line(line * line_bytes, store);
-        }
-    }
-
-    fn access_one_line(&mut self, line_addr: u64, store: bool) {
+        let lines = self.line_unit.lines_touched(addr, width);
+        let pages = self.page_unit.lines_touched(addr, width);
         let t = self.current;
-        let line = self.threads[t].l1.line_of(line_addr);
-        let (hit, evicted) = self.threads[t].l1.access_line(line);
-        if let Some(victim) = evicted {
-            // A capacity/conflict victim silently loses its state; dirty
-            // write-back is not modelled (the shared L2 filled the line on
-            // the original demand miss, as in the plain hierarchy).
-            self.threads[t].states.remove(&victim);
+        let domain = &mut self.threads[t];
+        if store {
+            domain.stats.stores += 1;
+        } else {
+            domain.stats.loads += 1;
         }
-        if hit {
-            self.stats.l1_hits += 1;
-            self.threads[t].stats.l1_hits += 1;
-            if store {
-                self.write_hit(t, line);
+        // Single-line, single-page accesses (the overwhelmingly common
+        // shape) run fused under one `domain` borrow: filter check, TLB,
+        // L1, write-hit transition, and the filter update, with no loop
+        // setup and no repeated `threads[t]` re-indexing.
+        if lines.is_single() && pages.is_single() {
+            // MRU filter: confined to the line and page this thread's
+            // previous access ended on, the access is an L1+TLB hit whose
+            // MRU promotions are no-ops, and — for stores — a
+            // Modified-state write hit, which is a MESI no-op too. Remote
+            // invalidations clear the filter and remote reads drop its
+            // write permission, so the state machine stays exact.
+            if let Some(f) = domain.filter {
+                if f.line == lines.first && f.page == pages.first && (!store || f.writable) {
+                    domain.stats.l1_hits += 1;
+                    return;
+                }
+            }
+            if !domain.tlb.access(pages.first) {
+                domain.stats.tlb_misses += 1;
+            }
+            // The access leaves its line and page MRU in their sets; a
+            // store leaves the line Modified (so the filter may fast-path
+            // the next store), a load's final state is not re-checked
+            // (`writable: false` is always safe — the next store simply
+            // takes the exact slow path).
+            let filter = Some(LineFilter { line: lines.first, page: pages.first, writable: store });
+            if domain.l1.access_line(lines.first, LineState::Exclusive) {
+                domain.stats.l1_hits += 1;
+                if store {
+                    // MESI-lite write-hit transition for the line the hit
+                    // just stamped MRU. (A hit line is never Invalid.)
+                    match domain.l1.mru_state() {
+                        LineState::Modified => domain.filter = filter,
+                        LineState::Shared => {
+                            self.shared_write_upgrade(t, lines.first);
+                            self.threads[t].filter = filter;
+                        }
+                        // Silent E→M upgrade: no bus traffic, no counters.
+                        _ => {
+                            domain.l1.set_mru_state(LineState::Modified);
+                            domain.filter = filter;
+                        }
+                    }
+                } else {
+                    domain.filter = filter;
+                }
+            } else {
+                domain.stats.l1_misses += 1;
+                self.miss_line(t, lines.first, store);
+                self.threads[t].filter = filter;
             }
             return;
         }
-        self.stats.l1_misses += 1;
-        self.threads[t].stats.l1_misses += 1;
+        // General path: line-straddling or page-straddling accesses.
+        // dTLB: per page touched, on the current thread's private TLB.
+        for page in pages.first..=pages.last {
+            if !domain.tlb.access(page) {
+                domain.stats.tlb_misses += 1;
+            }
+        }
+        // Caches: per line touched.
+        for line in lines.first..=lines.last {
+            self.access_one_line(line, store);
+        }
+        // The walk leaves its final line and page MRU in their sets. A
+        // store leaves every touched line Modified; a load's final state
+        // is not tracked (false is always safe — the next store simply
+        // takes the exact slow path).
+        self.threads[t].filter =
+            Some(LineFilter { line: lines.last, page: pages.last, writable: store });
+    }
+
+    /// Stream a batch of accesses (SoA slices, as flushed by the engine's
+    /// batched monitor path) through the hierarchy on the current logical
+    /// thread — identical, access for access, to calling
+    /// [`access`](Self::access) per element, but monomorphised as one
+    /// tight loop over the arrays.
+    pub fn access_batch(&mut self, addrs: &[u64], widths: &[u8], stores: &[bool]) {
+        debug_assert!(addrs.len() == widths.len() && addrs.len() == stores.len());
+        for i in 0..addrs.len() {
+            self.access(addrs[i], widths[i], stores[i]);
+        }
+    }
+
+    #[inline]
+    fn access_one_line(&mut self, line: u64, store: bool) {
+        let t = self.current;
+        // A miss fills with a provisional state, corrected after the
+        // probe in `miss_line` (the fresh fill sits at the MRU slot, so
+        // the fix-up is O(1)). A capacity/conflict victim silently takes
+        // its state with it; dirty write-back is not modelled (the shared
+        // L2 filled the line on the original demand miss, as in the
+        // plain hierarchy). The single `domain` borrow keeps the ~93%
+        // hit path free of repeated `threads[t]` re-indexing.
+        let domain = &mut self.threads[t];
+        if domain.l1.access_line(line, LineState::Exclusive) {
+            domain.stats.l1_hits += 1;
+            if store {
+                // MESI-lite write-hit transition for the line the hit
+                // just stamped MRU.
+                match domain.l1.mru_state() {
+                    LineState::Modified => {}
+                    LineState::Shared => self.shared_write_upgrade(t, line),
+                    // Silent E→M upgrade: no bus traffic, no counters.
+                    // (A hit line is never Invalid.)
+                    _ => domain.l1.set_mru_state(LineState::Modified),
+                }
+            }
+            return;
+        }
+        domain.stats.l1_misses += 1;
+        self.miss_line(t, line, store);
+    }
+
+    /// The L1-miss slow path: coherence probe, fill-state fix-up, and the
+    /// shared L2/L3 walk.
+    fn miss_line(&mut self, t: usize, line: u64, store: bool) {
         // Coherence probe: does any other thread hold the line? Writes
         // invalidate remote copies, reads downgrade them to Shared.
         let mut remote_copies = false;
@@ -268,9 +556,9 @@ impl CoherentHierarchy {
                     remote_copies = true;
                     self.coherence.invalidations += 1;
                 }
-            } else if self.threads[u].states.contains_key(&line) {
+            } else if self.threads[u].l1.share_if_resident(line) {
                 remote_copies = true;
-                self.threads[u].states.insert(line, LineState::Shared);
+                self.threads[u].downgrade(line);
             }
         }
         if remote_copies {
@@ -281,16 +569,15 @@ impl CoherentHierarchy {
             (false, true) => LineState::Shared,
             (false, false) => LineState::Exclusive,
         };
-        self.threads[t].states.insert(line, state);
+        self.threads[t].l1.set_mru_state(state);
         // Shared levels: exactly the plain hierarchy's walk (same calls,
         // same order), so single-thread L2/L3 contents stay bit-identical.
-        let line_bytes = self.config.l1.line_bytes;
+        let line_bytes = self.line_unit.bytes();
+        let line_addr = line * line_bytes;
         let l2_hit = self.l2.access(line_addr);
         if !l2_hit {
-            self.stats.l2_misses += 1;
             self.threads[t].stats.l2_misses += 1;
             if !self.l3.access(line_addr) {
-                self.stats.l3_misses += 1;
                 self.threads[t].stats.l3_misses += 1;
             }
         }
@@ -304,29 +591,18 @@ impl CoherentHierarchy {
         }
     }
 
-    /// MESI-lite write-hit transition for `line` resident in thread `t`.
-    fn write_hit(&mut self, t: usize, line: u64) {
-        let state = *self.threads[t].states.get(&line).expect("resident line has a state");
-        match state {
-            LineState::Modified => {}
-            LineState::Exclusive => {
-                // Silent upgrade: no bus traffic, no counters.
-                self.threads[t].states.insert(line, LineState::Modified);
+    /// Write hit on a Shared line: a bus upgrade announcing ownership,
+    /// killing every remote copy. Counted even when remote copies were
+    /// since evicted (the writer cannot know — the upgrade is still
+    /// issued).
+    fn shared_write_upgrade(&mut self, t: usize, line: u64) {
+        self.coherence.upgrades += 1;
+        for u in 0..self.threads.len() {
+            if u != t && self.threads[u].invalidate(line) {
+                self.coherence.invalidations += 1;
             }
-            LineState::Shared => {
-                // Bus upgrade: announce ownership, killing every remote
-                // copy. Counted even when remote copies were since evicted
-                // (the writer cannot know — the upgrade is still issued).
-                self.coherence.upgrades += 1;
-                for u in 0..self.threads.len() {
-                    if u != t && self.threads[u].invalidate(line) {
-                        self.coherence.invalidations += 1;
-                    }
-                }
-                self.threads[t].states.insert(line, LineState::Modified);
-            }
-            LineState::Invalid => unreachable!("a hit line is never Invalid"),
         }
+        self.threads[t].l1.set_mru_state(LineState::Modified);
     }
 
     /// Flush all levels, TLBs, and line states (counters are preserved).
@@ -336,7 +612,7 @@ impl CoherentHierarchy {
         for domain in &mut self.threads {
             domain.l1.flush();
             domain.tlb.flush();
-            domain.states.clear();
+            domain.filter = None;
         }
     }
 }

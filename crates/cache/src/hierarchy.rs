@@ -1,6 +1,7 @@
 //! Three-level cache hierarchy plus data TLB.
 
 use crate::set_assoc::{CacheConfig, SetAssocCache};
+use crate::span::SpanUnit;
 
 /// Geometry of the whole simulated memory subsystem.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +113,16 @@ pub struct CacheHierarchy {
     l3: SetAssocCache,
     tlb: SetAssocCache,
     stats: AccessStats,
+    /// Precomputed shift/mask divider for L1 lines.
+    line_unit: SpanUnit,
+    /// Precomputed divider for pages (falls back to division when the
+    /// page size is not a power of two — it is never asserted to be).
+    page_unit: SpanUnit,
+    /// MRU filter: the `(line, page)` the previous access ended on. A
+    /// repeat access confined to that line and page is a guaranteed
+    /// L1+TLB hit whose MRU promotion is a no-op, so the whole walk can
+    /// be skipped; see the invalidation rules in DESIGN.md §14.
+    filter: Option<(u64, u64)>,
 }
 
 impl CacheHierarchy {
@@ -128,6 +139,9 @@ impl CacheHierarchy {
                 ways: config.tlb_ways,
             }),
             stats: AccessStats::default(),
+            line_unit: SpanUnit::new(config.l1.line_bytes),
+            page_unit: SpanUnit::new(config.page_bytes),
+            filter: None,
         }
     }
 
@@ -148,36 +162,55 @@ impl CacheHierarchy {
     }
 
     /// Simulate a data access of `width` bytes at `addr`.
+    #[inline]
     pub fn access(&mut self, addr: u64, width: u8, store: bool) {
         if store {
             self.stats.stores += 1;
         } else {
             self.stats.loads += 1;
         }
+        let lines = self.line_unit.lines_touched(addr, width);
+        let pages = self.page_unit.lines_touched(addr, width);
+        // MRU filter: confined to the line and page the previous access
+        // ended on, this is an L1 hit and a TLB hit whose MRU promotions
+        // are both no-ops — only the counter moves.
+        if lines.is_single() && pages.is_single() && self.filter == Some((lines.first, pages.first))
+        {
+            self.stats.l1_hits += 1;
+            return;
+        }
         // TLB: per page touched.
-        let first_page = addr / self.config.page_bytes;
-        let last_page = (addr + width.max(1) as u64 - 1) / self.config.page_bytes;
-        for page in first_page..=last_page {
+        for page in pages.first..=pages.last {
             if !self.tlb.access(page) {
                 self.stats.tlb_misses += 1;
             }
         }
         // Caches: per line touched.
-        let line_bytes = self.config.l1.line_bytes;
-        let first_line = addr / line_bytes;
-        let last_line = (addr + width.max(1) as u64 - 1) / line_bytes;
-        for line in first_line..=last_line {
-            self.access_one_line(line * line_bytes);
+        for line in lines.first..=lines.last {
+            self.access_one_line(line);
+        }
+        // The walk leaves its final line and page at the MRU position of
+        // their sets — exactly what the filter asserts.
+        self.filter = Some((lines.last, pages.last));
+    }
+
+    /// Stream a batch of accesses (SoA slices) through the hierarchy,
+    /// identical to calling [`access`](Self::access) per element.
+    pub fn access_batch(&mut self, addrs: &[u64], widths: &[u8], stores: &[bool]) {
+        debug_assert!(addrs.len() == widths.len() && addrs.len() == stores.len());
+        for i in 0..addrs.len() {
+            self.access(addrs[i], widths[i], stores[i]);
         }
     }
 
-    fn access_one_line(&mut self, line_addr: u64) {
-        if self.l1.access(line_addr) {
+    fn access_one_line(&mut self, line: u64) {
+        let line_bytes = self.line_unit.bytes();
+        let line_addr = line * line_bytes;
+        if self.l1.access_line(line).0 {
             self.stats.l1_hits += 1;
             return;
         }
         self.stats.l1_misses += 1;
-        let line_bytes = self.config.l1.line_bytes;
         let l2_hit = self.l2.access(line_addr);
         if !l2_hit {
             self.stats.l2_misses += 1;
@@ -203,6 +236,7 @@ impl CacheHierarchy {
         self.l2.flush();
         self.l3.flush();
         self.tlb.flush();
+        self.filter = None;
     }
 }
 

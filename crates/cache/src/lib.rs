@@ -25,10 +25,14 @@
 
 mod coherent;
 mod hierarchy;
+mod reference;
 mod set_assoc;
+mod span;
 mod timing;
 
 pub use coherent::{CoherenceStats, CoherentHierarchy, LineState, ThreadAccessStats};
 pub use hierarchy::{AccessStats, CacheHierarchy, HierarchyConfig};
+pub use reference::{ReferenceCoherentHierarchy, ReferenceHierarchy};
 pub use set_assoc::{CacheConfig, SetAssocCache};
+pub use span::{Span, SpanUnit};
 pub use timing::TimingModel;

@@ -3,8 +3,9 @@
 //! configurations — each produced by the [`crate::backend`] registry
 //! rather than a hand-written arm per configuration.
 
-use crate::backend::{BackendCtx, BACKENDS};
+use crate::backend::{BackendCtx, BackendSpec, BACKENDS};
 use crate::measure::{measure_detailed, MeasureConfig, Measurement};
+use crate::parallel::par_map;
 use crate::pipeline::{Halo, HaloConfig, Optimised, PipelineError};
 use halo_cache::ThreadAccessStats;
 use halo_hds::{analyze, HdsConfig, HdsResult};
@@ -12,7 +13,7 @@ use halo_mem::{
     DegradeStats, FaultPlan, FragReport, GroupAllocStats, ShardedAllocStats, SizeClassAllocator,
 };
 use halo_profile::TraceCollector;
-use halo_vm::{Engine, Program};
+use halo_vm::{Engine, Program, VmError};
 
 /// What to run and with which knobs.
 #[derive(Debug, Clone)]
@@ -197,15 +198,20 @@ pub fn evaluate_with_arg(
     let hds_analysis = analyze(&trace, &config.hds);
 
     // --- Measurement runs on the ref input: every enabled registry
-    // backend, in registry order.
+    // backend. Each backend owns its whole measurement (allocator,
+    // engine, simulated memory, cache model) and shares only read-only
+    // artefacts, so the backends fan out across threads
+    // (`HALO_THREADS`-governed, like the workload sweeps); results are
+    // collected in registry order, keeping every downstream table and
+    // JSON document byte-identical to the old serial loop.
     let ctx = BackendCtx {
         config,
         halo: Some(&halo),
         optimised: Some(&optimised),
         hds: Some(&hds_analysis),
     };
-    let mut backends = Vec::new();
-    for spec in BACKENDS.iter().filter(|s| s.enabled(config)) {
+    let enabled: Vec<&BackendSpec> = BACKENDS.iter().filter(|s| s.enabled(config)).collect();
+    let measured = par_map(&enabled, |spec| -> Result<(&'static str, ConfigResult), VmError> {
         let mut alloc = spec.make_allocator(&ctx);
         if let Some(plan) = &config.faults {
             // Each backend replays the schedule from occurrence zero;
@@ -215,7 +221,7 @@ pub fn evaluate_with_arg(
         }
         let target = if spec.rewritten { &optimised.program } else { program };
         let d = measure_detailed(target, &mut alloc, &config.measure)?;
-        backends.push((
+        Ok((
             spec.id,
             ConfigResult {
                 measurement: d.measurement,
@@ -225,7 +231,11 @@ pub fn evaluate_with_arg(
                 degrade: alloc.backend_degrade(),
                 thread_stats: d.thread_stats,
             },
-        ));
+        ))
+    });
+    let mut backends = Vec::with_capacity(measured.len());
+    for result in measured {
+        backends.push(result?);
     }
 
     Ok(EvalResult { name: name.to_string(), backends, optimised, hds_analysis })

@@ -4,7 +4,9 @@
 use halo_cache::{
     AccessStats, CoherenceStats, CoherentHierarchy, HierarchyConfig, ThreadAccessStats, TimingModel,
 };
-use halo_vm::{Engine, EngineLimits, ExitStats, Monitor, Program, VmAllocator, VmError};
+use halo_vm::{
+    AccessBatch, Engine, EngineLimits, ExitStats, Monitor, Program, VmAllocator, VmError,
+};
 
 /// Measurement-run parameters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -60,6 +62,13 @@ impl CacheMonitor {
 impl Monitor for CacheMonitor {
     fn on_access(&mut self, addr: u64, width: u8, store: bool) {
         self.hierarchy.access(addr, width, store);
+    }
+
+    fn on_access_batch(&mut self, batch: &AccessBatch) {
+        // One virtual call per up to `AccessBatch::CAPACITY` accesses; the
+        // engine flushes before every thread switch, so the whole batch
+        // belongs to the hierarchy's current thread.
+        self.hierarchy.access_batch(batch.addrs(), batch.widths(), batch.stores());
     }
 
     fn on_thread_switch(&mut self, thread: u16) {

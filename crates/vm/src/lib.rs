@@ -70,8 +70,8 @@ mod rng;
 
 pub use builder::{FunctionBuilder, Label, ProgramBuilder};
 pub use engine::{
-    AllocKind, Engine, EngineLimits, ExitStats, MallocOnlyAllocator, Monitor, NullMonitor,
-    SyncVmAllocator, VmAllocator, VmError,
+    AccessBatch, AllocKind, Engine, EngineLimits, ExitStats, MallocOnlyAllocator, Monitor,
+    NullMonitor, SyncVmAllocator, VmAllocator, VmError,
 };
 pub use group_state::GroupState;
 pub use ids::{CallSite, Cond, FuncId, Reg, Width};

@@ -75,7 +75,7 @@ fn usage() {
          \thalo baseline --benchmark <name>\n\
          \thalo run --benchmark <name[,name…]|all> [options]\n\
          \thalo plot [--metric misses|speedup]\n\
-         \thalo bench [--json] [--out <path>]\n\
+         \thalo bench [--json] [--out <path>] [--compare <old.json>]\n\
          \n\
          Multi-workload sweeps (run/plot/baseline over several benchmarks)\n\
          fan out across CPU cores; output order is deterministic. Set\n\
@@ -119,6 +119,8 @@ fn usage() {
          \n\
          BENCH OPTIONS:\n\
          \t--out <path>                  baseline file to write (default BENCH_profile.json)\n\
+         \t--compare <old.json>          after measuring, print a per-row delta table\n\
+         \t                              against a previous baseline file\n\
          \t--json                        also print the JSON document to stdout"
     );
 }
@@ -141,6 +143,7 @@ struct Flags {
     json: bool,
     metric: String,
     out: Option<String>,
+    compare: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -162,6 +165,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         json: false,
         metric: "misses".to_string(),
         out: None,
+        compare: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -225,6 +229,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--metric" => flags.metric = value("--metric")?,
             "--out" => flags.out = Some(value("--out")?),
+            "--compare" => flags.compare = Some(value("--compare")?),
             "--hds" => flags.hds = true,
             "--random" => flags.random = true,
             "--ptmalloc" => flags.ptmalloc = true,
@@ -810,10 +815,19 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         || flags.random
         || flags.ptmalloc
     {
-        return Err("halo bench only accepts --out and --json (baselines always \
-                    measure the paper-default configuration)"
+        return Err("halo bench only accepts --out, --compare, and --json (baselines \
+                    always measure the paper-default configuration)"
             .to_string());
     }
+    // Read (and validate) the old baseline *before* spending a minute
+    // measuring, so a bad path or stale schema fails fast.
+    let old_rows = match &flags.compare {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(halo_bench::compare::parse_baseline(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
     let mut rows = Vec::new();
 
     // Hot-path micro-workloads — the bodies live in halo_bench and are
@@ -890,6 +904,20 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         );
     }
     println!("wrote {path}");
+    if let Some(old) = old_rows {
+        let new: Vec<halo_bench::compare::BaselineRow> = rows
+            .iter()
+            .map(|r| halo_bench::compare::BaselineRow {
+                name: r.name.to_string(),
+                samples: u64::from(r.samples),
+                best_ns: r.best_ns,
+                mean_ns: r.mean_ns,
+            })
+            .collect();
+        let lines = halo_bench::compare::compare(&old, &new);
+        let old_path = flags.compare.as_deref().unwrap_or_default();
+        print!("{}", halo_bench::compare::render_comparison(old_path, &lines));
+    }
     if flags.json {
         print!("{json}");
     }
