@@ -1,5 +1,7 @@
-//! Minimal, dependency-free stand-in for the subset of the proptest API
-//! used by this workspace (see `compat/README.md` for the rationale).
+//! Minimal stand-in for the subset of the proptest API used by this
+//! workspace, with no dependencies outside the workspace itself (see
+//! `compat/README.md` for the rationale; `halo_core` supplies the shared
+//! `HALO_*` env-override policy).
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
@@ -99,24 +101,28 @@ pub mod test_runner {
         /// The case count actually executed: the configured count, unless
         /// `HALO_PROPTEST_CASES` overrides it (CI lowers the counts to
         /// trim the suite's long pole; set it higher locally for soak
-        /// runs). The variable must be a positive integer.
+        /// runs). An invalid value warns once on stderr and falls back to
+        /// the configured count — the workspace-wide env-override policy
+        /// of [`halo_core::parse_env_or_warn`].
         pub fn effective_cases(&self) -> u32 {
-            Self::override_cases(
-                std::env::var("HALO_PROPTEST_CASES").ok().as_deref(),
-                self.config.cases,
+            halo_core::parse_env_or_warn(
+                "HALO_PROPTEST_CASES",
+                "using the configured case count",
+                Self::parse_cases,
             )
+            .unwrap_or(self.config.cases)
         }
 
         /// [`TestRunner::effective_cases`]'s pure core, split out so the
         /// override logic is testable without mutating process-global
         /// environment from concurrently running tests.
-        pub fn override_cases(var: Option<&str>, configured: u32) -> u32 {
-            match var {
-                Some(s) => s.trim().parse::<u32>().ok().filter(|&n| n > 0).unwrap_or_else(|| {
-                    panic!("HALO_PROPTEST_CASES must be a positive integer, got {s:?}")
-                }),
-                None => configured,
-            }
+        pub fn parse_cases(value: &str) -> Result<u32, String> {
+            value.trim().parse::<u32>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                format!(
+                    "HALO_PROPTEST_CASES={value} is invalid: \
+                     expected a positive integer case count"
+                )
+            })
         }
 
         pub fn run<F>(&mut self, name: &str, mut f: F)
@@ -500,14 +506,20 @@ mod tests {
     }
 
     #[test]
-    fn case_count_override_parses_or_panics() {
+    fn case_count_override_parses_or_warns() {
         use crate::test_runner::TestRunner;
-        assert_eq!(TestRunner::override_cases(None, 256), 256, "unset: configured count");
-        assert_eq!(TestRunner::override_cases(Some("16"), 256), 16);
-        assert_eq!(TestRunner::override_cases(Some(" 8 "), 256), 8, "whitespace tolerated");
+        assert_eq!(TestRunner::parse_cases("16"), Ok(16));
+        assert_eq!(TestRunner::parse_cases(" 8 "), Ok(8), "whitespace tolerated");
         for bad in ["0", "", "lots", "-4"] {
-            let result = std::panic::catch_unwind(|| TestRunner::override_cases(Some(bad), 256));
-            assert!(result.is_err(), "HALO_PROPTEST_CASES={bad:?} must be rejected loudly");
+            let reason = TestRunner::parse_cases(bad)
+                .expect_err("HALO_PROPTEST_CASES={bad:?} must be rejected");
+            assert_eq!(
+                reason,
+                format!(
+                    "HALO_PROPTEST_CASES={bad} is invalid: expected a positive integer case count"
+                ),
+                "the warning must name the variable and the offending value"
+            );
         }
     }
 

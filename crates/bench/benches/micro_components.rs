@@ -174,6 +174,9 @@ fn bench_allocators(c: &mut Criterion) {
     // Shared with `halo bench` likewise: the thread-safe sharded runtime
     // under real producer/consumer threads and remote frees.
     c.bench_function("mem/sharded_alloc_mt", |b| b.iter(halo_bench::sharded_alloc_mt));
+    // Shared with `halo bench` likewise: epoch-based plan hot-swaps under
+    // steady allocation traffic (the `halo serve` transition, §15).
+    c.bench_function("serve/plan_swap", |b| b.iter(halo_bench::serve_plan_swap));
     c.bench_function("mem/group_alloc_malloc_free_1k", |b| {
         let table =
             SelectorTable::new(vec![GroupSelector { group: 0, conjunctions: vec![vec![0]] }], 1);

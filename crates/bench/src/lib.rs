@@ -331,6 +331,67 @@ pub fn sharded_alloc_mt() -> u64 {
     stats.alloc.grouped_allocs + stats.remote_frees + stats.remote_drained
 }
 
+/// The `serve/plan_swap` micro-workload: 50k malloc/free pairs through a
+/// 4-shard [`halo_mem::ShardedHaloAllocator`] with a
+/// [`halo_mem::ShardedHaloAllocator::swap_plans`] hot-swap every 2k
+/// operations, alternating between two per-group plans — the `halo serve`
+/// epoch transition (DESIGN.md §15) under steady allocation traffic, so
+/// both the swap latency (all shard locks held) and the post-swap
+/// fresh-chunk carving land in `BENCH_profile.json`. One body shared by
+/// the Criterion micro-bench and `halo bench` like the rest.
+pub fn serve_plan_swap() -> u64 {
+    use halo_mem::{GroupSelector, SelectorTable, ShardedHaloAllocator};
+    use halo_vm::SyncVmAllocator as _;
+    let config = GroupAllocConfig {
+        chunk_size: 65_536,
+        slab_size: 65_536 * 64,
+        ..GroupAllocConfig::default()
+    };
+    let table = SelectorTable::new(
+        vec![
+            GroupSelector { group: 0, conjunctions: vec![vec![0]] },
+            GroupSelector { group: 1, conjunctions: vec![vec![1]] },
+        ],
+        2,
+    );
+    let plans = [
+        vec![GroupAllocConfig { chunk_size: 16_384, ..config }, config],
+        vec![config, GroupAllocConfig { chunk_size: 131_072, ..config }],
+    ];
+    let alloc = ShardedHaloAllocator::new(4, config, table.clone(), plans[0].clone());
+    let site = halo_vm::CallSite::new(halo_vm::FuncId(0), 0);
+    let mut mem = halo_vm::Memory::new();
+    let mut gs = halo_vm::GroupState::new(2);
+    let mut rng = halo_vm::SplitMix64::new(41);
+    let mut live: Vec<u64> = Vec::with_capacity(1024);
+    for i in 0..50_000u64 {
+        if i % 2_000 == 1_000 {
+            let next = &plans[((i / 2_000) % 2) as usize];
+            alloc.swap_plans(table.clone(), next.clone());
+        }
+        gs.reset();
+        match i % 3 {
+            0 => gs.set(0),
+            1 => gs.set(1),
+            _ => {} // fallback traffic
+        }
+        let size = 16 + rng.next_below(12) * 16;
+        live.push(alloc.malloc(size, site, &gs, &mut mem));
+        if live.len() == 1024 {
+            for p in live.drain(64..) {
+                alloc.free(p, &mut mem);
+            }
+        }
+    }
+    for p in live.drain(..) {
+        alloc.free(p, &mut mem);
+    }
+    alloc.drain_remote(&mut mem);
+    let stats = alloc.sharded_stats();
+    assert_eq!(alloc.plan_epoch(), 25, "one swap per 2k operations");
+    stats.alloc.grouped_allocs + stats.alloc.fallback_allocs + alloc.plan_epoch()
+}
+
 /// The `cache/coherent_access_100k` micro-workload: four logical threads
 /// round-robin over a [`halo_cache::CoherentHierarchy`] (Xeon W-2195
 /// geometry), each mostly walking a private 16 KiB region but with every
@@ -394,18 +455,28 @@ impl GraphSpec {
     /// [`GraphSpec::million`], with the node count overridable via
     /// `HALO_GRAPH_BENCH_NODES` (edge increments scale with it at 4×) so
     /// CI smoke runs can shrink the workload without touching the
-    /// committed baseline rows.
+    /// committed baseline rows. An invalid value warns once on stderr and
+    /// falls back to the committed scale (the workspace env-override
+    /// policy of [`halo_core::parse_env_or_warn`]).
     pub fn from_env() -> GraphSpec {
         let mut spec = GraphSpec::million();
-        if let Some(nodes) = std::env::var("HALO_GRAPH_BENCH_NODES")
-            .ok()
-            .and_then(|v| v.trim().parse::<u32>().ok())
-            .filter(|&n| n > 0)
-        {
+        if let Some(nodes) = halo_core::parse_env_or_warn(
+            "HALO_GRAPH_BENCH_NODES",
+            "benching the committed million-node scale",
+            Self::parse_nodes,
+        ) {
             spec.nodes = nodes;
             spec.edges = nodes as u64 * 4;
         }
         spec
+    }
+
+    /// [`GraphSpec::from_env`]'s pure core, split out so the override
+    /// logic is testable without mutating the process environment.
+    pub fn parse_nodes(value: &str) -> Result<u32, String> {
+        value.trim().parse::<u32>().ok().filter(|&n| n > 0).ok_or_else(|| {
+            format!("HALO_GRAPH_BENCH_NODES={value} is invalid: expected a positive node count")
+        })
     }
 }
 
@@ -544,11 +615,37 @@ mod tests {
     use super::*;
 
     #[test]
+    fn graph_bench_node_override_parses_or_warns() {
+        assert_eq!(GraphSpec::parse_nodes("5000"), Ok(5000));
+        assert_eq!(GraphSpec::parse_nodes(" 64 "), Ok(64), "whitespace tolerated");
+        for bad in ["0", "", "big", "-1"] {
+            assert_eq!(
+                GraphSpec::parse_nodes(bad),
+                Err(format!(
+                    "HALO_GRAPH_BENCH_NODES={bad} is invalid: expected a positive node count"
+                )),
+                "the warning must name the variable and the offending value"
+            );
+        }
+    }
+
+    #[test]
     fn formatting_helpers() {
         assert_eq!(pct(0.2815), "+28.1%");
         assert_eq!(pct(-0.03), "-3.0%");
         assert_eq!(human_bytes(31980), "31.23KiB");
         assert_eq!(human_bytes(2 << 20), "2.00MiB");
+    }
+
+    #[test]
+    fn plan_swap_body_is_deterministic_and_swaps() {
+        // The checksum folds in the final plan epoch, so the body fails
+        // loudly if the swap cadence ever drifts; equal reruns keep the
+        // bench row comparable PR-over-PR.
+        let a = serve_plan_swap();
+        let b = serve_plan_swap();
+        assert_eq!(a, b);
+        assert!(a > 50_000, "every malloc lands in the grouped or fallback counters");
     }
 
     #[test]

@@ -75,12 +75,15 @@
 //! ```
 
 mod backend;
+mod env;
 mod evaluate;
 mod measure;
 mod parallel;
 mod pipeline;
+mod serve;
 
 pub use backend::{backend_spec, BackendCtx, BackendSpec, BACKENDS};
+pub use env::{env_warning, parse_env_or_warn};
 pub use evaluate::{evaluate, evaluate_with_arg, ConfigResult, EvalConfig, EvalResult};
 pub use measure::{
     measure, measure_detailed, measure_with, CacheMonitor, MeasureConfig, MeasureDetail,
@@ -90,3 +93,4 @@ pub use parallel::{
     par_each_ordered, par_map, par_merge_subgraphs, parse_halo_threads, thread_count,
 };
 pub use pipeline::{Halo, HaloConfig, Optimised, PipelineError};
+pub use serve::{serve, EpochRow, ServeConfig, ServePhase, ServeReport};

@@ -42,23 +42,14 @@ pub fn parse_halo_threads(value: &str) -> Result<usize, String> {
 /// Worker threads to use for `jobs` independent jobs (≥ 1).
 ///
 /// Honours `HALO_THREADS` when set to a valid positive integer; an invalid
-/// value is reported on stderr (once per process) and falls back to the
-/// hardware parallelism instead of being silently ignored.
+/// value is reported on stderr via [`crate::parse_env_or_warn`] (once per
+/// process) and falls back to the hardware parallelism instead of being
+/// silently ignored.
 pub fn thread_count(jobs: usize) -> usize {
     let hw = || std::thread::available_parallelism().map_or(1, |n| n.get());
-    let requested = match std::env::var("HALO_THREADS") {
-        Ok(value) => match parse_halo_threads(&value) {
-            Ok(n) => n,
-            Err(reason) => {
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!("warning: {reason}; using hardware parallelism");
-                });
-                hw()
-            }
-        },
-        Err(_) => hw(),
-    };
+    let requested =
+        crate::parse_env_or_warn("HALO_THREADS", "using hardware parallelism", parse_halo_threads)
+            .unwrap_or_else(hw);
     requested.min(jobs).max(1)
 }
 

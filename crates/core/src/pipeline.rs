@@ -222,8 +222,9 @@ impl Halo {
 
     /// Group `profile` at one concrete granularity, stamp every group's
     /// layout plan from the configuration, and build the rewritten binary
-    /// plus selector machinery.
-    fn assemble(
+    /// plus selector machinery. `pub(crate)` for the serve loop, which
+    /// re-assembles from a *streamed* graph instead of a fresh profile.
+    pub(crate) fn assemble(
         &self,
         program: &Program,
         profile: Profile,
@@ -404,8 +405,13 @@ impl Halo {
     }
 
     /// The global allocator configuration plus one per-group override per
-    /// plan — the translation both allocator constructors share.
-    fn alloc_plan(&self, optimised: &Optimised) -> (GroupAllocConfig, Vec<GroupAllocConfig>) {
+    /// plan — the translation both allocator constructors share, and the
+    /// shape [`halo_mem::ShardedHaloAllocator::swap_plans`] accepts from
+    /// the serve loop.
+    pub(crate) fn alloc_plan(
+        &self,
+        optimised: &Optimised,
+    ) -> (GroupAllocConfig, Vec<GroupAllocConfig>) {
         let mut alloc = self.config.alloc;
         if optimised.granularity == Granularity::Page {
             alloc.max_grouped_size = alloc.max_grouped_size.max(alloc.chunk_size);

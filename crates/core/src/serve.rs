@@ -1,0 +1,464 @@
+//! Online re-optimisation (`halo serve`, DESIGN.md §15): keep profiling
+//! while the optimised program serves traffic, detect workload phase
+//! changes, and hot-swap the allocator's per-group plans without moving
+//! a live pointer.
+//!
+//! The loop models a long-running deployment as a sequence of *windows*.
+//! Each window:
+//!
+//! 1. **streams** one bounded profiling run into a [`ProfileStream`]
+//!    (exponential decay, so the graph tracks the current phase instead
+//!    of averaging over history);
+//! 2. **detects**: every `regroup_every` windows the decayed graph is
+//!    re-grouped and compared against the grouping the active plan was
+//!    built on ([`halo_graph::grouping_drift`]); drift beyond the
+//!    threshold — or an L1D miss-reduction regression beyond the
+//!    tolerance — triggers re-optimisation;
+//! 3. **swaps**: re-optimisation assembles a fresh plan from the
+//!    streamed graph and applies it via
+//!    [`ShardedHaloAllocator::swap_plans`] — prospective, epoch-stamped,
+//!    old chunks drain through the ordinary free machinery;
+//! 4. **measures** the window under three regimes: the jemalloc-style
+//!    baseline, the *static* plan (phase-0 optimisation, never swapped),
+//!    and the serve allocator — so the report shows static decaying
+//!    while serve recovers.
+//!
+//! Determinism: profiling windows replay the phase's *train* seed (the
+//! [`ProfileStream`] needs a stable context-interning order), while
+//! measurement windows vary the *ref* seed per window. Everything in the
+//! report is deterministic except the swap wall-clock latencies.
+
+use crate::measure::{measure, MeasureConfig, Measurement};
+use crate::pipeline::{Halo, HaloConfig, Optimised, PipelineError};
+use halo_graph::{group, grouping_drift, Granularity, Group};
+use halo_mem::{ShardedHaloAllocator, SizeClassAllocator};
+use halo_profile::ProfileStream;
+use halo_vm::Program;
+
+/// One phase of the scripted workload mix: a binary plus its train/ref
+/// inputs, served for `windows` windows.
+#[derive(Debug, Clone)]
+pub struct ServePhase {
+    /// Phase name for the report (usually the workload name).
+    pub name: String,
+    /// The binary serving traffic during this phase.
+    pub program: Program,
+    /// Profiling-window seed. Every window of the phase replays this
+    /// seed so contexts intern in the same order (see module docs).
+    pub train_seed: u64,
+    /// Profiling-window entry argument.
+    pub train_arg: i64,
+    /// Base measurement seed; window `w` (globally numbered) measures
+    /// with `ref_seed + w`.
+    pub ref_seed: u64,
+    /// Measurement entry argument.
+    pub ref_arg: i64,
+    /// Number of serve windows this phase lasts.
+    pub windows: u64,
+}
+
+/// Tunables of the serve loop, on top of the pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Pipeline configuration (shared by the initial optimisation and
+    /// every re-optimisation).
+    pub halo: HaloConfig,
+    /// Measurement geometry and limits; `seed`/`entry_arg` are
+    /// overridden per window from the phase script.
+    pub measure: MeasureConfig,
+    /// Shard count for the serve and static allocators.
+    pub shards: usize,
+    /// Per-window retention factor of the streaming graph, in `[0, 1]`.
+    pub decay: f64,
+    /// Re-group the streamed graph every this many windows (≥ 1).
+    pub regroup_every: u64,
+    /// Re-optimise when grouping drift exceeds this (in `[0, 1]`).
+    pub drift_threshold: f64,
+    /// Re-optimise when the window's miss reduction falls this far below
+    /// the best seen since the last swap.
+    pub regression_tolerance: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            halo: HaloConfig::default(),
+            measure: MeasureConfig::default(),
+            shards: 4,
+            decay: 0.5,
+            regroup_every: 1,
+            drift_threshold: 0.3,
+            regression_tolerance: 0.1,
+        }
+    }
+}
+
+/// One serve window's row in the report.
+#[derive(Debug, Clone)]
+pub struct EpochRow {
+    /// Global window index (across phases).
+    pub window: u64,
+    /// Phase name.
+    pub phase: String,
+    /// Allocator plan epoch in force during this window's measurement.
+    pub plan_epoch: u64,
+    /// Grouping drift measured this window (`None` when the window was
+    /// not a re-grouping window).
+    pub drift: Option<f64>,
+    /// Whether a plan swap happened this window.
+    pub swapped: bool,
+    /// Wall-clock latency of this window's swap, in microseconds (`0.0`
+    /// when no swap happened). The only non-deterministic report field.
+    pub swap_latency_us: f64,
+    /// Serve allocator's L1D miss reduction vs the baseline.
+    pub miss_reduction: f64,
+    /// The static (phase-0, never-swapped) plan's miss reduction.
+    pub static_miss_reduction: f64,
+}
+
+/// The outcome of a serve run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-window rows, in order.
+    pub rows: Vec<EpochRow>,
+    /// Total plan swaps applied.
+    pub swaps: u64,
+    /// Final window's serve miss reduction.
+    pub final_miss_reduction: f64,
+    /// Final window's static-plan miss reduction.
+    pub final_static_miss_reduction: f64,
+    /// Whether serve ended ahead of the static plan — the tentpole
+    /// claim: after a phase shift the static plan's miss reduction
+    /// decays and online re-optimisation recovers it.
+    pub recovered: bool,
+}
+
+/// State the serve loop carries for the currently active plan.
+struct ActivePlan {
+    optimised: Optimised,
+    /// Index into the phase script of the binary this plan was built
+    /// for. Measurement runs the rewritten binary only while the serving
+    /// phase still executes that binary; after a phase shift the new
+    /// binary runs unmodified (its call sites carry no instrumentation)
+    /// until re-optimisation catches up.
+    source_phase: usize,
+    /// Grouping the plan was built on, for drift comparison.
+    groups: Vec<Group>,
+    /// Best miss reduction observed since this plan was installed.
+    best_miss_reduction: f64,
+}
+
+/// Run the serve loop over a phase script. See the module docs for the
+/// window structure.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Vm`] if any profiling, re-optimisation, or
+/// measurement execution traps.
+///
+/// # Panics
+///
+/// Panics if the script is empty, a phase has zero windows, or the
+/// configuration is out of range (`decay` outside `[0, 1]`,
+/// `regroup_every` of zero).
+pub fn serve(phases: &[ServePhase], config: &ServeConfig) -> Result<ServeReport, PipelineError> {
+    assert!(!phases.is_empty(), "serve needs at least one phase");
+    assert!(phases.iter().all(|p| p.windows > 0), "every phase needs at least one window");
+    assert!(config.regroup_every > 0, "regroup_every must be at least 1");
+
+    // The auto policies validate against the measurement geometry, as in
+    // `evaluate_with_arg`.
+    let mut halo_config = config.halo;
+    halo_config.hierarchy = config.measure.hierarchy;
+    halo_config.timing = config.measure.timing;
+    let halo = Halo::new(halo_config);
+
+    // Initial optimisation on phase 0 — both the serve plan and the
+    // static twin start here.
+    let first = &phases[0];
+    let initial = halo.optimise_with_arg(&first.program, first.train_seed, first.train_arg)?;
+    let static_opt = halo.optimise_with_arg(&first.program, first.train_seed, first.train_arg)?;
+    let serve_alloc = halo.make_sharded_allocator(&initial, config.shards);
+    let static_alloc = halo.make_sharded_allocator(&static_opt, config.shards);
+
+    let mut stream = ProfileStream::new(config.decay);
+    stream.absorb(&initial.profile);
+    let mut active = ActivePlan {
+        groups: initial.groups.clone(),
+        optimised: initial,
+        source_phase: 0,
+        best_miss_reduction: f64::NEG_INFINITY,
+    };
+
+    let mut rows = Vec::new();
+    let mut swaps = 0u64;
+    let mut window = 0u64;
+    for (phase_idx, phase) in phases.iter().enumerate() {
+        if phase_idx > 0 {
+            // A new binary means a new context-interning order: the old
+            // stream's node ids would alias unrelated contexts. Reset —
+            // a real deployment keys the stream by build id.
+            stream = ProfileStream::new(config.decay);
+        }
+        for _ in 0..phase.windows {
+            // 1. Stream one profiling window.
+            let profile =
+                halo.profile_with_arg(&phase.program, phase.train_seed, phase.train_arg)?;
+            stream.absorb(&profile);
+
+            // 2. Phase detection on re-grouping windows.
+            let mut drift = None;
+            if window.is_multiple_of(config.regroup_every) {
+                let fresh = group(stream.graph(), &halo.config().grouping);
+                // Across a binary change the id spaces alias, but the
+                // active plan also cannot serve the new binary at all —
+                // force a full-drift reading rather than trusting the
+                // aliased comparison.
+                let d = if active.source_phase == phase_idx {
+                    grouping_drift(&active.groups, &fresh)
+                } else {
+                    1.0
+                };
+                drift = Some(d);
+            }
+            let regressed = active.best_miss_reduction.is_finite()
+                && rows.last().is_some_and(|r: &EpochRow| {
+                    r.miss_reduction < active.best_miss_reduction - config.regression_tolerance
+                });
+
+            // 3. Re-optimise and hot-swap when triggered.
+            let mut swapped = false;
+            let mut swap_latency_us = 0.0;
+            if drift.is_some_and(|d| d > config.drift_threshold) || regressed {
+                let granularity = match halo.config().profile.granularity {
+                    Granularity::Auto => Granularity::Object,
+                    g => g,
+                };
+                // Re-assemble from the *streamed* (decayed) graph: the
+                // window profile supplies the context table — same
+                // interning order, so ids line up — and the stream
+                // supplies the edge structure.
+                let mut streamed = profile.clone();
+                streamed.graph = stream.graph().clone();
+                let reopt = halo.assemble(&phase.program, streamed, granularity, false);
+                let (_, overrides) = halo.alloc_plan(&reopt);
+                let start = std::time::Instant::now();
+                serve_alloc.swap_plans(reopt.ident.table.clone(), overrides);
+                swap_latency_us = start.elapsed().as_secs_f64() * 1e6;
+                swaps += 1;
+                swapped = true;
+                active = ActivePlan {
+                    groups: reopt.groups.clone(),
+                    optimised: reopt,
+                    source_phase: phase_idx,
+                    best_miss_reduction: f64::NEG_INFINITY,
+                };
+            }
+
+            // 4. Measure the window: baseline, static twin, serve.
+            let mcfg = MeasureConfig {
+                seed: phase.ref_seed + window,
+                entry_arg: phase.ref_arg,
+                ..config.measure
+            };
+            let baseline = {
+                let mut alloc = SizeClassAllocator::new();
+                measure(&phase.program, &mut alloc, &mcfg)?
+            };
+            let static_m = measure_serving(
+                &static_alloc,
+                if phase_idx == 0 { &static_opt.program } else { &phase.program },
+                &mcfg,
+            )?;
+            let serve_m = measure_serving(
+                &serve_alloc,
+                if active.source_phase == phase_idx {
+                    &active.optimised.program
+                } else {
+                    &phase.program
+                },
+                &mcfg,
+            )?;
+            let miss_reduction = serve_m.miss_reduction_vs(&baseline);
+            let static_miss_reduction = static_m.miss_reduction_vs(&baseline);
+            active.best_miss_reduction = active.best_miss_reduction.max(miss_reduction);
+
+            rows.push(EpochRow {
+                window,
+                phase: phase.name.clone(),
+                plan_epoch: serve_alloc.plan_epoch(),
+                drift,
+                swapped,
+                swap_latency_us,
+                miss_reduction,
+                static_miss_reduction,
+            });
+            window += 1;
+        }
+    }
+
+    let last = rows.last().expect("at least one window ran");
+    Ok(ServeReport {
+        final_miss_reduction: last.miss_reduction,
+        final_static_miss_reduction: last.static_miss_reduction,
+        recovered: last.miss_reduction > last.static_miss_reduction,
+        swaps,
+        rows,
+    })
+}
+
+/// Measure one window against a long-lived sharded allocator (through
+/// the `&ShardedHaloAllocator` bridge — the allocator keeps its heap
+/// across windows, exactly like a serving process).
+fn measure_serving(
+    alloc: &ShardedHaloAllocator,
+    program: &Program,
+    config: &MeasureConfig,
+) -> Result<Measurement, PipelineError> {
+    let mut handle = alloc;
+    Ok(measure(program, &mut handle, config)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_graph::GroupingParams;
+    use halo_vm::{Cond, ProgramBuilder, Reg, Width};
+
+    fn r(n: u8) -> Reg {
+        Reg(n)
+    }
+
+    /// A Fig. 2-shaped program: `hot` allocation contexts interleaved
+    /// per round, then a pointer-chasing sweep. Different `hot` counts
+    /// produce different affinity structure (and different binaries).
+    fn phased_program(hot: usize, rounds: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let create = pb.declare("create");
+        let mut m = pb.function("main");
+        m.imm(r(9), 0);
+        m.imm(r(10), 0);
+        m.imm(r(11), rounds);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, r(10), r(11), done);
+        for k in 0..hot {
+            let dst = r(1 + k as u8);
+            m.call(create, &[], Some(dst));
+            m.store(r(9), dst, 0, Width::W8);
+            m.mov(r(9), dst);
+        }
+        m.add_imm(r(10), r(10), 1);
+        m.jump(top);
+        m.bind(done);
+        m.imm(r(12), 0);
+        let sweep = m.label();
+        let sdone = m.label();
+        m.bind(sweep);
+        m.branch(Cond::Ge, r(12), r(11), sdone);
+        m.mov(r(6), r(9));
+        let walk = m.label();
+        let wdone = m.label();
+        m.bind(walk);
+        m.branch(Cond::Eq, r(6), r(13), wdone);
+        m.load(r(6), r(6), 0, Width::W8);
+        m.jump(walk);
+        m.bind(wdone);
+        m.add_imm(r(12), r(12), 1);
+        m.jump(sweep);
+        m.bind(sdone);
+        m.ret(None);
+        let main = m.finish();
+        let mut f = pb.define(create);
+        f.imm(r(0), 32);
+        f.malloc(r(0), r(1));
+        f.ret(Some(r(1)));
+        f.finish();
+        pb.finish(main)
+    }
+
+    fn serve_config() -> ServeConfig {
+        ServeConfig {
+            halo: HaloConfig {
+                grouping: GroupingParams { min_weight: 2, ..Default::default() },
+                ..Default::default()
+            },
+            shards: 2,
+            ..Default::default()
+        }
+    }
+
+    fn phase(name: &str, program: Program, windows: u64) -> ServePhase {
+        ServePhase {
+            name: name.into(),
+            program,
+            train_seed: 7,
+            train_arg: 0,
+            ref_seed: 100,
+            ref_arg: 0,
+            windows,
+        }
+    }
+
+    #[test]
+    fn steady_phase_never_swaps() {
+        let report = serve(&[phase("steady", phased_program(2, 48), 3)], &serve_config())
+            .expect("serve runs");
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.swaps, 0, "a stable workload triggers no swap: {:?}", report.rows);
+        assert!(report.rows.iter().all(|row| row.plan_epoch == 0));
+        // Drift is measured every window (regroup_every = 1) and stays
+        // below the threshold: the same program profiled with the same
+        // train seed re-groups identically.
+        assert!(report.rows.iter().all(|row| row.drift == Some(0.0)), "{:?}", report.rows);
+        // The static twin and serve run the same plan: identical rows.
+        for row in &report.rows {
+            assert_eq!(row.miss_reduction, row.static_miss_reduction);
+        }
+    }
+
+    #[test]
+    fn phase_shift_triggers_a_swap_and_serve_recovers() {
+        // The real workload-mix shift the CLI demo scripts: the server
+        // mix hands over to the xalanc-mt mix. These workloads produce
+        // genuine L1D misses, so recovery is visible in miss reduction,
+        // not just in the swap bookkeeping.
+        let mut mt = halo_workloads::multithreaded();
+        let xalanc = mt.pop().expect("xalanc-mt");
+        let server = mt.pop().expect("server");
+        let to_phase = |w: &halo_workloads::Workload, windows| ServePhase {
+            name: w.name.into(),
+            program: w.program.clone(),
+            train_seed: w.train.seed,
+            train_arg: w.train.arg,
+            ref_seed: w.reference.seed,
+            ref_arg: w.reference.arg,
+            windows,
+        };
+        let phases = [to_phase(&server, 1), to_phase(&xalanc, 2)];
+        let report =
+            serve(&phases, &ServeConfig { shards: 2, ..Default::default() }).expect("serve runs");
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.swaps >= 1, "the binary change must trigger a swap: {:?}", report.rows);
+        let shift = &report.rows[1];
+        assert_eq!(shift.phase, "xalanc-mt");
+        assert_eq!(shift.drift, Some(1.0), "cross-binary drift reads full");
+        assert!(shift.swapped);
+        assert!(shift.plan_epoch >= 1);
+        // After the shift the static plan serves the new binary
+        // unmodified (no instrumentation → every allocation falls back)
+        // while serve re-optimised: it must end ahead.
+        assert!(report.recovered, "{report:?}");
+        assert!(report.final_miss_reduction > report.final_static_miss_reduction);
+        // Well-formed report plumbing.
+        assert_eq!(report.final_miss_reduction, report.rows.last().unwrap().miss_reduction);
+        assert!(report.rows.iter().filter(|row| row.swapped).count() as u64 == report.swaps);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_scripts_are_rejected() {
+        let _ = serve(&[], &ServeConfig::default());
+    }
+}

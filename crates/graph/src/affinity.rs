@@ -61,14 +61,38 @@ pub struct AffinityGraph {
 }
 
 impl AffinityGraph {
+    /// Hard capacity: node ids must fit `NodeId`'s `u32`. A million-node
+    /// profile (DESIGN.md §13) is ~0.02% of this, but a runaway live
+    /// profiler could conceivably reach it — and a silent `as u32` wrap
+    /// would alias ids and corrupt every downstream grouping.
+    pub const MAX_NODES: usize = u32::MAX as usize;
+
+    /// Convert a node index into a [`NodeId`], panicking with a clear
+    /// message once `capacity` is reached instead of silently truncating.
+    /// `capacity` is a seam for the overflow guard test; real callers pass
+    /// [`AffinityGraph::MAX_NODES`].
+    fn checked_id(index: usize, capacity: usize) -> NodeId {
+        assert!(
+            index < capacity,
+            "affinity graph overflow: node index {index} does not fit the u32 NodeId space \
+             (capacity {capacity}); discard cold contexts before interning more"
+        );
+        NodeId(index as u32)
+    }
+
     /// Create an empty graph.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Add a node with an initial access count; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph already holds [`AffinityGraph::MAX_NODES`]
+    /// nodes — ids would otherwise wrap and alias.
     pub fn add_node(&mut self, accesses: u64) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = Self::checked_id(self.nodes.len(), Self::MAX_NODES);
         self.nodes.push(NodeData { accesses, alive: true });
         id
     }
@@ -85,7 +109,13 @@ impl AffinityGraph {
 
     /// Iterate over the ids of alive nodes.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, _)| NodeId(i as u32))
+        // Indices are < len, which add_node capped at MAX_NODES, so the
+        // checked conversion can only fire if that invariant breaks.
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| Self::checked_id(i, Self::MAX_NODES))
     }
 
     /// Whether `n` is alive (not discarded by the cold-node filter).
@@ -276,6 +306,38 @@ impl AffinityGraph {
         self.rebuild_csr(min_weight);
     }
 
+    /// Exponentially decay the graph: every edge weight and node access
+    /// count becomes `floor(value · factor)`, and edges that decay to zero
+    /// are dropped for good. Streaming profilers call this once per window
+    /// so stale phases fade with half-life `ln 2 / ln(1/factor)` windows
+    /// while fresh edges keep full weight. Like any write, this leaves the
+    /// graph in build phase (a finalised CSR melts). Deterministic: IEEE
+    /// multiply plus truncation, no rounding-mode dependence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is outside `[0, 1]` — growth is not decay, and
+    /// NaN would silently zero the graph.
+    pub fn decay(&mut self, factor: f64) {
+        assert!((0.0..=1.0).contains(&factor), "decay factor {factor} must be within [0, 1]");
+        let scaled = |w: u64| (w as f64 * factor) as u64;
+        for n in &mut self.nodes {
+            n.accesses = scaled(n.accesses);
+        }
+        let mut decayed = EdgeAccumulator::with_capacity(self.edge_count() + 1);
+        let mut keep = |u: u32, v: u32, w: u64| {
+            let w = scaled(w);
+            if w > 0 {
+                decayed.add(u, v, w);
+            }
+        };
+        match &self.store {
+            EdgeStore::Building(acc) => acc.for_each(&mut keep),
+            EdgeStore::Finalised(csr) => csr.for_each_edge(&mut keep),
+        }
+        self.store = EdgeStore::Building(decayed);
+    }
+
     /// Keep the hottest nodes covering `keep_fraction` of all accesses and
     /// discard the rest along with their edges (§4.1: "after 90% of all
     /// observed accesses have been accounted for, any remaining nodes are
@@ -460,6 +522,87 @@ mod tests {
         // Re-finalising is a no-op.
         g.finalise();
         assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn checked_id_converts_below_capacity() {
+        assert_eq!(AffinityGraph::checked_id(0, 4), NodeId(0));
+        assert_eq!(AffinityGraph::checked_id(3, 4), NodeId(3));
+        // The real capacity is the full u32 id space.
+        assert_eq!(
+            AffinityGraph::checked_id(u32::MAX as usize - 1, AffinityGraph::MAX_NODES).0,
+            u32::MAX - 1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit the u32 NodeId space")]
+    fn node_id_overflow_panics_instead_of_truncating() {
+        // The small-capacity seam stands in for interning 2^32 contexts:
+        // index == capacity is the first id that would silently wrap.
+        let _ = AffinityGraph::checked_id(4, 4);
+    }
+
+    #[test]
+    fn decay_scales_weights_and_drops_vanished_edges() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(100);
+        let b = g.add_node(10);
+        let c = g.add_node(1);
+        g.add_edge_weight(a, b, 10);
+        g.add_edge_weight(b, c, 1); // decays to zero and disappears
+        g.add_edge_weight(a, a, 5); // loops decay like any edge
+        g.decay(0.5);
+        assert_eq!(g.weight(a, b), 5);
+        assert_eq!(g.weight(b, c), 0);
+        assert_eq!(g.weight(a, a), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.accesses(a), 50);
+        assert_eq!(g.accesses(b), 5);
+        assert_eq!(g.accesses(c), 0);
+        // A second half-life halves again (floor division).
+        g.decay(0.5);
+        assert_eq!(g.weight(a, b), 2);
+        assert_eq!(g.weight(a, a), 1);
+    }
+
+    #[test]
+    fn decay_melts_a_finalised_graph_like_any_write() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(8);
+        let b = g.add_node(8);
+        g.add_edge_weight(a, b, 8);
+        g.finalise();
+        assert!(g.is_finalised());
+        g.decay(0.25);
+        assert!(!g.is_finalised(), "decay is a write: the CSR melts");
+        assert_eq!(g.weight(a, b), 2);
+        // Fresh edges land at full weight alongside the decayed ones.
+        g.add_edge_weight(a, b, 8);
+        assert_eq!(g.weight(a, b), 10);
+    }
+
+    #[test]
+    fn decay_edge_factors_are_total_forgetting_and_identity() {
+        let mut g = AffinityGraph::new();
+        let a = g.add_node(7);
+        let b = g.add_node(3);
+        g.add_edge_weight(a, b, 9);
+        let mut id = g.clone();
+        id.decay(1.0);
+        assert_eq!(id.weight(a, b), 9, "factor 1.0 is the identity");
+        assert_eq!(id.accesses(a), 7);
+        g.decay(0.0);
+        assert_eq!(g.weight(a, b), 0, "factor 0.0 forgets everything");
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.total_accesses(), 0);
+        assert!(g.is_alive(a) && g.is_alive(b), "nodes stay interned");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be within [0, 1]")]
+    fn decay_rejects_growth_factors() {
+        AffinityGraph::new().decay(1.5);
     }
 
     #[test]

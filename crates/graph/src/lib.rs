@@ -40,6 +40,7 @@ mod affinity;
 mod alt;
 mod csr;
 mod dot;
+mod drift;
 mod granularity;
 mod grouping;
 mod plan;
@@ -49,6 +50,7 @@ mod subgraph;
 pub use affinity::{AffinityGraph, NodeId};
 pub use alt::{hcs_clusters, modularity_clusters, stoer_wagner_min_cut};
 pub use dot::to_dot;
+pub use drift::grouping_drift;
 pub use granularity::Granularity;
 pub use grouping::{group, Group, GroupingParams};
 pub use plan::{GroupPlan, ReusePolicy, ReusePolicyChoice};

@@ -325,7 +325,7 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
         }
     }
 
-    fn validate_chunk(config: &GroupAllocConfig, chunk_size: u64) {
+    pub(crate) fn validate_chunk(config: &GroupAllocConfig, chunk_size: u64) {
         assert!(chunk_size.is_power_of_two(), "chunk size must be a power of two");
         assert!(chunk_size >= PAGE_SIZE, "chunks must be at least a page");
         assert_eq!(config.slab_size % chunk_size, 0, "slabs must hold whole chunks");
@@ -363,6 +363,47 @@ impl<F: VmAllocator> HaloGroupAllocator<F> {
     /// unless overridden).
     pub fn group_config(&self, group: usize) -> GroupAllocConfig {
         self.group_cfg.get(group).copied().unwrap_or(self.config)
+    }
+
+    /// Hot-swap the allocator onto a new plan: replace the selector table
+    /// and per-group configuration in place (DESIGN.md §15).
+    ///
+    /// The swap is *prospective*: it takes effect for freshly carved
+    /// chunks only. A group whose effective configuration changed retires
+    /// its open chunk (the next grouped allocation carves under the new
+    /// configuration); a group whose configuration is unchanged keeps
+    /// filling its current chunk, so swapping in an identical plan is
+    /// observably a no-op. Live pointers never move — a free locates its
+    /// chunk by address and recycles it under the configuration in force
+    /// *at free time*, exactly as before the swap, and retired chunks
+    /// drain through the normal free/spare/purge machinery. Groups parked
+    /// by the degradation ladder stay parked: a plan change does not
+    /// resurrect a group whose chunk supply already failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::with_group_configs`]
+    /// (invalid override `chunk_size`) — validation happens before any
+    /// state is touched, so a bad plan leaves the allocator unchanged.
+    pub fn install_plan(&mut self, selectors: SelectorTable, overrides: Vec<GroupAllocConfig>) {
+        for over in &overrides {
+            Self::validate_chunk(&self.config, over.chunk_size);
+        }
+        let num_groups = selectors.num_groups().max(overrides.len());
+        self.ensure_groups(num_groups);
+        let mut new_cfg = vec![self.config; self.group_cfg.len()];
+        for (g, over) in overrides.into_iter().enumerate() {
+            new_cfg[g] = over;
+        }
+        for (g, cfg) in new_cfg.iter().enumerate() {
+            if *cfg != self.group_cfg[g] {
+                // Retire the open chunk; the next allocation for the
+                // group carves fresh under the new configuration.
+                self.current[g] = None;
+            }
+        }
+        self.group_cfg = new_cfg;
+        self.selectors = selectors;
     }
 
     /// The fallback allocator (for its own statistics).

@@ -156,11 +156,15 @@ pub struct ShardedHaloAllocator {
     remote_peak_queue: AtomicU64,
     /// Bound on each shard's remote-free queue; a push that would exceed
     /// it falls back to a direct owner-lock free (backpressure instead of
-    /// unbounded growth under a free-storm).
-    remote_queue_cap: usize,
+    /// unbounded growth under a free-storm). Atomic so an operator (or
+    /// the serve loop) can retune it mid-run through a shared reference.
+    remote_queue_cap: AtomicUsize,
     queue_overflows: AtomicU64,
     poisoned_recovered: AtomicU64,
     invalid_frees: AtomicU64,
+    /// Number of plan hot-swaps applied so far ([`Self::swap_plans`]);
+    /// `0` means the construction-time plan is still in force.
+    plan_epoch: AtomicU64,
     /// Fault injector for chaos runs, shared with every shard's inner
     /// allocator; `None` in production.
     faults: Option<Arc<FaultInjector>>,
@@ -229,12 +233,61 @@ impl ShardedHaloAllocator {
             remote_frees: AtomicU64::new(0),
             remote_drained: AtomicU64::new(0),
             remote_peak_queue: AtomicU64::new(0),
-            remote_queue_cap: Self::DEFAULT_REMOTE_QUEUE_CAP,
+            remote_queue_cap: AtomicUsize::new(Self::DEFAULT_REMOTE_QUEUE_CAP),
             queue_overflows: AtomicU64::new(0),
             poisoned_recovered: AtomicU64::new(0),
             invalid_frees: AtomicU64::new(0),
+            plan_epoch: AtomicU64::new(0),
             faults: None,
         }
+    }
+
+    /// The number of plan hot-swaps applied so far; epoch `0` is the
+    /// construction-time plan. Serve mode stamps its per-epoch report
+    /// rows with this.
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch.load(Ordering::Acquire)
+    }
+
+    /// Hot-swap every shard onto a new plan (DESIGN.md §15): replace the
+    /// selector table and per-group configuration, then advance the plan
+    /// epoch. Overrides are expressed against the shard-0 base exactly as
+    /// in [`Self::new`] and rebased per shard here.
+    ///
+    /// All shard locks are taken in index order and held across the
+    /// installation, so the swap is atomic with respect to allocation: no
+    /// thread can observe shard `i` on the new plan while shard `j` still
+    /// serves the old one. No other path acquires two shard locks at
+    /// once, so the ordered sweep cannot deadlock, and
+    /// [`Self::lock_shard`]'s poisoning recovery applies — a swap never
+    /// wedges on a shard whose previous holder panicked.
+    ///
+    /// The swap is prospective, exactly as
+    /// [`HaloGroupAllocator::install_plan`]: changed groups start fresh
+    /// chunks, unchanged groups keep filling their current ones (an
+    /// identical plan is observably a no-op apart from the epoch bump),
+    /// live pointers never move, and retired chunks drain through the
+    /// ordinary free and remote-queue machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same override conditions as [`Self::new`];
+    /// validation runs before any shard is touched, so a bad plan leaves
+    /// every shard unchanged.
+    pub fn swap_plans(&self, selectors: SelectorTable, overrides: Vec<GroupAllocConfig>) -> u64 {
+        for over in &overrides {
+            HaloGroupAllocator::<SizeClassAllocator>::validate_chunk(&self.config, over.chunk_size);
+        }
+        let mut guards: Vec<_> = (0..self.shards.len()).map(|s| self.lock_shard(s)).collect();
+        for (i, guard) in guards.iter_mut().enumerate() {
+            let base = self.config.base + i as u64 * GROUP_SHARD_STRIDE;
+            let shard_overrides =
+                overrides.iter().map(|o| GroupAllocConfig { base, ..*o }).collect();
+            guard.install_plan(selectors.clone(), shard_overrides);
+        }
+        let epoch = self.plan_epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        drop(guards);
+        epoch
     }
 
     /// Default bound on each shard's remote-free queue: generous enough
@@ -248,9 +301,12 @@ impl ShardedHaloAllocator {
     /// Bound each shard's remote-free queue at `cap` entries; a push that
     /// would exceed it frees directly under the owner's allocator lock
     /// instead. `0` disables queueing entirely (every foreign free goes
-    /// direct).
-    pub fn set_remote_queue_cap(&mut self, cap: usize) {
-        self.remote_queue_cap = cap;
+    /// direct). Takes `&self`: the cap may be retuned mid-run while
+    /// worker threads allocate through the same shared allocator —
+    /// in-flight pushes see either the old or the new bound, never a torn
+    /// one, and overflow accounting is unaffected.
+    pub fn set_remote_queue_cap(&self, cap: usize) {
+        self.remote_queue_cap.store(cap, Ordering::Relaxed);
     }
 
     /// Attach a fault injector (chaos runs): the sharded runtime draws
@@ -483,7 +539,7 @@ impl ShardedHaloAllocator {
             let mut queue = self.lock_remote(owner);
             let forced_overflow =
                 self.faults.as_ref().is_some_and(|f| f.should_fail(FaultSite::RemoteQueue));
-            if !forced_overflow && queue.len() < self.remote_queue_cap {
+            if !forced_overflow && queue.len() < self.remote_queue_cap.load(Ordering::Relaxed) {
                 // Count before queueing so a concurrent drain can never
                 // observe more frees applied than were ever queued.
                 self.remote_frees.fetch_add(1, Ordering::Relaxed);
@@ -984,9 +1040,8 @@ mod tests {
 
     #[test]
     fn remote_queue_bound_applies_backpressure() {
-        let (mut a, mut gs, _) = sharded(2);
-        a.set_remote_queue_cap(2);
-        let a = a; // back to shared use
+        let (a, mut gs, _) = sharded(2);
+        a.set_remote_queue_cap(2); // interior: no &mut needed
         let mut mem = Memory::new();
         gs.set(0);
         SyncVmAllocator::thread_switched(&a, 0);
@@ -1008,6 +1063,41 @@ mod tests {
         a.drain_remote(&mut mem);
         assert_eq!(a.sharded_stats().remote_drained, 3);
         assert_eq!(a.live_bytes(), 0, "overflowed frees were applied directly");
+    }
+
+    #[test]
+    fn remote_queue_cap_can_change_mid_run() {
+        let (a, mut gs, _) = sharded(2);
+        let mut mem = Memory::new();
+        gs.set(0);
+        SyncVmAllocator::thread_switched(&a, 0);
+        let ptrs: Vec<u64> =
+            (0..6).map(|_| SyncVmAllocator::malloc(&a, 64, site(), &gs, &mut mem)).collect();
+        SyncVmAllocator::thread_switched(&a, 1);
+        // Default cap: the first two foreign frees queue without overflow.
+        SyncVmAllocator::free(&a, ptrs[0], &mut mem);
+        SyncVmAllocator::free(&a, ptrs[1], &mut mem);
+        assert_eq!(a.remote_pending(), 2);
+        assert_eq!(a.degrade_stats().queue_overflows, 0);
+        // Tighten the cap *through a shared reference, mid-run*, below the
+        // current backlog: the very next push must take the overflow
+        // fallback (which drains the backlog as a side effect of
+        // servicing the owner shard under its lock).
+        a.set_remote_queue_cap(1);
+        SyncVmAllocator::free(&a, ptrs[2], &mut mem);
+        assert_eq!(a.remote_pending(), 0, "overflow free serviced the owner and drained");
+        assert_eq!(a.degrade_stats().queue_overflows, 1);
+        // Loosening applies just as immediately.
+        a.set_remote_queue_cap(ShardedHaloAllocator::DEFAULT_REMOTE_QUEUE_CAP);
+        for &p in &ptrs[3..] {
+            SyncVmAllocator::free(&a, p, &mut mem);
+        }
+        assert_eq!(a.remote_pending(), 3, "restored cap queues again");
+        assert_eq!(a.degrade_stats().queue_overflows, 1, "no further overflow counted");
+        let s = a.sharded_stats();
+        assert_eq!(s.remote_frees, 5, "only queued frees count as remote");
+        a.drain_remote(&mut mem);
+        assert_eq!(a.live_bytes(), 0, "every path applied its free exactly once");
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Properties of the epoch-based plan hot-swap (DESIGN.md §15).
+//!
+//! Two guarantees are pinned here:
+//!
+//! * **Identity**: swapping in a plan identical to the active one is
+//!   observably a no-op — the pointer stream, statistics, and
+//!   fragmentation reports match a twin allocator that never swapped,
+//!   pointer for pointer. Only the plan epoch advances.
+//! * **Safety under load**: a swap to a *different* plan while producer
+//!   and consumer threads hammer the allocator never double-hands-out a
+//!   pointer (live-set oracle), never loses a free, and drains to exactly
+//!   zero live bytes at join — old chunks retire through the ordinary
+//!   free machinery while new chunks carve under the new plan.
+
+use halo_mem::{
+    AllocatorStats, GroupAllocConfig, GroupSelector, HaloGroupAllocator, SelectorTable,
+    ShardedHaloAllocator,
+};
+use halo_vm::{CallSite, FuncId, GroupState, Memory, SplitMix64, SyncVmAllocator, VmAllocator};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+
+fn site() -> CallSite {
+    CallSite::new(FuncId(0), 0)
+}
+
+fn two_group_table() -> SelectorTable {
+    SelectorTable::new(
+        vec![
+            GroupSelector { group: 0, conjunctions: vec![vec![0]] },
+            GroupSelector { group: 1, conjunctions: vec![vec![1]] },
+        ],
+        2,
+    )
+}
+
+fn small_config() -> GroupAllocConfig {
+    GroupAllocConfig { chunk_size: 65_536, slab_size: 65_536 * 64, ..GroupAllocConfig::default() }
+}
+
+/// One deterministic malloc/free round against `alloc`, returning the
+/// pointer stream. Mixed grouped/fallback traffic, a rotating free
+/// pattern so chunks retire and recycle, `swap` invoked halfway through.
+fn drive(alloc: &ShardedHaloAllocator, mut swap: impl FnMut(&ShardedHaloAllocator)) -> Vec<u64> {
+    let mut mem = Memory::new();
+    let mut gs = GroupState::new(2);
+    let mut rng = SplitMix64::new(0x91a7_50a9);
+    let mut stream = Vec::new();
+    let mut live = Vec::new();
+    for i in 0..4_000u64 {
+        if i == 2_000 {
+            // Free half the survivors first so the post-swap allocator
+            // sees spare chunks, then swap.
+            for p in live.drain(..1_000) {
+                alloc.free(p, &mut mem);
+            }
+            swap(alloc);
+        }
+        gs.reset();
+        gs.set((i % 2) as u16);
+        let size = if i % 97 == 0 { 5_000 } else { 16 + rng.next_below(12) * 16 };
+        let ptr = alloc.malloc(size, site(), &gs, &mut mem);
+        stream.push(ptr);
+        live.push(ptr);
+        if i % 3 == 0 {
+            let victim = live.swap_remove((rng.next_below(live.len() as u64)) as usize);
+            alloc.free(victim, &mut mem);
+        }
+    }
+    for p in live {
+        alloc.free(p, &mut mem);
+    }
+    alloc.drain_remote(&mut mem);
+    stream
+}
+
+#[test]
+fn identical_plan_swap_is_observably_a_noop() {
+    let table = two_group_table();
+    let overrides = vec![
+        GroupAllocConfig { chunk_size: 16_384, ..small_config() },
+        GroupAllocConfig { chunk_size: 65_536, ..small_config() },
+    ];
+    let swapped = ShardedHaloAllocator::new(2, small_config(), table.clone(), overrides.clone());
+    let control = ShardedHaloAllocator::new(2, small_config(), table.clone(), overrides.clone());
+
+    let swapped_stream = drive(&swapped, |a| {
+        let epoch = a.swap_plans(table.clone(), overrides.clone());
+        assert_eq!(epoch, 1, "the epoch advances even for an identity swap");
+    });
+    let control_stream = drive(&control, |_| {});
+
+    assert_eq!(swapped_stream, control_stream, "identity swap: pointer-for-pointer equal");
+    assert_eq!(swapped.sharded_stats(), control.sharded_stats(), "identical statistics");
+    assert_eq!(swapped.frag_report(), control.frag_report(), "identical fragmentation");
+    assert_eq!(
+        swapped.group_frag_reports(),
+        control.group_frag_reports(),
+        "identical per-group fragmentation"
+    );
+    assert_eq!(swapped.live_bytes(), 0);
+    assert_eq!(control.live_bytes(), 0);
+    assert_eq!(swapped.plan_epoch(), 1);
+    assert_eq!(control.plan_epoch(), 0, "the control never swapped");
+}
+
+#[test]
+fn changed_plan_applies_to_fresh_chunks_only() {
+    // Single-arena view of the same property: after a swap that changes
+    // group 0's chunk size, group 0 carves its next chunk under the new
+    // size while group 1 keeps filling its open chunk, and pointers
+    // allocated before the swap free cleanly after it.
+    let cfg = small_config();
+    let mut a = HaloGroupAllocator::with_group_configs(
+        cfg,
+        two_group_table(),
+        vec![
+            GroupAllocConfig { chunk_size: 16_384, ..cfg },
+            GroupAllocConfig { chunk_size: 65_536, ..cfg },
+        ],
+    );
+    let mut mem = Memory::new();
+    let mut gs = GroupState::new(2);
+    let grouped = |a: &mut HaloGroupAllocator, gs: &mut GroupState, mem: &mut Memory, g: u16| {
+        gs.reset();
+        gs.set(g);
+        VmAllocator::malloc(a, 64, site(), gs, mem)
+    };
+    let pre_g0 = grouped(&mut a, &mut gs, &mut mem, 0);
+    let pre_g1 = grouped(&mut a, &mut gs, &mut mem, 1);
+
+    a.install_plan(
+        two_group_table(),
+        vec![
+            GroupAllocConfig { chunk_size: 32_768, ..cfg },
+            GroupAllocConfig { chunk_size: 65_536, ..cfg },
+        ],
+    );
+    assert_eq!(a.group_config(0).chunk_size, 32_768, "group 0 runs the new plan");
+
+    let post_g0 = grouped(&mut a, &mut gs, &mut mem, 0);
+    let post_g1 = grouped(&mut a, &mut gs, &mut mem, 1);
+    // Group 1's configuration did not change: it bumps within the chunk
+    // it was already filling. Group 0's did: it abandoned its 16 KiB
+    // chunk and carved a fresh 32 KiB one.
+    assert_eq!(post_g1, pre_g1 + 64, "unchanged group keeps its open chunk");
+    assert_ne!(post_g0, pre_g0 + 64, "changed group starts a fresh chunk");
+
+    // Pre-swap pointers free through the normal path and the heap drains.
+    for p in [pre_g0, pre_g1, post_g0, post_g1] {
+        VmAllocator::free(&mut a, p, &mut mem);
+    }
+    assert_eq!(a.live_bytes(), 0, "pre- and post-swap pointers all drain");
+}
+
+const PRODUCERS: usize = 4;
+const CONSUMERS: usize = 2;
+const MALLOCS_PER_PRODUCER: u64 = 10_000;
+
+#[test]
+fn swap_under_load_keeps_the_heap_exact() {
+    let config = small_config();
+    let alloc = ShardedHaloAllocator::new(4, config, two_group_table(), Vec::new());
+    let live: Mutex<HashSet<u64>> = Mutex::new(HashSet::new());
+    let freed = Mutex::new(0u64);
+    let swapped = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..CONSUMERS).map(|_| mpsc::channel::<u64>()).unzip();
+        for p in 0..PRODUCERS {
+            let tx = senders[p % CONSUMERS].clone();
+            let (alloc, live, swapped) = (&alloc, &live, &swapped);
+            scope.spawn(move || {
+                let mut mem = Memory::new();
+                let mut gs = GroupState::new(2);
+                let mut rng = SplitMix64::new(p as u64 * 131 + 7);
+                for i in 0..MALLOCS_PER_PRODUCER {
+                    if p == 0 && i == MALLOCS_PER_PRODUCER / 2 {
+                        // Producer 0 doubles as the serve loop: swap the
+                        // whole fleet onto a different plan mid-storm.
+                        alloc.swap_plans(
+                            two_group_table(),
+                            vec![
+                                GroupAllocConfig { chunk_size: 16_384, ..config },
+                                GroupAllocConfig { chunk_size: 131_072, ..config },
+                            ],
+                        );
+                        swapped.store(true, Ordering::Release);
+                    }
+                    gs.reset();
+                    gs.set((i % 2) as u16);
+                    let size = if i % 97 == 0 { 5_000 } else { 16 + rng.next_below(12) * 16 };
+                    let ptr = alloc.malloc(size, site(), &gs, &mut mem);
+                    assert!(
+                        live.lock().expect("live set").insert(ptr),
+                        "pointer {ptr:#x} handed out while still live (double hand-out)"
+                    );
+                    tx.send(ptr).expect("consumer alive");
+                }
+            });
+        }
+        drop(senders);
+        for rx in receivers {
+            let (alloc, live, freed) = (&alloc, &live, &freed);
+            scope.spawn(move || {
+                let mut mem = Memory::new();
+                let mut count = 0u64;
+                for ptr in rx {
+                    assert!(
+                        live.lock().expect("live set").remove(&ptr),
+                        "freeing a pointer that was never handed out"
+                    );
+                    alloc.free(ptr, &mut mem);
+                    count += 1;
+                }
+                *freed.lock().expect("freed count") += count;
+            });
+        }
+    });
+
+    assert!(swapped.load(Ordering::Acquire), "the mid-storm swap ran");
+    assert_eq!(alloc.plan_epoch(), 1, "exactly one swap epoch");
+    let total = PRODUCERS as u64 * MALLOCS_PER_PRODUCER;
+    assert_eq!(*freed.lock().expect("freed count"), total, "every pointer freed exactly once");
+    assert!(live.lock().expect("live set").is_empty(), "no pointer remained live");
+
+    let mut mem = Memory::new();
+    alloc.drain_remote(&mut mem);
+    assert_eq!(alloc.remote_pending(), 0, "all remote-free queues drain across the epoch");
+    assert_eq!(alloc.live_bytes(), 0, "aggregate live bytes reach exactly zero");
+    assert_eq!(alloc.live_objects(), 0);
+    let stats = alloc.sharded_stats();
+    assert_eq!(stats.remote_drained, stats.remote_frees, "every queued free was applied");
+    assert_eq!(stats.alloc.grouped_allocs + stats.alloc.fallback_allocs, total);
+    assert_eq!(stats.alloc.grouped_frees + stats.alloc.fallback_frees, total);
+}

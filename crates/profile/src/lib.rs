@@ -65,10 +65,12 @@ mod objects;
 mod profiler;
 mod queue;
 mod shadow;
+mod stream;
 mod trace;
 
 pub use objects::{ObjectInfo, ObjectTracker};
 pub use profiler::{ContextInfo, Profile, ProfileConfig, Profiler, PAGE_GRANULARITY_SHIFT};
 pub use queue::{AffinityQueue, QueueEntry};
 pub use shadow::{RawContext, ShadowStack};
+pub use stream::ProfileStream;
 pub use trace::{HeapTrace, TraceCollector, TraceObject};

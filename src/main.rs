@@ -11,7 +11,10 @@
 //! halo plot
 //! ```
 
-use halo::core::{evaluate_with_arg, measure, par_each_ordered, EvalConfig, EvalResult};
+use halo::core::{
+    evaluate_with_arg, measure, par_each_ordered, serve, EvalConfig, EvalResult, ServeConfig,
+    ServePhase,
+};
 use halo::graph::{Granularity, ReusePolicyChoice};
 use halo::mem::{FaultPlan, SizeClassAllocator};
 use halo::workloads::{all, Workload};
@@ -50,6 +53,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "plot" => cmd_plot(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -76,6 +80,7 @@ fn usage() {
          \thalo run --benchmark <name[,name…]|all> [options]\n\
          \thalo plot [--metric misses|speedup]\n\
          \thalo bench [--json] [--out <path>] [--compare <old.json>]\n\
+         \thalo serve --phases <name:windows[,name:windows…]> [options]\n\
          \n\
          Multi-workload sweeps (run/plot/baseline over several benchmarks)\n\
          fan out across CPU cores; output order is deterministic. Set\n\
@@ -121,7 +126,26 @@ fn usage() {
          \t--out <path>                  baseline file to write (default BENCH_profile.json)\n\
          \t--compare <old.json>          after measuring, print a per-row delta table\n\
          \t                              against a previous baseline file\n\
-         \t--json                        also print the JSON document to stdout"
+         \t--json                        also print the JSON document to stdout\n\
+         \n\
+         SERVE OPTIONS (online re-optimisation, DESIGN.md §15):\n\
+         \t--phases <script>             the scripted workload-mix shift: comma-\n\
+         \t                              separated name:windows pairs served in\n\
+         \t                              order (e.g. server:2,xalanc-mt:3). Each\n\
+         \t                              window streams a decayed profile, checks\n\
+         \t                              grouping drift, hot-swaps the plan when\n\
+         \t                              it drifts, and measures serve vs the\n\
+         \t                              static phase-0 plan vs the baseline\n\
+         \t--shards <n>                  shard count of the serving allocator (default 4)\n\
+         \t--decay <fraction>            per-window retention of the streaming\n\
+         \t                              affinity graph (default 0.5)\n\
+         \t--drift-threshold <fraction>  re-optimise when grouping drift exceeds\n\
+         \t                              this (default 0.3)\n\
+         \t--regroup-every <n>           re-group the streamed graph every n\n\
+         \t                              windows (default 1)\n\
+         \t--json                        machine-readable per-epoch report (the\n\
+         \t                              swap_latency_us fields are wall-clock —\n\
+         \t                              everything else replays deterministically)"
     );
 }
 
@@ -144,6 +168,10 @@ struct Flags {
     metric: String,
     out: Option<String>,
     compare: Option<String>,
+    phases: Option<String>,
+    decay: Option<f64>,
+    drift_threshold: Option<f64>,
+    regroup_every: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -166,6 +194,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         metric: "misses".to_string(),
         out: None,
         compare: None,
+        phases: None,
+        decay: None,
+        drift_threshold: None,
+        regroup_every: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -230,6 +262,38 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--metric" => flags.metric = value("--metric")?,
             "--out" => flags.out = Some(value("--out")?),
             "--compare" => flags.compare = Some(value("--compare")?),
+            "--phases" => flags.phases = Some(value("--phases")?),
+            "--decay" => {
+                let v = value("--decay")?;
+                let d: f64 =
+                    v.parse().map_err(|_| format!("invalid decay '{v}' (a fraction in [0, 1])"))?;
+                if !(0.0..=1.0).contains(&d) {
+                    return Err(format!("--decay {v} is out of range (a fraction in [0, 1])"));
+                }
+                flags.decay = Some(d);
+            }
+            "--drift-threshold" => {
+                let v = value("--drift-threshold")?;
+                let d: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid drift threshold '{v}' (a fraction in [0, 1])"))?;
+                if !(0.0..=1.0).contains(&d) {
+                    return Err(format!(
+                        "--drift-threshold {v} is out of range (a fraction in [0, 1])"
+                    ));
+                }
+                flags.drift_threshold = Some(d);
+            }
+            "--regroup-every" => {
+                let v = value("--regroup-every")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid regroup interval '{v}' (a positive integer)"))?;
+                if n == 0 {
+                    return Err("--regroup-every must be at least 1".to_string());
+                }
+                flags.regroup_every = Some(n);
+            }
             "--hds" => flags.hds = true,
             "--random" => flags.random = true,
             "--ptmalloc" => flags.ptmalloc = true,
@@ -814,6 +878,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         || flags.hds
         || flags.random
         || flags.ptmalloc
+        || flags.phases.is_some()
+        || flags.decay.is_some()
+        || flags.drift_threshold.is_some()
+        || flags.regroup_every.is_some()
     {
         return Err("halo bench only accepts --out, --compare, and --json (baselines \
                     always measure the paper-default configuration)"
@@ -844,6 +912,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }));
     rows.push(time_samples("mem/sharded_alloc_mt", 10, || {
         std::hint::black_box(halo_bench::sharded_alloc_mt());
+    }));
+    rows.push(time_samples("serve/plan_swap", 10, || {
+        std::hint::black_box(halo_bench::serve_plan_swap());
     }));
     rows.push(time_samples("cache/coherent_access_100k", 10, || {
         std::hint::black_box(halo_bench::coherent_access_100k());
@@ -920,6 +991,154 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     if flags.json {
         print!("{json}");
+    }
+    Ok(())
+}
+
+/// `halo serve`: the online re-optimisation loop (DESIGN.md §15) over a
+/// scripted workload-mix shift. Each phase of the `--phases` script serves
+/// a workload for a number of windows; every window streams a decayed
+/// profile, re-groups it, and hot-swaps the serving allocator's per-group
+/// plans when the grouping drifts past the threshold (or the measured miss
+/// reduction regresses). The per-epoch table shows the serving allocator
+/// against the *static* twin — the phase-0 plan never re-optimised — so a
+/// phase shift visibly decays static while serve recovers.
+///
+/// The report replays deterministically for a fixed script and flags,
+/// except the `swap_latency_us` wall-clock fields (CI strips them before
+/// comparing replays).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if flags.benchmark.is_some()
+        || flags.affinity_distance.is_some()
+        || flags.chunk_size.is_some()
+        || flags.max_spare_chunks.is_some()
+        || flags.max_groups.is_some()
+        || flags.merge_tolerance.is_some()
+        || flags.granularity.is_some()
+        || flags.reuse_policy.is_some()
+        || flags.inject.is_some()
+        || flags.measure != "sim" // the parse-time default
+        || flags.metric != "misses" // the parse-time default
+        || flags.out.is_some()
+        || flags.compare.is_some()
+        || flags.hds
+        || flags.random
+        || flags.ptmalloc
+    {
+        return Err("halo serve only accepts --phases, --shards, --decay, \
+                    --drift-threshold, --regroup-every, and --json"
+            .to_string());
+    }
+    let script = flags
+        .phases
+        .as_deref()
+        .ok_or("halo serve needs --phases (e.g. --phases server:1,xalanc-mt:2)")?;
+
+    // Any listed workload can serve; phases may revisit a name, so the
+    // script resolves against the full universe rather than the
+    // duplicate-rejecting `find_workloads` selector.
+    let mut universe = all();
+    universe.push(halo::workloads::toy::build());
+    universe.extend(halo::workloads::multithreaded());
+    let mut phases = Vec::new();
+    for part in script.split(',') {
+        let (name, windows) = part
+            .split_once(':')
+            .ok_or_else(|| format!("phase '{part}' is not name:windows (e.g. server:2)"))?;
+        let windows: u64 = windows.parse().ok().filter(|&w| w > 0).ok_or_else(|| {
+            format!("phase '{part}' needs a positive window count (e.g. server:2)")
+        })?;
+        let w = universe
+            .iter()
+            .find(|w| w.name == name)
+            .ok_or_else(|| format!("unknown benchmark '{name}' (try `halo list`)"))?;
+        phases.push(ServePhase {
+            name: w.name.into(),
+            program: w.program.clone(),
+            train_seed: w.train.seed,
+            train_arg: w.train.arg,
+            ref_seed: w.reference.seed,
+            ref_arg: w.reference.arg,
+            windows,
+        });
+    }
+
+    let mut config = ServeConfig::default();
+    if let Some(n) = flags.shards {
+        config.shards = n;
+    }
+    if let Some(d) = flags.decay {
+        config.decay = d;
+    }
+    if let Some(d) = flags.drift_threshold {
+        config.drift_threshold = d;
+    }
+    if let Some(n) = flags.regroup_every {
+        config.regroup_every = n;
+    }
+    let report = serve(&phases, &config).map_err(|e| format!("serve: {e}"))?;
+
+    if flags.json {
+        let mut epochs = String::from("[");
+        for (i, row) in report.rows.iter().enumerate() {
+            if i > 0 {
+                epochs.push(',');
+            }
+            let drift = row.drift.map_or("null".to_string(), |d| format!("{d:.4}"));
+            let _ = write!(
+                epochs,
+                "{{\"window\":{},\"phase\":\"{}\",\"plan_epoch\":{},\"drift\":{},\"swapped\":{},\"swap_latency_us\":{:.1},\"miss_reduction\":{:.4},\"static_miss_reduction\":{:.4}}}",
+                row.window,
+                row.phase,
+                row.plan_epoch,
+                drift,
+                row.swapped,
+                row.swap_latency_us,
+                row.miss_reduction,
+                row.static_miss_reduction,
+            );
+        }
+        epochs.push(']');
+        println!(
+            "{{\"windows\":{},\"swaps\":{},\"final_miss_reduction\":{:.4},\"final_static_miss_reduction\":{:.4},\"recovered\":{},\"epochs\":{}}}",
+            report.rows.len(),
+            report.swaps,
+            report.final_miss_reduction,
+            report.final_static_miss_reduction,
+            report.recovered,
+            epochs,
+        );
+    } else {
+        println!(
+            "{:<6} {:<10} {:>5} {:>6} {:>4} {:>12} {:>8} {:>8}",
+            "window", "phase", "epoch", "drift", "swap", "latency(us)", "serve", "static"
+        );
+        for row in &report.rows {
+            println!(
+                "{:<6} {:<10} {:>5} {:>6} {:>4} {:>12.1} {:>8} {:>8}",
+                row.window,
+                row.phase,
+                row.plan_epoch,
+                row.drift.map_or("-".to_string(), |d| format!("{d:.2}")),
+                if row.swapped { "yes" } else { "-" },
+                row.swap_latency_us,
+                pct(row.miss_reduction),
+                pct(row.static_miss_reduction),
+            );
+        }
+        println!(
+            "\n{} swap{} applied; final miss reduction: serve {} vs static {} — {}",
+            report.swaps,
+            if report.swaps == 1 { "" } else { "s" },
+            pct(report.final_miss_reduction),
+            pct(report.final_static_miss_reduction),
+            if report.recovered {
+                "serve recovered the phase shift"
+            } else {
+                "serve did not end ahead of the static plan"
+            },
+        );
     }
     Ok(())
 }

@@ -420,6 +420,89 @@ fn bench_writes_the_baseline_json() {
 }
 
 #[test]
+fn serve_runs_a_steady_phase_and_reports_epochs() {
+    // A steady toy phase: no drift, no swaps, serve and static identical.
+    let out = halo(&["serve", "--phases", "toy:2", "--shards", "2", "--json"]);
+    assert!(out.status.success(), "halo serve failed: {}", stderr(&out));
+    let text = stdout(&out);
+    for key in [
+        "\"windows\":2",
+        "\"swaps\":0",
+        "\"recovered\":false",
+        "\"epochs\":[",
+        "\"phase\":\"toy\"",
+        "\"plan_epoch\":0",
+        "\"drift\":0.0000",
+        "\"swapped\":false",
+        "\"swap_latency_us\":",
+        "\"miss_reduction\":",
+        "\"static_miss_reduction\":",
+    ] {
+        assert!(text.contains(key), "serve JSON is missing {key}: {text}");
+    }
+    // Text mode prints the per-epoch table and the verdict line.
+    let human = halo(&["serve", "--phases", "toy:2", "--shards", "2"]);
+    assert!(human.status.success(), "{}", stderr(&human));
+    let human = stdout(&human);
+    for needle in ["window", "epoch", "drift", "0 swaps applied"] {
+        assert!(human.contains(needle), "serve table is missing {needle}: {human}");
+    }
+}
+
+#[test]
+fn serve_replays_deterministically_modulo_swap_latency() {
+    // Everything in the report is deterministic except the swap
+    // wall-clock latencies; with no swap in a steady phase the whole
+    // document must match byte for byte.
+    let args = ["serve", "--phases", "toy:2", "--shards", "2", "--json"];
+    let a = halo(&args);
+    let b = halo(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "steady serve replays must be byte-identical");
+}
+
+#[test]
+fn serve_validates_its_flags_and_script() {
+    let missing = halo(&["serve"]);
+    assert!(!missing.status.success());
+    assert!(stderr(&missing).contains("halo serve needs --phases"), "{}", stderr(&missing));
+
+    let malformed = halo(&["serve", "--phases", "toy"]);
+    assert!(!malformed.status.success());
+    assert!(stderr(&malformed).contains("is not name:windows"), "{}", stderr(&malformed));
+
+    let zero = halo(&["serve", "--phases", "toy:0"]);
+    assert!(!zero.status.success());
+    assert!(stderr(&zero).contains("positive window count"), "{}", stderr(&zero));
+
+    let unknown = halo(&["serve", "--phases", "nonesuch:2"]);
+    assert!(!unknown.status.success());
+    assert!(stderr(&unknown).contains("unknown benchmark 'nonesuch'"), "{}", stderr(&unknown));
+
+    let decay = halo(&["serve", "--phases", "toy:1", "--decay", "1.5"]);
+    assert!(!decay.status.success());
+    assert!(stderr(&decay).contains("--decay 1.5 is out of range"), "{}", stderr(&decay));
+
+    let regroup = halo(&["serve", "--phases", "toy:1", "--regroup-every", "0"]);
+    assert!(!regroup.status.success());
+    assert!(
+        stderr(&regroup).contains("--regroup-every must be at least 1"),
+        "{}",
+        stderr(&regroup)
+    );
+
+    // Run-configuration flags are rejected like `halo bench` does, so a
+    // serve report always reflects the paper-default pipeline.
+    let cfg = halo(&["serve", "--phases", "toy:1", "--chunk-size", "65536"]);
+    assert!(!cfg.status.success());
+    assert!(stderr(&cfg).contains("halo serve only accepts"), "{}", stderr(&cfg));
+    // And `halo bench` rejects the serve-only flags in return.
+    let bench = halo(&["bench", "--phases", "toy:1"]);
+    assert!(!bench.status.success());
+    assert!(stderr(&bench).contains("halo bench only accepts"), "{}", stderr(&bench));
+}
+
+#[test]
 fn errors_are_reported_with_usage() {
     let no_command = halo(&[]);
     assert!(!no_command.status.success(), "bare `halo` must fail");
